@@ -1,0 +1,33 @@
+package dpc
+
+import "repro/internal/core"
+
+// Assigner classifies out-of-sample points against a finished clustering:
+// a new point inherits the cluster of its nearest clustered neighbor, or
+// NoCluster when that neighbor is farther than d_cut. Safe for concurrent
+// use.
+type Assigner = core.Assigner
+
+// NewAssigner indexes a clustering for out-of-sample assignment; pts and
+// res must be the dataset and result of one clustering run and dcut the
+// d_cut used there.
+func NewAssigner(pts [][]float64, res *Result, dcut float64) (*Assigner, error) {
+	return core.NewAssigner(pts, res, dcut)
+}
+
+// SuggestCenters ranks non-noise points by gamma = rho * delta (the
+// standard decision-graph product heuristic) and returns the top k point
+// indices — an alternative to SuggestDeltaMin when the delta gap is not
+// clean.
+func SuggestCenters(res *Result, k int, rhoMin float64) []int32 {
+	return core.SuggestCenters(res, k, rhoMin)
+}
+
+// ComputeHalo flags each cluster's halo (Rodriguez & Laio 2014): members
+// sparser than the densest point that touches another cluster within
+// d_cut. Halo points are the low-confidence fringe where clusters meet —
+// the border points §6 of the reproduced paper identifies as the residual
+// error source of the approximate algorithms.
+func ComputeHalo(pts [][]float64, res *Result, dcut float64, workers int) ([]bool, error) {
+	return core.ComputeHalo(pts, res, dcut, workers)
+}

@@ -1,0 +1,123 @@
+package dpc_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6). Each benchmark executes the corresponding harness experiment from
+// internal/bench at a benchmark-friendly cardinality (BENCH_N, default
+// 8000) and discards the printed rows; run cmd/dpcbench for the full
+// tables. Additional micro-benchmarks cover the per-algorithm phases the
+// paper's Table 6 decomposes.
+
+import (
+	"io"
+	"os"
+	"strconv"
+	"testing"
+
+	dpc "repro"
+	"repro/datasets"
+	"repro/internal/bench"
+)
+
+func benchN() int {
+	if s := os.Getenv("BENCH_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 8000
+}
+
+func benchCfg() bench.Config {
+	return bench.Config{N: benchN(), Seed: 1, W: io.Discard}
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := bench.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1DecisionGraph regenerates Figure 1 (decision graph of S2).
+func BenchmarkFig1DecisionGraph(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig2DPCvsDBSCAN regenerates Figure 2 (DPC vs DBSCAN on S2).
+func BenchmarkFig2DPCvsDBSCAN(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkTable2NoiseRobustness regenerates Table 2 (Rand index vs noise
+// rate on Syn).
+func BenchmarkTable2NoiseRobustness(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3ClusterOverlap regenerates Table 3 (Rand index on S1-S4).
+func BenchmarkTable3ClusterOverlap(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4RealAccuracy regenerates Table 4 (Rand index on the
+// real-dataset stand-ins).
+func BenchmarkTable4RealAccuracy(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5EpsilonTradeoff regenerates Table 5 (S-Approx-DPC
+// epsilon sweep: time and Rand index).
+func BenchmarkTable5EpsilonTradeoff(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkFig6Visualization regenerates Figure 6 (clustering of Syn by
+// each algorithm; images are skipped without an out dir).
+func BenchmarkFig6Visualization(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Cardinality regenerates Figure 7 (running time vs sampling
+// rate for all seven algorithms on four datasets).
+func BenchmarkFig7Cardinality(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8DCut regenerates Figure 8 (running time vs d_cut).
+func BenchmarkFig8DCut(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Threads regenerates Figure 9 (running time vs threads).
+func BenchmarkFig9Threads(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkTable6Decomposed regenerates Table 6 (decomposed rho/delta
+// seconds for every algorithm).
+func BenchmarkTable6Decomposed(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7Memory regenerates Table 7 (memory usage).
+func BenchmarkTable7Memory(b *testing.B) { runExperiment(b, "table7") }
+
+// --- Per-algorithm micro-benchmarks (one clustering run per iteration) ---
+
+func benchAlgorithm(b *testing.B, alg dpc.Algorithm) {
+	ds := datasets.AirlineLike(benchN(), 1)
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Seed: 1, Epsilon: 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Cluster(ds.Points, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithmScan(b *testing.B)       { benchAlgorithm(b, dpc.NewBruteScan()) }
+func BenchmarkAlgorithmRtreeScan(b *testing.B)  { benchAlgorithm(b, dpc.NewRtreeScan()) }
+func BenchmarkAlgorithmLSHDDP(b *testing.B)     { benchAlgorithm(b, dpc.NewLSHDDP()) }
+func BenchmarkAlgorithmCFSFDPA(b *testing.B)    { benchAlgorithm(b, dpc.NewCFSFDPA()) }
+func BenchmarkAlgorithmExDPC(b *testing.B)      { benchAlgorithm(b, dpc.NewExDPC()) }
+func BenchmarkAlgorithmApproxDPC(b *testing.B)  { benchAlgorithm(b, dpc.NewApproxDPC()) }
+func BenchmarkAlgorithmSApproxDPC(b *testing.B) { benchAlgorithm(b, dpc.NewSApproxDPC()) }
+
+// BenchmarkSingleThreadExDPC pins one worker: the paper's single-thread
+// baseline configuration.
+func BenchmarkSingleThreadExDPC(b *testing.B) {
+	ds := datasets.AirlineLike(benchN(), 1)
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpc.ClusterExact(ds.Points, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/datasets"
+)
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"syn", "s1", "s2", "s3", "s4", "airline", "household", "pamap2", "sensor"} {
+		out := filepath.Join(dir, name+".csv")
+		if err := run(name, 500, 0.02, 1, "csv", out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pts, err := datasets.LoadCSVFile(out)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", name, err)
+		}
+		if len(pts) < 500 {
+			t.Errorf("%s: only %d points", name, len(pts))
+		}
+	}
+}
+
+func TestRunBinaryFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.bin")
+	if err := run("sensor", 300, 0, 1, "bin", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pts, err := datasets.LoadBinary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 300 || len(pts[0]) != 8 {
+		t.Errorf("reloaded %dx%d", len(pts), len(pts[0]))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("syn", 10, 0, 1, "csv", ""); err == nil || !strings.Contains(err.Error(), "-out") {
+		t.Error("missing -out accepted")
+	}
+	if err := run("marsdata", 10, 0, 1, "csv", filepath.Join(dir, "x")); err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("syn", 10, 0, 1, "xml", filepath.Join(dir, "y")); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/datasets"
+)
+
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	ds := datasets.SSet(1, 1500, 1)
+	if err := datasets.SaveCSVFile(path, ds.Points); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMainEndToEnd(t *testing.T) {
+	in := writeTestCSV(t)
+	dir := filepath.Dir(in)
+	labels := filepath.Join(dir, "labels.csv")
+	decision := filepath.Join(dir, "dg.svg")
+	plot := filepath.Join(dir, "plot.ppm")
+	err := runMain(in, "Approx-DPC", 2500, 3, 0, 15, 1.0, 2, 1, labels, decision, plot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 1500 {
+		t.Errorf("labels file has %d lines, want 1500", len(lines))
+	}
+	for _, f := range []string{decision, plot} {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("artifact %s missing or empty", f)
+		}
+	}
+}
+
+func TestRunMainExplicitThresholds(t *testing.T) {
+	in := writeTestCSV(t)
+	if err := runMain(in, "Ex-DPC", 2500, 3, 12000, 0, 1.0, 2, 1, "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMainValidation(t *testing.T) {
+	in := writeTestCSV(t)
+	cases := []struct {
+		name string
+		err  string
+		fn   func() error
+	}{
+		{"missing input", "-in is required", func() error {
+			return runMain("", "Ex-DPC", 1, 0, 2, 0, 1, 1, 1, "", "", "")
+		}},
+		{"bad dcut", "-dcut", func() error {
+			return runMain(in, "Ex-DPC", 0, 0, 2, 0, 1, 1, 1, "", "", "")
+		}},
+		{"bad algorithm", "unknown algorithm", func() error {
+			return runMain(in, "MagicDPC", 1, 0, 2, 0, 1, 1, 1, "", "", "")
+		}},
+		{"deltamin below dcut", "-deltamin", func() error {
+			return runMain(in, "Ex-DPC", 2500, 0, 100, 0, 1, 1, 1, "", "", "")
+		}},
+		{"missing file", "no such file", func() error {
+			return runMain(filepath.Join(t.TempDir(), "nope.csv"), "Ex-DPC", 1, 0, 2, 0, 1, 1, 1, "", "", "")
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.fn()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.err) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.err)
+		}
+	}
+}
+
+func TestAlgNames(t *testing.T) {
+	names := algNames()
+	if len(names) != 7 {
+		t.Errorf("algNames returned %d entries", len(names))
+	}
+}

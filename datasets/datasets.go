@@ -1,0 +1,69 @@
+// Package datasets exposes the evaluation datasets of the SIGMOD 2021
+// DPC paper: the Syn random-walk synthetic, the S1-S4 Gaussian family,
+// and deterministic synthetic stand-ins for the four real datasets
+// (Airline, Household, PAMAP2, Sensor) that cannot be redistributed —
+// see DESIGN.md §4 for the substitution rationale. CSV and binary I/O
+// round out the package for user-supplied data.
+package datasets
+
+import (
+	"io"
+
+	"repro/internal/data"
+)
+
+// Dataset is a named point set bundled with the paper's default DPC
+// parameters for it (DCut, RhoMin, DeltaMin).
+type Dataset = data.Dataset
+
+// Syn generates the 2-d random-walk dataset (13 density peaks, domain
+// [0,1e5]^2) with the given uniform-noise rate.
+func Syn(n int, noiseRate float64, seed int64) *Dataset { return data.Syn(n, noiseRate, seed) }
+
+// SSet generates an S1-S4 style 15-Gaussian benchmark; grade in 1..4
+// controls cluster overlap.
+func SSet(grade, n int, seed int64) *Dataset { return data.SSet(grade, n, seed) }
+
+// AirlineLike generates the 3-d Airline stand-in (domain [0,1e6]^3).
+func AirlineLike(n int, seed int64) *Dataset { return data.AirlineLike(n, seed) }
+
+// HouseholdLike generates the 4-d Household stand-in (domain [0,1e5]^4).
+func HouseholdLike(n int, seed int64) *Dataset { return data.HouseholdLike(n, seed) }
+
+// PAMAP2Like generates the 4-d PAMAP2 stand-in (domain [0,1e5]^4).
+func PAMAP2Like(n int, seed int64) *Dataset { return data.PAMAP2Like(n, seed) }
+
+// SensorLike generates the 8-d Sensor stand-in (domain [0,1e5]^8).
+func SensorLike(n int, seed int64) *Dataset { return data.SensorLike(n, seed) }
+
+// TwoMoons generates the interleaved half-circles benchmark (classic
+// arbitrary-shape workload for density-based clustering).
+func TwoMoons(n int, radius, noise float64, seed int64) *Dataset {
+	return data.TwoMoons(n, radius, noise, seed)
+}
+
+// Spirals generates `arms` interleaved Archimedean spirals.
+func Spirals(n, arms int, turns, noise float64, seed int64) *Dataset {
+	return data.Spirals(n, arms, turns, noise, seed)
+}
+
+// Sample returns a uniform sample of a dataset at the given rate (0, 1].
+func Sample(d *Dataset, rate float64, seed int64) *Dataset { return data.Sample(d, rate, seed) }
+
+// SaveCSV writes points as comma-separated lines.
+func SaveCSV(w io.Writer, pts [][]float64) error { return data.SaveCSV(w, pts) }
+
+// LoadCSV reads comma/whitespace-separated points; '#' lines are comments.
+func LoadCSV(r io.Reader) ([][]float64, error) { return data.LoadCSV(r) }
+
+// SaveBinary writes points in the compact DPC1 binary format.
+func SaveBinary(w io.Writer, pts [][]float64) error { return data.SaveBinary(w, pts) }
+
+// LoadBinary reads the DPC1 binary format.
+func LoadBinary(r io.Reader) ([][]float64, error) { return data.LoadBinary(r) }
+
+// LoadCSVFile loads a CSV dataset from a path.
+func LoadCSVFile(path string) ([][]float64, error) { return data.LoadCSVFile(path) }
+
+// SaveCSVFile writes a CSV dataset to a path.
+func SaveCSVFile(path string, pts [][]float64) error { return data.SaveCSVFile(path, pts) }

@@ -1,0 +1,40 @@
+// Package dbscan exposes DBSCAN and OPTICS, which the paper uses only as
+// a clustering-quality comparison (Figure 2: DBSCAN merges close Gaussian
+// clusters that DPC separates). See repro/internal/dbscan for the
+// implementation.
+package dbscan
+
+import (
+	internal "repro/internal/dbscan"
+)
+
+// Noise labels noise points.
+const Noise = internal.Noise
+
+// Result is a DBSCAN clustering.
+type Result = internal.Result
+
+// OPTICSPoint is one entry of an OPTICS ordering.
+type OPTICSPoint = internal.OPTICSPoint
+
+// Run executes DBSCAN with radius eps and core threshold minPts.
+func Run(pts [][]float64, eps float64, minPts int) *Result {
+	return internal.Run(pts, eps, minPts)
+}
+
+// OPTICS computes the OPTICS ordering for the given parameters.
+func OPTICS(pts [][]float64, eps float64, minPts int) []OPTICSPoint {
+	return internal.OPTICS(pts, eps, minPts)
+}
+
+// ExtractDBSCAN cuts an OPTICS ordering at a reachability threshold.
+func ExtractDBSCAN(order []OPTICSPoint, epsPrime float64) *Result {
+	return internal.ExtractDBSCAN(order, epsPrime)
+}
+
+// ParamsForK searches the ordering for a threshold yielding exactly k
+// clusters of at least minSize points — the paper's recipe for
+// parameterizing DBSCAN on S2.
+func ParamsForK(order []OPTICSPoint, k, minSize int) (float64, bool) {
+	return internal.ParamsForK(order, k, minSize)
+}

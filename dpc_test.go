@@ -1,0 +1,110 @@
+package dpc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	dpc "repro"
+	"repro/datasets"
+)
+
+func blobs(rng *rand.Rand, k, per int, spacing, sd float64) [][]float64 {
+	var pts [][]float64
+	for c := 0; c < k; c++ {
+		cx := float64(c%3+1) * spacing
+		cy := float64(c/3+1) * spacing
+		for i := 0; i < per; i++ {
+			pts = append(pts, []float64{cx + rng.NormFloat64()*sd, cy + rng.NormFloat64()*sd})
+		}
+	}
+	return pts
+}
+
+func TestPublicQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobs(rng, 6, 150, 200, 8)
+	res, err := dpc.Cluster(pts, dpc.Params{DCut: 20, RhoMin: 4, DeltaMin: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 6 {
+		t.Fatalf("found %d clusters, want 6", res.NumClusters())
+	}
+	for i, l := range res.Labels {
+		if l == dpc.NoCluster {
+			continue
+		}
+		if l < 0 || int(l) >= res.NumClusters() {
+			t.Fatalf("label[%d] = %d out of range", i, l)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	names := []string{"Scan", "R-tree + Scan", "LSH-DDP", "CFSFDP-A", "Ex-DPC", "Approx-DPC", "S-Approx-DPC"}
+	for _, n := range names {
+		alg, ok := dpc.ByName(n)
+		if !ok || alg.Name() != n {
+			t.Errorf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := dpc.ByName("nope"); ok {
+		t.Error("unknown name accepted")
+	}
+	if len(dpc.Algorithms()) != 7 {
+		t.Errorf("Algorithms() returned %d entries", len(dpc.Algorithms()))
+	}
+}
+
+func TestDecisionGraphWorkflow(t *testing.T) {
+	// The Figure 1 workflow: cluster with a permissive DeltaMin, read the
+	// decision graph, pick a threshold for the known k, re-run.
+	ds := datasets.SSet(2, 3000, 42)
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.01}
+	res, err := dpc.ClusterExact(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, ok := dpc.SuggestDeltaMin(res, 15, ds.RhoMin)
+	if !ok {
+		t.Fatal("SuggestDeltaMin failed")
+	}
+	p.DeltaMin = dm
+	res2, err := dpc.Cluster(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NumClusters() != 15 {
+		t.Errorf("decision-graph workflow found %d clusters, want 15", res2.NumClusters())
+	}
+	dg := dpc.DecisionGraph(res)
+	if len(dg) != len(ds.Points) {
+		t.Errorf("decision graph size %d", len(dg))
+	}
+}
+
+func TestMetricsExports(t *testing.T) {
+	a := []int32{0, 0, 1, 1}
+	if dpc.RandIndex(a, a) != 1 || dpc.AdjustedRandIndex(a, a) != 1 || dpc.Purity(a, a) != 1 {
+		t.Error("metric re-exports broken")
+	}
+}
+
+func TestApproxMatchesExactOnDataset(t *testing.T) {
+	ds := datasets.Syn(8000, 0.02, 7)
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Workers: 4}
+	ex, err := dpc.ClusterExact(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := dpc.Cluster(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Centers) != len(ap.Centers) {
+		t.Fatalf("center counts differ: %d vs %d", len(ex.Centers), len(ap.Centers))
+	}
+	if ri := dpc.RandIndex(ex.Labels, ap.Labels); ri < 0.95 {
+		t.Errorf("Approx-DPC Rand index %.3f vs exact, want >= 0.95", ri)
+	}
+}

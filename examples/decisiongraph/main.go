@@ -1,0 +1,89 @@
+// Decision-graph workflow (the paper's Figure 1): when you do not know
+// how many clusters a dataset has, run DPC once with a permissive
+// threshold, inspect the decision graph — cluster centers stick out with
+// large dependent distances — and re-run with the suggested threshold.
+//
+//	go run ./examples/decisiongraph
+//
+// Writes decision_graph.svg and clusters.ppm into the working directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	dpc "repro"
+	"repro/datasets"
+	"repro/visual"
+)
+
+func main() {
+	// S2: 15 Gaussian clusters with moderate overlap, 5000 points.
+	ds := datasets.SSet(2, 5000, 1)
+
+	// Pass 1: permissive DeltaMin just above DCut, so nothing is filtered.
+	probe := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
+	res, err := dpc.ClusterExact(ds.Points, probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The decision graph: the top points by dependent distance.
+	fmt.Println("top of the decision graph (rho, delta):")
+	for i, p := range dpc.DecisionGraph(res)[:18] {
+		delta := fmt.Sprintf("%8.0f", p.Delta)
+		if math.IsInf(p.Delta, 1) {
+			delta = "     inf"
+		}
+		marker := ""
+		if i == 14 {
+			marker = "   <-- elbow: 15 clusters"
+		}
+		fmt.Printf("  %2d. rho=%7.1f delta=%s%s\n", i+1, p.Rho, delta, marker)
+	}
+
+	// Automate the elbow for k=15 and re-run.
+	deltaMin, ok := dpc.SuggestDeltaMin(res, 15, ds.RhoMin)
+	if !ok {
+		log.Fatal("could not suggest a threshold")
+	}
+	fmt.Printf("\nsuggested delta_min: %.0f\n", deltaMin)
+
+	final := probe
+	final.DeltaMin = deltaMin
+	res2, err := dpc.Cluster(ds.Points, final) // Approx-DPC: same centers, parallel
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusters found: %d\n", res2.NumClusters())
+
+	must(writeSVG("decision_graph.svg", res, ds.RhoMin, deltaMin))
+	must(writePPM("clusters.ppm", ds.Points, res2.Labels))
+	fmt.Println("wrote decision_graph.svg and clusters.ppm")
+}
+
+func writeSVG(path string, res *dpc.Result, rhoMin, deltaMin float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return visual.DecisionGraphSVG(f, res, rhoMin, deltaMin, 640, 480)
+}
+
+func writePPM(path string, pts [][]float64, labels []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return visual.ScatterPPM(f, pts, labels, 800, 800)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: cluster a small 2-d point set with Approx-DPC, the
+// library's recommended default, and print the clusters.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	dpc "repro"
+)
+
+func main() {
+	// Three Gaussian blobs plus a few stray points.
+	rng := rand.New(rand.NewSource(7))
+	var pts [][]float64
+	centers := [][]float64{{20, 20}, {80, 25}, {50, 75}}
+	for _, c := range centers {
+		for i := 0; i < 200; i++ {
+			pts = append(pts, []float64{c[0] + rng.NormFloat64()*4, c[1] + rng.NormFloat64()*4})
+		}
+	}
+	pts = append(pts, []float64{5, 95}, []float64{95, 95}, []float64{0, 50})
+
+	res, err := dpc.Cluster(pts, dpc.Params{
+		DCut:     5,  // count neighbors within this radius as local density
+		RhoMin:   4,  // points with fewer neighbors are noise
+		DeltaMin: 20, // cluster centers must be this far from denser points
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters\n", res.NumClusters())
+	for l, center := range res.Centers {
+		size := 0
+		for _, lab := range res.Labels {
+			if lab == int32(l) {
+				size++
+			}
+		}
+		fmt.Printf("  cluster %d: center at (%.1f, %.1f), %d points\n",
+			l, pts[center][0], pts[center][1], size)
+	}
+	noise := 0
+	for _, lab := range res.Labels {
+		if lab == dpc.NoCluster {
+			noise++
+		}
+	}
+	fmt.Printf("  noise: %d points\n", noise)
+	fmt.Printf("timing: rho %.2fms, delta %.2fms\n",
+		float64(res.Timing.Rho.Microseconds())/1000,
+		float64(res.Timing.Delta.Microseconds())/1000)
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/eval"
+)
+
+// Others reproduces the §6 paragraph on the competitors dropped from the
+// main charts: FastDPeak and DPCG are substantially slower than Ex-DPC
+// ("took 8114 and 14390 seconds on Airline"), and CFSFDP-DE's Rand index
+// is far below the other approximations ("0.18 on PAMAP2").
+func (c Config) Others() error {
+	w := c.w()
+	header(w, fmt.Sprintf("Others (§6): dropped competitors (n=%d, %d threads)", c.n(), c.threads()))
+	air := data.AirlineLike(c.n(), c.Seed)
+	pam := data.PAMAP2Like(c.n(), c.Seed)
+	fmt.Fprintf(w, "%-12s %14s %18s\n", "Algorithm", "Airline time[s]", "PAMAP2 Rand index")
+	truthPam, err := run(core.ExDPC{}, pam.Points, c.params(pam))
+	if err != nil {
+		return err
+	}
+	exAir, err := run(core.ExDPC{}, air.Points, c.params(air))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %15.3f %18.3f\n", "Ex-DPC", secs(exAir.Timing.Total()), 1.0)
+	for _, alg := range []core.Algorithm{core.FastDPeak{}, core.DPCG{}, core.CFSFDPDE{}} {
+		resAir, err := run(alg, air.Points, c.params(air))
+		if err != nil {
+			return err
+		}
+		resPam, err := run(alg, pam.Points, c.params(pam))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %15.3f %18.3f\n", alg.Name(),
+			secs(resAir.Timing.Total()), eval.RandIndex(truthPam.Labels, resPam.Labels))
+	}
+	return nil
+}
+
+// AblJoint isolates the joint-range-search design choice (§4.2): the rho
+// phase of Approx-DPC (one expanded search per cell) against the rho
+// phase of Ex-DPC (one search per point) on every dataset. Remark 1
+// predicts the joint version wins, increasingly with density.
+func (c Config) AblJoint() error {
+	w := c.w()
+	header(w, fmt.Sprintf("Ablation: joint range search vs per-point range search (rho phase [s], n=%d)", c.n()))
+	fmt.Fprintf(w, "%-12s %14s %14s %10s\n", "Dataset", "per-point", "joint", "speedup")
+	for _, ds := range c.realDatasets() {
+		p := c.params(ds)
+		ex, err := run(core.ExDPC{}, ds.Points, p)
+		if err != nil {
+			return err
+		}
+		ap, err := run(core.ApproxDPC{}, ds.Points, p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-12s %14.3f %14.3f %9.1fx\n", ds.Name,
+			secs(ex.Timing.Rho), secs(ap.Timing.Rho),
+			secs(ex.Timing.Rho)/secs(ap.Timing.Rho))
+	}
+	return nil
+}
+
+// AblSched isolates the cost-based LPT scheduling choice (§4.5) by
+// running Approx-DPC with LPT, plain dynamic, and static scheduling.
+// Labels are identical across strategies; only time may differ.
+func (c Config) AblSched() error {
+	w := c.w()
+	header(w, fmt.Sprintf("Ablation: Approx-DPC scheduling strategy (total [s], n=%d, %d threads)", c.n(), c.threads()))
+	modes := []struct {
+		name string
+		m    core.SchedMode
+	}{
+		{"LPT (paper)", core.SchedLPT},
+		{"dynamic", core.SchedDynamic},
+		{"static", core.SchedStatic},
+	}
+	fmt.Fprintf(w, "%-12s", "Dataset")
+	for _, m := range modes {
+		fmt.Fprintf(w, " %14s", m.name)
+	}
+	fmt.Fprintln(w)
+	for _, ds := range c.realDatasets() {
+		fmt.Fprintf(w, "%-12s", ds.Name)
+		var ref []int32
+		for _, m := range modes {
+			res, err := run(core.ApproxDPC{Sched: m.m}, ds.Points, c.params(ds))
+			if err != nil {
+				return err
+			}
+			if ref == nil {
+				ref = res.Labels
+			} else if eval.RandIndex(ref, res.Labels) != 1 {
+				return fmt.Errorf("scheduling changed the clustering on %s", ds.Name)
+			}
+			fmt.Fprintf(w, " %14.3f", secs(res.Timing.Total()))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// AblSubsets sweeps the number of density-sorted subsets s in Approx-DPC's
+// exact dependent-point phase around the Equation (2) choice.
+func (c Config) AblSubsets() error {
+	w := c.w()
+	header(w, fmt.Sprintf("Ablation: subset count s in exact dependent phase (delta time [s], n=%d)", c.n()))
+	ds := data.AirlineLike(c.n(), c.Seed)
+	p := c.params(ds)
+	fmt.Fprintf(w, "%-10s %14s\n", "s", "delta [s]")
+	for _, s := range []int{0, 2, 4, 8, 16, 32, 64} {
+		res, err := run(core.ApproxDPC{SubsetS: s}, ds.Points, p)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%d", s)
+		if s == 0 {
+			label = "Eq.(2)"
+		}
+		fmt.Fprintf(w, "%-10s %14.3f\n", label, secs(res.Timing.Delta))
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAssignerBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := grid2D(rng, 2, 200, 300, 10)
+	p := Params{DCut: 25, RhoMin: 4, DeltaMin: 100, Workers: 2}
+	res, err := ExDPC{}.Cluster(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 4 {
+		t.Fatalf("setup: %d clusters", res.NumClusters())
+	}
+	as, err := NewAssigner(pts, res, p.DCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point at a blob center inherits that blob's label.
+	for b := 0; b < 4; b++ {
+		ref := res.Labels[b*200]
+		cx, cy := pts[b*200][0], pts[b*200][1]
+		got, err := as.Assign([]float64{cx + 1, cy + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("blob %d: assigned %d, want %d", b, got, ref)
+		}
+	}
+	// A far-away point becomes noise.
+	if got, _ := as.Assign([]float64{-5000, -5000}); got != NoCluster {
+		t.Errorf("distant point assigned %d, want noise", got)
+	}
+	// Dimension mismatch errors.
+	if _, err := as.Assign([]float64{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestAssignAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := grid2D(rng, 2, 150, 300, 10)
+	p := Params{DCut: 25, RhoMin: 4, DeltaMin: 100, Workers: 2}
+	res, _ := ExDPC{}.Cluster(pts, p)
+	as, _ := NewAssigner(pts, res, p.DCut)
+	batch := [][]float64{{300, 300}, {600, 300}, {-1000, -1000}}
+	labels, err := as.AssignAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 {
+		t.Fatalf("got %d labels", len(labels))
+	}
+	if labels[0] == NoCluster || labels[1] == NoCluster {
+		t.Error("on-blob points must be assigned")
+	}
+	if labels[0] == labels[1] {
+		t.Error("different blobs must get different labels")
+	}
+	if labels[2] != NoCluster {
+		t.Error("distant point must be noise")
+	}
+}
+
+func TestNewAssignerValidation(t *testing.T) {
+	res := &Result{Labels: []int32{0}}
+	if _, err := NewAssigner(nil, res, 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := NewAssigner([][]float64{{1, 2}, {3, 4}}, res, 1); err == nil {
+		t.Error("label/point count mismatch accepted")
+	}
+	if _, err := NewAssigner([][]float64{{1, 2}}, res, 0); err == nil {
+		t.Error("zero dcut accepted")
+	}
+}
+
+func TestSuggestCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := grid2D(rng, 3, 150, 300, 12)
+	p := Params{DCut: 30, RhoMin: 4, DeltaMin: 120, Workers: 2}
+	res, _ := ExDPC{}.Cluster(pts, p)
+	if res.NumClusters() != 9 {
+		t.Fatalf("setup: %d clusters", res.NumClusters())
+	}
+	top := SuggestCenters(res, 9, p.RhoMin)
+	if len(top) != 9 {
+		t.Fatalf("got %d candidates", len(top))
+	}
+	// The gamma top-9 must be exactly the selected centers (as sets).
+	want := map[int32]bool{}
+	for _, c := range res.Centers {
+		want[c] = true
+	}
+	for _, id := range top {
+		if !want[id] {
+			t.Errorf("gamma candidate %d is not a center", id)
+		}
+	}
+	// The global peak (delta = Inf) ranks first.
+	if !want[top[0]] {
+		t.Error("top candidate not a center")
+	}
+	// k larger than candidate pool clamps.
+	all := SuggestCenters(res, len(pts)+10, 0)
+	if len(all) != len(pts) {
+		t.Errorf("clamped k returned %d", len(all))
+	}
+}

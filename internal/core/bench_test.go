@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchDataset is a 3-d hub mixture of 20k points, shared across the
+// per-phase micro-benchmarks (Table 6's decomposition at package level).
+func benchDataset(b *testing.B) ([][]float64, Params) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	pts := make([][]float64, 0, n)
+	for len(pts) < n {
+		cx := float64(rng.Intn(10)) * 10000
+		cy := float64(rng.Intn(10)) * 10000
+		cz := float64(rng.Intn(10)) * 10000
+		pts = append(pts, []float64{
+			cx + rng.NormFloat64()*800,
+			cy + rng.NormFloat64()*800,
+			cz + rng.NormFloat64()*800,
+		})
+	}
+	return pts, Params{DCut: 500, RhoMin: 5, DeltaMin: 2000, Workers: 0, Epsilon: 0.8, Seed: 1}
+}
+
+func benchRun(b *testing.B, alg Algorithm) {
+	pts, p := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Cluster(pts, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreScan(b *testing.B)       { benchRun(b, Scan{}) }
+func BenchmarkCoreRtreeScan(b *testing.B)  { benchRun(b, RtreeScan{}) }
+func BenchmarkCoreLSHDDP(b *testing.B)     { benchRun(b, LSHDDP{}) }
+func BenchmarkCoreCFSFDPA(b *testing.B)    { benchRun(b, CFSFDPA{}) }
+func BenchmarkCoreExDPC(b *testing.B)      { benchRun(b, ExDPC{}) }
+func BenchmarkCoreApproxDPC(b *testing.B)  { benchRun(b, ApproxDPC{}) }
+func BenchmarkCoreSApproxDPC(b *testing.B) { benchRun(b, SApproxDPC{}) }
+func BenchmarkCoreFastDPeak(b *testing.B)  { benchRun(b, FastDPeak{}) }
+func BenchmarkCoreDPCG(b *testing.B)       { benchRun(b, DPCG{}) }
+func BenchmarkCoreCFSFDPDE(b *testing.B)   { benchRun(b, CFSFDPDE{}) }
+
+// BenchmarkApproxDPCSchedulers compares the three scheduling ablations.
+func BenchmarkApproxDPCSchedulers(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		m    SchedMode
+	}{{"LPT", SchedLPT}, {"Dynamic", SchedDynamic}, {"Static", SchedStatic}} {
+		b.Run(tc.name, func(b *testing.B) {
+			benchRun(b, ApproxDPC{Sched: tc.m})
+		})
+	}
+}
+
+// BenchmarkSApproxEpsilon shows the Table 5 time side of the eps trade.
+func BenchmarkSApproxEpsilon(b *testing.B) {
+	for _, eps := range []float64{0.2, 0.5, 1.0} {
+		b.Run(formatEps(eps), func(b *testing.B) {
+			pts, p := benchDataset(b)
+			p.Epsilon = eps
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := (SApproxDPC{}).Cluster(pts, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func formatEps(e float64) string {
+	switch e {
+	case 0.2:
+		return "eps0.2"
+	case 0.5:
+		return "eps0.5"
+	default:
+		return "eps1.0"
+	}
+}
+
+// BenchmarkLabelPropagation isolates the shared finalize step.
+func BenchmarkLabelPropagation(b *testing.B) {
+	pts, p := benchDataset(b)
+	res, err := ExDPC{}.Cluster(pts, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		finalize(res, p)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// finalize performs the steps every algorithm shares after rho/delta/dep
+// are known: noise detection, cluster-center selection (Definitions 4-5),
+// and label propagation along the dependency forest (§2.2 step 4).
+//
+// Labels are assigned by memoized chain following rather than the simpler
+// descending-density sweep because S-Approx-DPC lets a non-picked point
+// depend on a picked point of *lower* density; chain following handles
+// both shapes in O(n).
+func finalize(res *Result, p Params) {
+	n := len(res.Rho)
+	res.Labels = make([]int32, n)
+	const unknown = int32(-2)
+	for i := range res.Labels {
+		res.Labels[i] = unknown
+	}
+
+	// Centers in ascending point-index order so cluster ids are stable
+	// across algorithms that agree on the center set (Theorem 4 checks).
+	res.Centers = res.Centers[:0]
+	for i := 0; i < n; i++ {
+		if res.Rho[i] >= p.RhoMin && res.Delta[i] >= p.DeltaMin {
+			res.Labels[i] = int32(len(res.Centers))
+			res.Centers = append(res.Centers, int32(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if res.Rho[i] < p.RhoMin {
+			res.Labels[i] = NoCluster // noise overrides everything
+		}
+	}
+
+	// Propagate: each unknown point inherits the label at the end of its
+	// dependency chain. Paths are written back so total work is O(n).
+	var path []int32
+	for i := 0; i < n; i++ {
+		if res.Labels[i] != unknown {
+			continue
+		}
+		path = path[:0]
+		cur := int32(i)
+		for res.Labels[cur] == unknown {
+			path = append(path, cur)
+			nxt := res.Dep[cur]
+			if nxt < 0 || len(path) > n {
+				// Headless chain (a density peak that is not a center, or a
+				// defensive cycle guard): everything on it is unclustered.
+				res.Labels[cur] = NoCluster
+				break
+			}
+			cur = nxt
+		}
+		l := res.Labels[cur]
+		for _, q := range path {
+			res.Labels[q] = l
+		}
+	}
+}
+
+// densityOrder returns point indices sorted by descending rho. Every
+// algorithm that scans "points with higher density" uses this order;
+// densities are all distinct thanks to the jitter.
+func densityOrder(rho []float64) []int32 {
+	order := make([]int32, len(rho))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return rho[order[a]] > rho[order[b]] })
+	return order
+}
+
+// scanDelta computes exact dependent points the straightforward way
+// (§2.2 step 3): sort by descending density, then for the point of rank r
+// scan the r points of higher density for the nearest one. Shared by Scan,
+// R-tree+Scan, and CFSFDP-A (the paper swaps CFSFDP-A's own quadratic
+// dependent-distance step for this one). Parallelized per point with
+// dynamic scheduling; cost grows with rank, which static partitioning
+// would balance poorly.
+func scanDelta(pts [][]float64, rho []float64, workers int) (delta []float64, dep []int32) {
+	n := len(pts)
+	delta = make([]float64, n)
+	dep = make([]int32, n)
+	order := densityOrder(rho)
+	peak := order[0]
+	delta[peak] = math.Inf(1)
+	dep[peak] = NoDependent
+	partition.DynamicChunked(n-1, workers, 8, func(k int) {
+		r := k + 1 // rank in the density order
+		i := order[r]
+		pi := pts[i]
+		bestSq := math.Inf(1)
+		best := NoDependent
+		for _, j := range order[:r] {
+			var s float64
+			pj := pts[j]
+			for t := range pi {
+				d := pi[t] - pj[t]
+				s += d * d
+				if s >= bestSq {
+					break
+				}
+			}
+			if s < bestSq {
+				bestSq = s
+				best = j
+			}
+		}
+		delta[i] = math.Sqrt(bestSq)
+		dep[i] = best
+	})
+	return delta, dep
+}
+
+// DecisionPoint is one (rho, delta) pair of the decision graph (Figure 1).
+type DecisionPoint struct {
+	ID    int32
+	Rho   float64
+	Delta float64
+}
+
+// DecisionGraph returns the decision-graph points sorted by descending
+// delta (infinite deltas first), the form users inspect to pick RhoMin and
+// DeltaMin.
+func DecisionGraph(res *Result) []DecisionPoint {
+	out := make([]DecisionPoint, len(res.Rho))
+	for i := range out {
+		out[i] = DecisionPoint{ID: int32(i), Rho: res.Rho[i], Delta: res.Delta[i]}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Delta > out[b].Delta })
+	return out
+}
+
+// SuggestDeltaMin proposes a delta_min that separates the k points of
+// largest dependent distance (the presumed centers) from the rest, by
+// taking the midpoint of the largest-relative gap boundary. Points below
+// rhoMin are ignored, mirroring how an analyst reads the decision graph.
+// It returns (suggestion, ok); ok is false when fewer than k+1 eligible
+// points exist.
+func SuggestDeltaMin(res *Result, k int, rhoMin float64) (float64, bool) {
+	var deltas []float64
+	for i := range res.Delta {
+		if res.Rho[i] >= rhoMin {
+			deltas = append(deltas, res.Delta[i])
+		}
+	}
+	if len(deltas) <= k || k < 1 {
+		return 0, false
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(deltas)))
+	hi, lo := deltas[k-1], deltas[k]
+	if math.IsInf(hi, 1) {
+		// All top-k are infinite; any finite threshold above lo works.
+		return lo * 2, true
+	}
+	return (hi + lo) / 2, true
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHaloTwoTouchingBlobs(t *testing.T) {
+	// Two blobs close enough that their fringes are within d_cut of each
+	// other: the fringe becomes halo, the cores do not.
+	rng := rand.New(rand.NewSource(1))
+	var pts [][]float64
+	for i := 0; i < 400; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+	}
+	for i := 0; i < 400; i++ {
+		pts = append(pts, []float64{55 + rng.NormFloat64()*10, rng.NormFloat64() * 10})
+	}
+	p := Params{DCut: 8, RhoMin: 2, DeltaMin: 25, Workers: 4}
+	res, err := ExDPC{}.Cluster(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Skipf("setup produced %d clusters", res.NumClusters())
+	}
+	halo, err := ComputeHalo(pts, res, p.DCut, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	haloCount := 0
+	for i := range halo {
+		if halo[i] {
+			haloCount++
+			if res.Labels[i] == NoCluster {
+				t.Fatal("noise point marked halo")
+			}
+		}
+	}
+	if haloCount == 0 {
+		t.Error("touching blobs must have a halo")
+	}
+	// Cluster centers (density peaks) are never halo.
+	for _, c := range res.Centers {
+		if halo[c] {
+			t.Errorf("center %d marked halo", c)
+		}
+	}
+}
+
+func TestHaloIsolatedBlobsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := grid2D(rng, 2, 200, 500, 8) // far-apart blobs
+	p := Params{DCut: 20, RhoMin: 2, DeltaMin: 100, Workers: 2}
+	res, _ := ExDPC{}.Cluster(pts, p)
+	halo, err := ComputeHalo(pts, res, p.DCut, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range halo {
+		if h {
+			t.Fatalf("isolated blobs produced halo at %d", i)
+		}
+	}
+}
+
+func TestHaloValidation(t *testing.T) {
+	pts := [][]float64{{1, 1}}
+	res := &Result{Labels: []int32{0, 1}, Rho: []float64{1, 2}}
+	if _, err := ComputeHalo(pts, res, 1, 2); err == nil {
+		t.Error("mismatched result accepted")
+	}
+	res2 := &Result{Labels: []int32{0}, Rho: []float64{1}}
+	if _, err := ComputeHalo(pts, res2, 0, 2); err == nil {
+		t.Error("zero dcut accepted")
+	}
+}
+
+func TestHaloWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var pts [][]float64
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+	}
+	for i := 0; i < 300; i++ {
+		pts = append(pts, []float64{40 + rng.NormFloat64()*10, rng.NormFloat64() * 10})
+	}
+	p := Params{DCut: 8, RhoMin: 2, DeltaMin: 22, Workers: 2}
+	res, _ := ExDPC{}.Cluster(pts, p)
+	a, err := ComputeHalo(pts, res, p.DCut, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeHalo(pts, res, p.DCut, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("halo differs across worker counts at %d", i)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+)
+
+func otherAlgorithms() []Algorithm {
+	return []Algorithm{FastDPeak{}, DPCG{}, CFSFDPDE{}}
+}
+
+func TestOthersBasicContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, _ := gaussianMix(rng, 3, 120, 20, 2, 500, 10)
+	p := Params{DCut: 20, RhoMin: 3, DeltaMin: 60, Workers: 4, Seed: 2}
+	for _, alg := range otherAlgorithms() {
+		res, err := alg.Cluster(pts, p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		if len(res.Rho) != len(pts) || len(res.Labels) != len(pts) {
+			t.Fatalf("%s: wrong result sizes", alg.Name())
+		}
+		k := int32(res.NumClusters())
+		for i, l := range res.Labels {
+			if l < NoCluster || l >= k {
+				t.Fatalf("%s: label[%d]=%d out of range", alg.Name(), i, l)
+			}
+		}
+		if res.Timing.Rho <= 0 || res.Timing.Delta <= 0 {
+			t.Errorf("%s: timing not populated", alg.Name())
+		}
+	}
+}
+
+// TestFastDPeakAndDPCGExactness: both compute Definition-1 densities and
+// (in this implementation) exact dependent points, so their labels must
+// match Scan's exactly.
+func TestFastDPeakAndDPCGMatchScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, _ := gaussianMix(rng, 4, 100, 20, 2, 600, 10)
+	p := Params{DCut: 20, RhoMin: 3, DeltaMin: 70, Workers: 4, Seed: 3}
+	ref, err := Scan{}.Cluster(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{FastDPeak{}, DPCG{}} {
+		res, err := alg.Cluster(pts, p)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		for i := range pts {
+			if res.Rho[i] != ref.Rho[i] {
+				t.Fatalf("%s: rho[%d] = %v, want %v", alg.Name(), i, res.Rho[i], ref.Rho[i])
+			}
+			if !almostEq(res.Delta[i], ref.Delta[i]) {
+				t.Fatalf("%s: delta[%d] = %v, want %v", alg.Name(), i, res.Delta[i], ref.Delta[i])
+			}
+			if res.Labels[i] != ref.Labels[i] {
+				t.Fatalf("%s: label[%d] = %d, want %d", alg.Name(), i, res.Labels[i], ref.Labels[i])
+			}
+		}
+	}
+}
+
+// TestCFSFDPDELowAccuracy: the density-estimate variant should be clearly
+// less accurate than Approx-DPC on a dataset with overlapping structure —
+// the observation that led the paper to drop it.
+func TestCFSFDPDEAccuracyBelowApprox(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := gaussianMix(rng, 6, 200, 100, 2, 800, 25) // overlapping blobs
+	p := Params{DCut: 30, RhoMin: 3, DeltaMin: 95, Workers: 4, Seed: 4}
+	truth, err := ExDPC{}.Cluster(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, _ := ApproxDPC{}.Cluster(pts, p)
+	de, err := CFSFDPDE{}.Cluster(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	riAp := eval.RandIndex(truth.Labels, ap.Labels)
+	riDe := eval.RandIndex(truth.Labels, de.Labels)
+	if riDe > riAp {
+		t.Errorf("CFSFDP-DE (%.3f) should not beat Approx-DPC (%.3f)", riDe, riAp)
+	}
+}
+
+func TestOthersWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, _ := gaussianMix(rng, 3, 80, 10, 2, 400, 10)
+	for _, alg := range otherAlgorithms() {
+		var ref *Result
+		for _, w := range []int{1, 4} {
+			p := Params{DCut: 18, RhoMin: 2, DeltaMin: 60, Workers: w, Seed: 5}
+			res, err := alg.Cluster(pts, p)
+			if err != nil {
+				t.Fatalf("%s: %v", alg.Name(), err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			for i := range pts {
+				if res.Labels[i] != ref.Labels[i] {
+					t.Fatalf("%s: labels differ across worker counts", alg.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestOthersTinyInputs(t *testing.T) {
+	p := Params{DCut: 1, RhoMin: 0, DeltaMin: 2, Workers: 2}
+	for _, alg := range otherAlgorithms() {
+		res, err := alg.Cluster([][]float64{{5, 5}}, p)
+		if err != nil {
+			t.Fatalf("%s single point: %v", alg.Name(), err)
+		}
+		if res.NumClusters() != 1 {
+			t.Errorf("%s: single point gave %d clusters", alg.Name(), res.NumClusters())
+		}
+		if _, err := alg.Cluster(nil, p); err == nil {
+			t.Errorf("%s: empty dataset accepted", alg.Name())
+		}
+	}
+}
+
+func TestFastDPeakKParameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := grid2D(rng, 2, 50, 150, 8)[:100] // two blobs, 50 points each
+	p := Params{DCut: 15, RhoMin: 2, DeltaMin: 50, Workers: 2}
+	for _, k := range []int{1, 8, 500} { // 500 > n exercises clamping
+		res, err := FastDPeak{K: k}.Cluster(pts, p)
+		if err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+		if res.NumClusters() != 2 {
+			t.Errorf("K=%d: %d clusters, want 2", k, res.NumClusters())
+		}
+	}
+}
+
+func TestDPCGHighDimensional(t *testing.T) {
+	// 8-d: the 3^8-cell neighborhoods are the known weakness; correctness
+	// must still hold on a small input.
+	rng := rand.New(rand.NewSource(6))
+	pts, _ := gaussianMix(rng, 2, 60, 5, 8, 300, 15)
+	p := Params{DCut: 60, RhoMin: 2, DeltaMin: 185, Workers: 2}
+	ref, _ := Scan{}.Cluster(pts, p)
+	res, err := DPCG{}.Cluster(pts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if res.Rho[i] != ref.Rho[i] {
+			t.Fatalf("8-d rho[%d] mismatch", i)
+		}
+		if res.Labels[i] != ref.Labels[i] {
+			t.Fatalf("8-d label[%d] mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randomDataset builds a small random mixture for property checks.
+func randomDataset(seed int64, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, 0, n)
+	k := 1 + rng.Intn(4)
+	for len(pts) < n {
+		cx := float64(rng.Intn(k)) * 60
+		cy := float64(rng.Intn(k)) * 60
+		pts = append(pts, []float64{cx + rng.NormFloat64()*7, cy + rng.NormFloat64()*7})
+	}
+	return pts
+}
+
+// Property: Ex-DPC equals Scan on arbitrary inputs (both exact).
+func TestPropertyExEqualsScan(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomDataset(seed, 120)
+		p := Params{DCut: 10, RhoMin: 2, DeltaMin: 35, Workers: 2}
+		a, err1 := Scan{}.Cluster(pts, p)
+		b, err2 := ExDPC{}.Cluster(pts, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range pts {
+			if a.Labels[i] != b.Labels[i] || a.Rho[i] != b.Rho[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for exact algorithms, delta[i] is exactly the distance to
+// dep[i], and dep[i] is strictly denser.
+func TestPropertyDeltaConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomDataset(seed, 100)
+		p := Params{DCut: 10, RhoMin: 1, DeltaMin: 30, Workers: 2}
+		res, err := ExDPC{}.Cluster(pts, p)
+		if err != nil {
+			return false
+		}
+		for i := range pts {
+			dep := res.Dep[i]
+			if dep == NoDependent {
+				if !math.IsInf(res.Delta[i], 1) {
+					return false
+				}
+				continue
+			}
+			if math.Abs(res.Delta[i]-geom.Dist(pts[i], pts[dep])) > 1e-9 {
+				return false
+			}
+			if res.Rho[dep] <= res.Rho[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Approx-DPC's recorded dependent distance never falls below the
+// exact one (it records d_cut for points whose exact delta is <= d_cut
+// and the exact value otherwise) — the inequality behind Theorem 4.
+func TestPropertyApproxDeltaDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomDataset(seed, 150)
+		p := Params{DCut: 10, RhoMin: 1, DeltaMin: 30, Workers: 2}
+		ex, err1 := ExDPC{}.Cluster(pts, p)
+		ap, err2 := ApproxDPC{}.Cluster(pts, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range pts {
+			if math.IsInf(ex.Delta[i], 1) {
+				continue
+			}
+			if ap.Delta[i] < ex.Delta[i]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: label propagation is closed — every non-noise point shares
+// its dependent point's label, for every algorithm.
+func TestPropertyLabelClosure(t *testing.T) {
+	algs := allAlgorithms()
+	f := func(seed int64) bool {
+		pts := randomDataset(seed, 130)
+		p := Params{DCut: 10, RhoMin: 2, DeltaMin: 32, Workers: 2, Epsilon: 0.6, Seed: seed}
+		for _, alg := range algs {
+			res, err := alg.Cluster(pts, p)
+			if err != nil {
+				return false
+			}
+			centerOf := make(map[int32]bool)
+			for _, c := range res.Centers {
+				centerOf[c] = true
+			}
+			for i := range pts {
+				l := res.Labels[i]
+				if l == NoCluster || centerOf[int32(i)] {
+					continue
+				}
+				dep := res.Dep[i]
+				if dep < 0 {
+					return false // non-center, non-noise point without a dependent
+				}
+				if res.Labels[dep] != l {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cluster count equals the number of centers, and centers are
+// exactly the points with delta >= DeltaMin and rho >= RhoMin.
+func TestPropertyCenterDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		pts := randomDataset(seed, 110)
+		p := Params{DCut: 10, RhoMin: 2, DeltaMin: 31, Workers: 2}
+		res, err := ExDPC{}.Cluster(pts, p)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for i := range pts {
+			if res.Rho[i] >= p.RhoMin && res.Delta[i] >= p.DeltaMin {
+				want++
+			}
+		}
+		return res.NumClusters() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: S-Approx-DPC at any epsilon yields a valid partition whose
+// cluster count is at least 1 on non-degenerate data.
+func TestPropertySApproxValidAtAnyEpsilon(t *testing.T) {
+	f := func(seed int64, epsRaw float64) bool {
+		eps := math.Mod(math.Abs(epsRaw), 2.0)
+		if eps < 0.05 || math.IsNaN(eps) {
+			eps = 0.5
+		}
+		pts := randomDataset(seed, 140)
+		p := Params{DCut: 10, RhoMin: 1, DeltaMin: 30, Workers: 2, Epsilon: eps}
+		res, err := SApproxDPC{}.Cluster(pts, p)
+		if err != nil {
+			return false
+		}
+		if res.NumClusters() < 1 {
+			return false
+		}
+		k := int32(res.NumClusters())
+		for _, l := range res.Labels {
+			if l < NoCluster || l >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

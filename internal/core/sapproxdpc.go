@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/grid"
+	"repro/internal/kdtree"
+	"repro/internal/partition"
+)
+
+// SApproxDPC is the paper's tunable approximation algorithm (§5). It
+// converts point clustering into cell clustering: the grid G' has cell
+// side eps*d_cut/sqrt(d), one deterministic "picked" point represents each
+// cell, and only picked points get exact local densities (one range search
+// per cell). Non-picked points simply depend on their cell's picked point,
+// so both the number of range searches and the dependent-point work shrink
+// as eps grows — the time/accuracy trade of Table 5.
+//
+// Picked points resolve their dependent points in two phases: first via
+// occupied neighbor cells N(c) (distance bounded by (1+eps)d_cut), then —
+// for the set P'_pick with no denser picked point nearby — via temporary
+// clusters with triangle-inequality pruning, or the Approx-DPC s-subset
+// method when |P'_pick|^2 exceeds O(n).
+type SApproxDPC struct{}
+
+// Name implements Algorithm.
+func (SApproxDPC) Name() string { return "S-Approx-DPC" }
+
+// Cluster implements Algorithm.
+func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
+	if _, err := validateInput(pts, p); err != nil {
+		return nil, err
+	}
+	n := len(pts)
+	d := len(pts[0])
+	eps := p.epsilon()
+	res := &Result{
+		Rho:   make([]float64, n),
+		Delta: make([]float64, n),
+		Dep:   make([]int32, n),
+	}
+	workers := p.workers()
+
+	start := time.Now()
+	tree := kdtree.BuildAll(pts)
+	g := grid.Build(pts, eps*grid.SideForDCut(p.DCut, d))
+	res.Timing.Build = time.Since(start)
+
+	// Picked point of every cell: the first member in dataset order
+	// ("we can deterministically decide p in an arbitrary way").
+	nc := g.NumCells()
+	picked := make([]int32, nc)
+	for c := range picked {
+		picked[c] = g.Cells[c].Points[0]
+	}
+
+	// Local densities: one range search per cell from the picked point;
+	// N(c) falls out of the same search. Dynamically scheduled like
+	// Ex-DPC's density phase (§5, "Implementation for parallel processing").
+	start = time.Now()
+	partition.Dynamic(nc, workers, func(c int) {
+		cell := &g.Cells[c]
+		pi := picked[c]
+		count := 0
+		seen := make(map[int32]struct{})
+		tree.RangeSearch(pts[pi], p.DCut, func(id int32, _ float64) {
+			count++
+			if xc := g.PointCell[id]; xc != int32(c) {
+				if _, ok := seen[xc]; !ok {
+					seen[xc] = struct{}{}
+					cell.Neighbors = append(cell.Neighbors, xc)
+				}
+			}
+		})
+		res.Rho[pi] = float64(count) + jitter(int(pi))
+	})
+	// Non-picked points inherit the picked density (rho_min is "not
+	// applicable" to them; inheriting makes the noise rule agree with
+	// their representative) and depend on the picked point at a distance
+	// of at most the cell diagonal eps*d_cut. The recorded delta is capped
+	// at d_cut so an eps > 1 cannot fabricate cluster centers.
+	nonPickedDelta := math.Min(eps, 1) * p.DCut
+	partition.Dynamic(nc, workers, func(c int) {
+		pi := picked[c]
+		for _, m := range g.Cells[c].Points {
+			if m == pi {
+				continue
+			}
+			res.Rho[m] = res.Rho[pi]
+			res.Dep[m] = pi
+			res.Delta[m] = nonPickedDelta
+		}
+	})
+	res.Timing.Rho = time.Since(start)
+
+	start = time.Now()
+	// First phase: a picked point takes the nearest denser picked point in
+	// N(c), if any; the distance is bounded by (1+eps)d_cut.
+	const unresolvedMark = int32(-2)
+	partition.Dynamic(nc, workers, func(c int) {
+		pi := picked[c]
+		bestSq := math.Inf(1)
+		best := unresolvedMark
+		for _, nb := range g.Cells[c].Neighbors {
+			pj := picked[nb]
+			if res.Rho[pj] <= res.Rho[pi] {
+				continue
+			}
+			if v := geom.SqDist(pts[pi], pts[pj]); v < bestSq {
+				bestSq, best = v, pj
+			}
+		}
+		res.Dep[pi] = best
+		if best != unresolvedMark {
+			res.Delta[pi] = math.Sqrt(bestSq)
+		}
+	})
+
+	var unresolved []int32 // P'_pick
+	for _, pi := range picked {
+		if res.Dep[pi] == unresolvedMark {
+			unresolved = append(unresolved, pi)
+		}
+	}
+
+	if len(unresolved)*len(unresolved) > 4*n {
+		// |P'_pick|^2 exceeds O(n): fall back to the Approx-DPC exact
+		// machinery restricted to the picked universe.
+		sApproxSubsetFallback(pts, res, picked, unresolved, workers, d)
+	} else {
+		sApproxTemporaryClusters(pts, g, res, picked, unresolved, workers)
+	}
+	res.Timing.Delta = time.Since(start)
+
+	start = time.Now()
+	finalize(res, p)
+	res.Timing.Label = time.Since(start)
+	return res, nil
+}
+
+// sApproxTemporaryClusters implements the second phase of §5: temporary
+// clusters rooted at P'_pick, radii r_i, brute-force nearest denser root
+// p', then triangle-inequality pruning dist(p_i,p_k) - r_k <= dist(p_i,p')
+// over candidate clusters.
+func sApproxTemporaryClusters(pts [][]float64, g *grid.Grid, res *Result, picked, unresolved []int32, workers int) {
+	// Temporary cluster of every picked point = the P'_pick root its
+	// first-phase dependency chain reaches. Memoized chain following.
+	root := make(map[int32]int32, len(picked))
+	var chase func(i int32) int32
+	chase = func(i int32) int32 {
+		if r, ok := root[i]; ok {
+			return r
+		}
+		d := res.Dep[i]
+		var r int32
+		if d < 0 { // unresolved mark or peak: i is itself a root
+			r = i
+		} else {
+			r = chase(d)
+		}
+		root[i] = r
+		return r
+	}
+	members := make(map[int32][]int32, len(unresolved))
+	radius := make(map[int32]float64, len(unresolved))
+	for _, pi := range picked {
+		r := chase(pi)
+		members[r] = append(members[r], pi)
+	}
+	for r, ms := range members {
+		var maxSq float64
+		for _, m := range ms {
+			if v := geom.SqDist(pts[r], pts[m]); v > maxSq {
+				maxSq = v
+			}
+		}
+		radius[r] = math.Sqrt(maxSq)
+	}
+
+	partition.Dynamic(len(unresolved), workers, func(k int) {
+		pi := unresolved[k]
+		// p': nearest root with higher density (brute force over P'_pick).
+		bestSq := math.Inf(1)
+		best := NoDependent
+		for _, pj := range unresolved {
+			if res.Rho[pj] <= res.Rho[pi] {
+				continue
+			}
+			if v, ok := geom.SqDistPartial(pts[pi], pts[pj], bestSq); ok && v < bestSq {
+				bestSq, best = v, pj
+			}
+		}
+		if best == NoDependent {
+			// Global picked-density peak.
+			res.Dep[pi] = NoDependent
+			res.Delta[pi] = math.Inf(1)
+			return
+		}
+		dPrime := math.Sqrt(bestSq)
+		// Prune temporary clusters that cannot beat p', then scan
+		// survivors. Dependency chains always point to denser points, so a
+		// root is the densest member of its cluster and rho_k <= rho_i
+		// prunes the whole cluster; the geometric test is the paper's
+		// dist(p_i, p_k) - r_k > dist(p_i, p').
+		for rt, ms := range members {
+			if res.Rho[rt] <= res.Rho[pi] {
+				continue
+			}
+			if geom.Dist(pts[pi], pts[rt])-radius[rt] > dPrime {
+				continue
+			}
+			for _, m := range ms {
+				if res.Rho[m] <= res.Rho[pi] {
+					continue
+				}
+				if v, ok := geom.SqDistPartial(pts[pi], pts[m], bestSq); ok && (v < bestSq || (v == bestSq && m < best)) {
+					bestSq, best = v, m
+				}
+			}
+		}
+		res.Dep[pi] = best
+		res.Delta[pi] = math.Sqrt(bestSq)
+	})
+}
+
+// sApproxSubsetFallback resolves P'_pick with the Approx-DPC s-subset
+// method over the picked universe: remap picked points into a compact
+// index space, run exactDependents there, and map back.
+func sApproxSubsetFallback(pts [][]float64, res *Result, picked, unresolved []int32, workers, d int) {
+	sub := make([][]float64, len(picked))
+	rho := make([]float64, len(picked))
+	back := make([]int32, len(picked))
+	fwd := make(map[int32]int32, len(picked))
+	for k, pi := range picked {
+		sub[k] = pts[pi]
+		rho[k] = res.Rho[pi]
+		back[k] = pi
+		fwd[pi] = int32(k)
+	}
+	queries := make([]int32, len(unresolved))
+	for k, pi := range unresolved {
+		queries[k] = fwd[pi]
+	}
+	delta := make([]float64, len(picked))
+	dep := make([]int32, len(picked))
+	exactDependents(sub, rho, queries, delta, dep, workers, d)
+	for _, q := range queries {
+		pi := back[q]
+		if dep[q] == NoDependent {
+			res.Dep[pi] = NoDependent
+			res.Delta[pi] = math.Inf(1)
+		} else {
+			res.Dep[pi] = back[dep[q]]
+			res.Delta[pi] = delta[q]
+		}
+	}
+}

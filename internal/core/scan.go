@@ -1,0 +1,62 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/partition"
+)
+
+// Scan is the straightforward O(n^2) algorithm of §2.1: a linear scan per
+// point for local density and the sorted prefix scan for dependent points.
+// Both phases are embarrassingly parallel over points and use dynamic
+// scheduling.
+type Scan struct{}
+
+// Name implements Algorithm.
+func (Scan) Name() string { return "Scan" }
+
+// Cluster implements Algorithm.
+func (Scan) Cluster(pts [][]float64, p Params) (*Result, error) {
+	if _, err := validateInput(pts, p); err != nil {
+		return nil, err
+	}
+	n := len(pts)
+	res := &Result{
+		Rho:   make([]float64, n),
+		Delta: make([]float64, n),
+		Dep:   make([]int32, n),
+	}
+	workers := p.workers()
+	sq := p.DCut * p.DCut
+
+	start := time.Now()
+	partition.DynamicChunked(n, workers, 4, func(i int) {
+		pi := pts[i]
+		count := 0
+		for j := 0; j < n; j++ {
+			pj := pts[j]
+			var s float64
+			for t := range pi {
+				d := pi[t] - pj[t]
+				s += d * d
+				if s >= sq {
+					break
+				}
+			}
+			if s < sq {
+				count++
+			}
+		}
+		res.Rho[i] = float64(count) + jitter(i)
+	})
+	res.Timing.Rho = time.Since(start)
+
+	start = time.Now()
+	res.Delta, res.Dep = scanDelta(pts, res.Rho, workers)
+	res.Timing.Delta = time.Since(start)
+
+	start = time.Now()
+	finalize(res, p)
+	res.Timing.Label = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,145 @@
+// Package core implements the Density-Peaks Clustering framework of
+// Rodriguez & Laio (Science 2014) and the seven algorithms evaluated by
+// Amagata & Hara, "Fast Density-Peaks Clustering: Multicore-based
+// Parallelization Approach" (SIGMOD 2021): the straightforward Scan, the
+// R-tree+Scan variant, the LSH-DDP and CFSFDP-A prior state of the art,
+// and the paper's Ex-DPC, Approx-DPC, and S-Approx-DPC.
+//
+// All algorithms share one contract: given a dataset and Params they fill
+// a Result with per-point local densities (rho), dependent distances
+// (delta), dependent points, cluster centers, and labels, plus decomposed
+// phase timings matching the paper's Table 6.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Params are the DPC inputs shared by every algorithm.
+type Params struct {
+	// DCut is the cutoff distance d_cut of Definition 1.
+	DCut float64
+	// RhoMin is the noise threshold: points with rho < RhoMin are noise
+	// (Definition 4).
+	RhoMin float64
+	// DeltaMin is the cluster-center threshold (Definition 5); it must
+	// exceed DCut.
+	DeltaMin float64
+	// Workers is the number of parallel workers; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Epsilon is S-Approx-DPC's approximation parameter (cell side becomes
+	// eps*d_cut/sqrt(d)); ignored by the other algorithms. <= 0 means 1.
+	Epsilon float64
+	// Seed drives the randomized substrates (LSH projections, k-means++
+	// pivots). The DPC algorithms themselves are deterministic.
+	Seed int64
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.DCut <= 0 {
+		return fmt.Errorf("core: DCut must be positive, got %v", p.DCut)
+	}
+	if p.DeltaMin <= p.DCut {
+		return fmt.Errorf("core: DeltaMin (%v) must exceed DCut (%v) per Definition 5", p.DeltaMin, p.DCut)
+	}
+	if p.RhoMin < 0 {
+		return fmt.Errorf("core: RhoMin must be non-negative, got %v", p.RhoMin)
+	}
+	return nil
+}
+
+func (p Params) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p Params) epsilon() float64 {
+	if p.Epsilon > 0 {
+		return p.Epsilon
+	}
+	return 1
+}
+
+// Timing records the decomposed wall-clock cost of one run; Rho and Delta
+// correspond to the paper's Table 6 columns, Build to index construction,
+// and Label to noise/center selection plus label propagation.
+type Timing struct {
+	Build time.Duration
+	Rho   time.Duration
+	Delta time.Duration
+	Label time.Duration
+}
+
+// Total returns the end-to-end time.
+func (t Timing) Total() time.Duration { return t.Build + t.Rho + t.Delta + t.Label }
+
+// NoCluster is the label of noise points and of points whose dependency
+// chain ends at a noise point.
+const NoCluster = int32(-1)
+
+// NoDependent marks the dependent-point slot of the global density peak.
+const NoDependent = int32(-1)
+
+// Result is the output of one DPC run.
+type Result struct {
+	// Rho holds local densities: the Definition 1 count (including the
+	// point itself) plus a deterministic per-index jitter in (0,1) that
+	// makes all densities distinct, as the paper assumes.
+	Rho []float64
+	// Delta holds dependent distances; +Inf for the global density peak.
+	Delta []float64
+	// Dep holds dependent-point indices; NoDependent for the peak.
+	Dep []int32
+	// Labels holds cluster ids in [0, len(Centers)) or NoCluster.
+	Labels []int32
+	// Centers lists cluster-center point indices; Centers[l] is the center
+	// of cluster l.
+	Centers []int32
+	// Timing is the decomposed cost of the run.
+	Timing Timing
+}
+
+// NumClusters returns the number of clusters found.
+func (r *Result) NumClusters() int { return len(r.Centers) }
+
+// Algorithm is one of the evaluated DPC implementations.
+type Algorithm interface {
+	// Name returns the paper's name for the algorithm, e.g. "Ex-DPC".
+	Name() string
+	// Cluster runs DPC over pts. Implementations must not retain pts.
+	Cluster(pts [][]float64, p Params) (*Result, error)
+}
+
+// jitter returns a deterministic pseudo-random value in (0,1) derived from
+// the point index with a SplitMix64 step. The paper breaks density ties "by
+// adding a random value in (0,1)"; using a deterministic hash keeps every
+// algorithm's densities identical so the cluster-center guarantee of
+// Theorem 4 is exactly reproducible.
+func jitter(i int) float64 {
+	z := uint64(i) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	// 53 mantissa bits; offset by 2^-54 so the value is never exactly 0.
+	return float64(z>>11)/(1<<53) + 1.0/(1<<54)
+}
+
+// validateInput checks the dataset and parameters once per run.
+func validateInput(pts [][]float64, p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	d, err := geom.ValidateDataset(pts)
+	if err != nil {
+		return 0, err
+	}
+	return d, nil
+}

@@ -1,0 +1,156 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// SaveCSV writes the points one-per-line as comma-separated coordinates.
+func SaveCSV(w io.Writer, pts [][]float64) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		for j, v := range p {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads comma- or whitespace-separated points, skipping blank
+// lines and lines starting with '#'. All rows must agree in width.
+func LoadCSV(r io.Reader) ([][]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pts [][]float64
+	width := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t' || r == ';'
+		})
+		p := make([]float64, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
+			}
+			p = append(p, v)
+		}
+		if width == -1 {
+			width = len(p)
+		} else if len(p) != width {
+			return nil, fmt.Errorf("data: line %d has %d columns, want %d", lineNo, len(p), width)
+		}
+		pts = append(pts, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}
+
+// binMagic identifies the binary point format.
+const binMagic = uint32(0x44504331) // "DPC1"
+
+// SaveBinary writes points in a compact little-endian binary format
+// (magic, n, d, then n*d float64s) for fast reload of large datasets.
+func SaveBinary(w io.Writer, pts [][]float64) error {
+	bw := bufio.NewWriter(w)
+	d := 0
+	if len(pts) > 0 {
+		d = len(pts[0])
+	}
+	hdr := []uint32{binMagic, uint32(len(pts)), uint32(d)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8*d)
+	for _, p := range pts {
+		if len(p) != d {
+			return fmt.Errorf("data: ragged dataset (row width %d, want %d)", len(p), d)
+		}
+		for j, v := range p {
+			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadBinary reads the SaveBinary format.
+func LoadBinary(r io.Reader) ([][]float64, error) {
+	br := bufio.NewReader(r)
+	var magic, n, d uint32
+	for _, v := range []*uint32{&magic, &n, &d} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, err
+		}
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("data: bad magic %#x", magic)
+	}
+	if d == 0 && n > 0 {
+		return nil, fmt.Errorf("data: zero-dimensional points")
+	}
+	pts := make([][]float64, n)
+	buf := make([]byte, 8*d)
+	for i := range pts {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("data: truncated at row %d: %w", i, err)
+		}
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// SaveCSVFile and LoadCSVFile are path-based conveniences.
+func SaveCSVFile(path string, pts [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveCSV(f, pts); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSVFile loads a CSV dataset from disk.
+func LoadCSVFile(path string) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCSV(f)
+}

@@ -1,0 +1,63 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestTwoMoons(t *testing.T) {
+	ds := TwoMoons(2000, 100, 4, 1)
+	if len(ds.Points) != 2000 {
+		t.Fatalf("got %d points", len(ds.Points))
+	}
+	if _, err := geom.ValidateDataset(ds.Points); err != nil {
+		t.Fatal(err)
+	}
+	// The two crescents occupy distinct vertical half-planes on average.
+	var upY, downY float64
+	for i, p := range ds.Points {
+		if i%2 == 0 {
+			upY += p[1]
+		} else {
+			downY += p[1]
+		}
+	}
+	if upY <= downY {
+		t.Error("moons do not separate vertically on average")
+	}
+}
+
+func TestSpirals(t *testing.T) {
+	ds := Spirals(3000, 3, 2, 0.3, 1)
+	if n := len(ds.Points); n < 2000 || n > 4500 {
+		t.Fatalf("got %d points, want about 3000", n)
+	}
+	if _, err := geom.ValidateDataset(ds.Points); err != nil {
+		t.Fatal(err)
+	}
+	// Spiral radius stays bounded by turns * 2 pi (plus noise).
+	maxR := 0.0
+	for _, p := range ds.Points {
+		if r := math.Hypot(p[0], p[1]); r > maxR {
+			maxR = r
+		}
+	}
+	if maxR > 4+2*2*2*math.Pi+5 {
+		t.Errorf("spiral radius %v exceeds bound", maxR)
+	}
+	if Spirals(100, 0, 1, 0, 1) == nil {
+		t.Error("arms<1 must be coerced")
+	}
+}
+
+func TestShapesDeterministic(t *testing.T) {
+	a := TwoMoons(500, 50, 2, 9)
+	b := TwoMoons(500, 50, 2, 9)
+	for i := range a.Points {
+		if a.Points[i][0] != b.Points[i][0] {
+			t.Fatal("TwoMoons not deterministic")
+		}
+	}
+}

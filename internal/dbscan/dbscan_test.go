@@ -1,0 +1,232 @@
+package dbscan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func blobs(rng *rand.Rand, centers [][]float64, per int, sd float64) [][]float64 {
+	var pts [][]float64
+	for _, c := range centers {
+		for i := 0; i < per; i++ {
+			p := make([]float64, len(c))
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*sd
+			}
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestDBSCANSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := blobs(rng, [][]float64{{0, 0}, {100, 0}, {0, 100}}, 150, 3)
+	res := Run(pts, 10, 5)
+	if res.NumClusters != 3 {
+		t.Fatalf("found %d clusters, want 3", res.NumClusters)
+	}
+	// Each blob pure.
+	for b := 0; b < 3; b++ {
+		first := res.Labels[b*150]
+		for i := b * 150; i < (b+1)*150; i++ {
+			if res.Labels[i] != first {
+				t.Fatalf("blob %d split", b)
+			}
+		}
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := blobs(rng, [][]float64{{0, 0}}, 200, 2)
+	pts = append(pts, []float64{500, 500}) // isolated
+	res := Run(pts, 8, 5)
+	if res.Labels[200] != Noise {
+		t.Errorf("isolated point labelled %d, want noise", res.Labels[200])
+	}
+	if res.NumClusters != 1 {
+		t.Errorf("clusters = %d, want 1", res.NumClusters)
+	}
+}
+
+func TestDBSCANBorderAdoption(t *testing.T) {
+	// A line of points with spacing just under eps: all density-connected
+	// through cores, forming a single cluster.
+	var pts [][]float64
+	for i := 0; i < 30; i++ {
+		pts = append(pts, []float64{float64(i) * 0.9, 0})
+	}
+	res := Run(pts, 1.0, 3)
+	if res.NumClusters != 1 {
+		t.Fatalf("chain gave %d clusters, want 1", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Errorf("chain point %d labelled %d", i, l)
+		}
+	}
+}
+
+func TestDBSCANMergesCloseBlobsThatDPCSeparates(t *testing.T) {
+	// The Figure 2 phenomenon: two dense blobs connected by a thin bridge
+	// of points. DBSCAN (with eps large enough to make bridge points
+	// core-connected) merges them into one cluster.
+	rng := rand.New(rand.NewSource(3))
+	pts := blobs(rng, [][]float64{{0, 0}, {60, 0}}, 300, 4)
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{3 * float64(i), rng.NormFloat64()})
+	}
+	// Mid-bridge points see exactly 3 neighbors within eps (themselves and
+	// the two adjacent bridge points), so minPts=3 makes the bridge
+	// core-connected.
+	res := Run(pts, 6, 3)
+	majority := func(lo, hi int) int32 {
+		counts := map[int32]int{}
+		for i := lo; i < hi; i++ {
+			counts[res.Labels[i]]++
+		}
+		var best int32
+		bestC := -1
+		for l, c := range counts {
+			if c > bestC {
+				best, bestC = l, c
+			}
+		}
+		return best
+	}
+	if a, b := majority(0, 300), majority(300, 600); a != b || a == Noise {
+		t.Fatalf("bridged blobs kept separate labels %d and %d; DBSCAN should merge them at this eps", a, b)
+	}
+}
+
+func TestDBSCANEmptyAndSingle(t *testing.T) {
+	res := Run(nil, 1, 3)
+	if res.NumClusters != 0 {
+		t.Error("empty input should have 0 clusters")
+	}
+	res = Run([][]float64{{1, 1}}, 1, 1)
+	if res.NumClusters != 1 || res.Labels[0] != 0 {
+		t.Errorf("single point with minPts=1: %+v", res)
+	}
+	res = Run([][]float64{{1, 1}}, 1, 2)
+	if res.Labels[0] != Noise {
+		t.Error("single point with minPts=2 should be noise")
+	}
+}
+
+func TestOPTICSOrderingComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := blobs(rng, [][]float64{{0, 0}, {50, 50}}, 100, 3)
+	order := OPTICS(pts, 15, 5)
+	if len(order) != len(pts) {
+		t.Fatalf("ordering has %d entries, want %d", len(order), len(pts))
+	}
+	seen := make([]bool, len(pts))
+	for _, op := range order {
+		if seen[op.ID] {
+			t.Fatalf("point %d appears twice", op.ID)
+		}
+		seen[op.ID] = true
+	}
+}
+
+func TestOPTICSValleyStructure(t *testing.T) {
+	// Two separated blobs: the ordering must contain a reachability jump
+	// (> blob-internal reachability) where it crosses between blobs.
+	rng := rand.New(rand.NewSource(5))
+	pts := blobs(rng, [][]float64{{0, 0}, {200, 0}}, 120, 3)
+	order := OPTICS(pts, 500, 5)
+	jumps := 0
+	for _, op := range order[1:] {
+		if op.Reachability > 50 {
+			jumps++
+		}
+	}
+	if jumps != 1 {
+		t.Errorf("expected exactly 1 large reachability jump, got %d", jumps)
+	}
+}
+
+func TestExtractDBSCANMatchesRun(t *testing.T) {
+	// Cutting OPTICS at eps' reproduces DBSCAN(eps') cluster structure
+	// (cluster counts match; labels may permute).
+	rng := rand.New(rand.NewSource(6))
+	pts := blobs(rng, [][]float64{{0, 0}, {80, 0}, {0, 80}}, 120, 3)
+	order := OPTICS(pts, 100, 5)
+	ext := ExtractDBSCAN(order, 10)
+	run := Run(pts, 10, 5)
+	if ext.NumClusters != run.NumClusters {
+		t.Fatalf("extract gave %d clusters, Run gave %d", ext.NumClusters, run.NumClusters)
+	}
+	// Non-noise agreement up to relabelling.
+	m := map[int32]int32{}
+	agree := 0
+	for i := range pts {
+		a, b := ext.Labels[i], run.Labels[i]
+		if a == Noise || b == Noise {
+			if a == b {
+				agree++
+			}
+			continue
+		}
+		if mapped, ok := m[a]; ok {
+			if mapped == b {
+				agree++
+			}
+		} else {
+			m[a] = b
+			agree++
+		}
+	}
+	if float64(agree) < 0.95*float64(len(pts)) {
+		t.Errorf("extract/run agreement %d/%d too low", agree, len(pts))
+	}
+}
+
+func TestParamsForK(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := blobs(rng, [][]float64{{0, 0}, {100, 0}, {0, 100}, {100, 100}}, 100, 3)
+	order := OPTICS(pts, 500, 5)
+	eps, ok := ParamsForK(order, 4, 20)
+	if !ok {
+		t.Fatal("no threshold for 4 clusters found")
+	}
+	res := ExtractDBSCAN(order, eps)
+	big := 0
+	counts := map[int32]int{}
+	for _, l := range res.Labels {
+		if l != Noise {
+			counts[l]++
+		}
+	}
+	for _, c := range counts {
+		if c >= 20 {
+			big++
+		}
+	}
+	if big != 4 {
+		t.Errorf("threshold %v yields %d big clusters, want 4", eps, big)
+	}
+}
+
+func TestOPTICSCoreDistMonotoneInMinPts(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts := blobs(rng, [][]float64{{0, 0}}, 150, 5)
+	o3 := OPTICS(pts, 100, 3)
+	o9 := OPTICS(pts, 100, 9)
+	cd3 := make([]float64, len(pts))
+	cd9 := make([]float64, len(pts))
+	for _, op := range o3 {
+		cd3[op.ID] = op.CoreDist
+	}
+	for _, op := range o9 {
+		cd9[op.ID] = op.CoreDist
+	}
+	for i := range pts {
+		if !math.IsInf(cd9[i], 1) && cd9[i] < cd3[i]-1e-9 {
+			t.Fatalf("core distance must grow with minPts at %d: %v < %v", i, cd9[i], cd3[i])
+		}
+	}
+}

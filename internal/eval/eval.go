@@ -1,0 +1,139 @@
+// Package eval provides the measurement machinery of the paper's
+// experiments: the Rand index used for all accuracy tables (ground truth
+// is Ex-DPC's labelling), the adjusted Rand index, purity, and
+// memory-usage measurement for Table 7.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// contingency builds the joint label-count table; noise labels (-1) are
+// treated as one ordinary class, as the paper's Rand-index comparisons of
+// full labelings imply.
+func contingency(a, b []int32) (map[[2]int32]float64, map[int32]float64, map[int32]float64) {
+	joint := make(map[[2]int32]float64)
+	ma := make(map[int32]float64)
+	mb := make(map[int32]float64)
+	for i := range a {
+		joint[[2]int32{a[i], b[i]}]++
+		ma[a[i]]++
+		mb[b[i]]++
+	}
+	return joint, ma, mb
+}
+
+func choose2(x float64) float64 { return x * (x - 1) / 2 }
+
+// RandIndex returns the Rand index of two labelings in [0, 1]; 1 means
+// identical partitions. It runs in O(n + k_a * k_b) via the contingency
+// table, so it is usable at the paper's dataset sizes.
+func RandIndex(a, b []int32) float64 {
+	if len(a) != len(b) {
+		panic("eval: label slices of different lengths")
+	}
+	n := float64(len(a))
+	if n < 2 {
+		return 1
+	}
+	joint, ma, mb := contingency(a, b)
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ma {
+		sumA += choose2(c)
+	}
+	for _, c := range mb {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	// Disagreements: pairs together in one partition but not the other.
+	disagree := sumA + sumB - 2*sumJoint
+	return 1 - disagree/total
+}
+
+// AdjustedRandIndex returns the chance-corrected Rand index (Hubert &
+// Arabie); 1 for identical partitions, ~0 for independent ones.
+func AdjustedRandIndex(a, b []int32) float64 {
+	if len(a) != len(b) {
+		panic("eval: label slices of different lengths")
+	}
+	n := float64(len(a))
+	if n < 2 {
+		return 1
+	}
+	joint, ma, mb := contingency(a, b)
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ma {
+		sumA += choose2(c)
+	}
+	for _, c := range mb {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	max := (sumA + sumB) / 2
+	if max == expected {
+		return 1
+	}
+	return (sumJoint - expected) / (max - expected)
+}
+
+// Purity returns the fraction of points whose predicted cluster's majority
+// true label matches their own true label.
+func Purity(truth, pred []int32) float64 {
+	if len(truth) != len(pred) {
+		panic("eval: label slices of different lengths")
+	}
+	if len(truth) == 0 {
+		return 1
+	}
+	counts := make(map[int32]map[int32]float64)
+	for i := range pred {
+		m, ok := counts[pred[i]]
+		if !ok {
+			m = make(map[int32]float64)
+			counts[pred[i]] = m
+		}
+		m[truth[i]]++
+	}
+	var correct float64
+	for _, m := range counts {
+		best := 0.0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return correct / float64(len(truth))
+}
+
+// MeasureMem runs fn and returns the peak live-heap growth it caused, in
+// bytes, mirroring the paper's Table 7 per-algorithm memory comparison.
+// The measurement triggers GC before and after, so it reports retained
+// allocations of fn's result plus transient structures still live at the
+// end; it is inherently approximate under Go's GC.
+func MeasureMem(fn func()) uint64 {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc <= before.HeapAlloc {
+		return 0
+	}
+	return after.HeapAlloc - before.HeapAlloc
+}
+
+// FormatMB renders bytes as a Table 7 style megabyte string.
+func FormatMB(b uint64) string {
+	return fmt.Sprintf("%.0f", float64(b)/(1<<20))
+}

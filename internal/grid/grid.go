@@ -1,0 +1,210 @@
+// Package grid implements the on-line built uniform grid of the paper's
+// approximation algorithms (§4.1, §5).
+//
+// A grid with side length L partitions R^d into axis-aligned cells of edge
+// L; only non-empty cells are materialized ("no empty-cell is created").
+// Approx-DPC uses L = d_cut/sqrt(d), so any two points in one cell are
+// within d_cut of each other; S-Approx-DPC uses L = eps*d_cut/sqrt(d).
+//
+// Each cell carries the bookkeeping fields the algorithms maintain: the
+// member points P(c), the maximum-density member p*(c), the minimum member
+// density, and the neighbor-cell id set N(c). The grid itself only manages
+// membership and coordinates; the clustering algorithms fill the rest
+// during their local-density phase, exactly as described in the paper.
+package grid
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Cell is one non-empty grid cell.
+type Cell struct {
+	// Coords are the integer cell coordinates (floor(p/side) per dim).
+	Coords []int64
+	// Points are dataset indices of the members P(c).
+	Points []int32
+	// Best is p*(c), the member with maximum local density; -1 until the
+	// owning algorithm sets it.
+	Best int32
+	// MinRho is min_{P(c)} rho; meaningless until set by the algorithm.
+	MinRho float64
+	// Neighbors is N(c): ids of cells containing points p with
+	// dist(p*(c), p) < d_cut that are not members of c.
+	Neighbors []int32
+}
+
+// Grid is a sparse uniform grid over a dataset.
+type Grid struct {
+	Side  float64
+	Dim   int
+	Cells []Cell
+	// PointCell maps every dataset index to the id of its cell.
+	PointCell []int32
+	index     map[string]int32
+	keyBuf    []byte
+	// coordLo/coordHi bound the occupied cell coordinates per dimension
+	// (valid when at least one cell exists); MaxRing uses them.
+	coordLo, coordHi []int64
+}
+
+// Build maps every point of pts into a grid with the given cell side
+// length, creating cells on first touch in dataset order (so cell ids and
+// member orders are deterministic).
+func Build(pts [][]float64, side float64) *Grid {
+	if side <= 0 {
+		panic("grid: non-positive side length")
+	}
+	d := 0
+	if len(pts) > 0 {
+		d = len(pts[0])
+	}
+	g := &Grid{
+		Side:      side,
+		Dim:       d,
+		PointCell: make([]int32, len(pts)),
+		index:     make(map[string]int32),
+		keyBuf:    make([]byte, 8*d),
+	}
+	g.coordLo = make([]int64, d)
+	g.coordHi = make([]int64, d)
+	coords := make([]int64, d)
+	for i, p := range pts {
+		g.coordsOf(p, coords)
+		if i == 0 {
+			copy(g.coordLo, coords)
+			copy(g.coordHi, coords)
+		} else {
+			for j, v := range coords {
+				if v < g.coordLo[j] {
+					g.coordLo[j] = v
+				}
+				if v > g.coordHi[j] {
+					g.coordHi[j] = v
+				}
+			}
+		}
+		id := g.lookupOrCreate(coords)
+		g.Cells[id].Points = append(g.Cells[id].Points, int32(i))
+		g.PointCell[i] = id
+	}
+	return g
+}
+
+// SideForDCut returns the Approx-DPC cell edge d_cut/sqrt(d), which makes
+// the cell diagonal exactly d_cut so that any two points sharing a cell are
+// within d_cut of each other.
+func SideForDCut(dcut float64, d int) float64 {
+	return dcut / math.Sqrt(float64(d))
+}
+
+// NumCells returns the number of non-empty cells.
+func (g *Grid) NumCells() int { return len(g.Cells) }
+
+// coordsOf writes floor(p/side) per dimension into out.
+func (g *Grid) coordsOf(p []float64, out []int64) {
+	for j := range p {
+		out[j] = int64(math.Floor(p[j] / g.Side))
+	}
+}
+
+// key encodes coords using the grid's build-time buffer. It is NOT safe
+// for concurrent use; Build is the only caller. Concurrent readers go
+// through keyInto with their own buffer.
+func (g *Grid) key(coords []int64) string {
+	return keyInto(g.keyBuf, coords)
+}
+
+// keyInto encodes coords into buf (len >= 8*len(coords)) and returns the
+// map key. Safe for concurrent use with distinct buffers.
+func keyInto(buf []byte, coords []int64) string {
+	for j, c := range coords {
+		binary.LittleEndian.PutUint64(buf[8*j:], uint64(c))
+	}
+	return string(buf[:8*len(coords)])
+}
+
+func (g *Grid) lookupOrCreate(coords []int64) int32 {
+	k := g.key(coords)
+	if id, ok := g.index[k]; ok {
+		return id
+	}
+	id := int32(len(g.Cells))
+	cc := make([]int64, len(coords))
+	copy(cc, coords)
+	g.Cells = append(g.Cells, Cell{Coords: cc, Best: -1})
+	g.index[k] = id
+	return id
+}
+
+// CellID returns the id of the cell containing p, or -1 when that cell is
+// empty (was never created).
+func (g *Grid) CellID(p []float64) int32 {
+	coords := make([]int64, g.Dim)
+	g.coordsOf(p, coords)
+	return g.CellIDAt(coords)
+}
+
+// CellIDAt returns the id of the cell with the given integer coordinates,
+// or -1 when it does not exist.
+func (g *Grid) CellIDAt(coords []int64) int32 {
+	buf := make([]byte, 8*g.Dim)
+	if id, ok := g.index[keyInto(buf, coords)]; ok {
+		return id
+	}
+	return -1
+}
+
+// Center returns the center point of cell c (cp_i in the paper's joint
+// range search).
+func (g *Grid) Center(c int32) []float64 {
+	cell := &g.Cells[c]
+	cp := make([]float64, g.Dim)
+	for j, v := range cell.Coords {
+		cp[j] = (float64(v) + 0.5) * g.Side
+	}
+	return cp
+}
+
+// ForEachNeighborCell invokes fn with the id of every existing cell whose
+// integer coordinates differ from cell c's by at most `reach` in every
+// dimension, excluding c itself. It is used by tests and by algorithms
+// that enumerate the O(1)-size candidate neighborhood for fixed d.
+func (g *Grid) ForEachNeighborCell(c int32, reach int64, fn func(id int32)) {
+	base := g.Cells[c].Coords
+	// When the coordinate neighborhood (2*reach+1)^d outnumbers the
+	// occupied cells (common in high dimensions), scan the occupied cells
+	// instead of enumerating coordinates.
+	if vol, ok := hypercubeVolume(2*reach+1, g.Dim); !ok || vol > int64(len(g.Cells)) {
+		for id := range g.Cells {
+			if int32(id) == c {
+				continue
+			}
+			if chebyshev(g.Cells[id].Coords, base) <= reach {
+				fn(int32(id))
+			}
+		}
+		return
+	}
+	cur := make([]int64, g.Dim)
+	copy(cur, base)
+	buf := make([]byte, 8*g.Dim)
+	var rec func(dim int, moved bool)
+	rec = func(dim int, moved bool) {
+		if dim == g.Dim {
+			if !moved {
+				return
+			}
+			if id, ok := g.index[keyInto(buf, cur)]; ok {
+				fn(id)
+			}
+			return
+		}
+		for dv := -reach; dv <= reach; dv++ {
+			cur[dim] = base[dim] + dv
+			rec(dim+1, moved || dv != 0)
+		}
+		cur[dim] = base[dim]
+	}
+	rec(0, false)
+}

@@ -1,0 +1,190 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestBuildMembership(t *testing.T) {
+	pts := [][]float64{
+		{0.5, 0.5},   // cell (0,0)
+		{0.9, 0.1},   // cell (0,0)
+		{1.5, 0.5},   // cell (1,0)
+		{-0.5, -0.5}, // cell (-1,-1)
+	}
+	g := Build(pts, 1.0)
+	if g.NumCells() != 3 {
+		t.Fatalf("NumCells = %d, want 3", g.NumCells())
+	}
+	if g.PointCell[0] != g.PointCell[1] {
+		t.Error("points 0 and 1 should share a cell")
+	}
+	if g.PointCell[0] == g.PointCell[2] || g.PointCell[0] == g.PointCell[3] {
+		t.Error("distinct cells expected")
+	}
+	// Every point must be in the member list of its cell.
+	for i := range pts {
+		found := false
+		for _, m := range g.Cells[g.PointCell[i]].Points {
+			if m == int32(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("point %d missing from its cell member list", i)
+		}
+	}
+}
+
+func TestCellID(t *testing.T) {
+	pts := [][]float64{{0.5, 0.5}}
+	g := Build(pts, 1.0)
+	if id := g.CellID([]float64{0.2, 0.7}); id != g.PointCell[0] {
+		t.Errorf("CellID of co-resident point = %d, want %d", id, g.PointCell[0])
+	}
+	if id := g.CellID([]float64{5, 5}); id != -1 {
+		t.Errorf("CellID of empty region = %d, want -1", id)
+	}
+	if id := g.CellIDAt([]int64{0, 0}); id != g.PointCell[0] {
+		t.Errorf("CellIDAt = %d", id)
+	}
+}
+
+func TestCellDiagonalProperty(t *testing.T) {
+	// With side = d_cut/sqrt(d), any two points in the same cell are within
+	// d_cut of each other. This is the correctness basis of Approx-DPC's
+	// in-cell dependent-point rule.
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []int{1, 2, 3, 8} {
+		dcut := 10.0
+		side := SideForDCut(dcut, d)
+		pts := make([][]float64, 500)
+		for i := range pts {
+			p := make([]float64, d)
+			for j := range p {
+				p[j] = rng.Float64()*100 - 50
+			}
+			pts[i] = p
+		}
+		g := Build(pts, side)
+		for _, c := range g.Cells {
+			for _, a := range c.Points {
+				for _, b := range c.Points {
+					if dist := geom.Dist(pts[a], pts[b]); dist > dcut+1e-9 {
+						t.Fatalf("d=%d: co-cell points at distance %v > d_cut %v", d, dist, dcut)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCenter(t *testing.T) {
+	pts := [][]float64{{2.5, 3.5}}
+	g := Build(pts, 1.0)
+	c := g.Center(g.PointCell[0])
+	if c[0] != 2.5 || c[1] != 3.5 {
+		t.Errorf("Center = %v, want [2.5 3.5]", c)
+	}
+	// The center must be within half the cell diagonal of every member.
+	half := g.Side * math.Sqrt(2) / 2
+	if geom.Dist(c, pts[0]) > half+1e-12 {
+		t.Errorf("center too far from member")
+	}
+}
+
+func TestNegativeCoords(t *testing.T) {
+	pts := [][]float64{{-0.1, -0.1}, {-0.9, -0.9}, {0.1, 0.1}}
+	g := Build(pts, 1.0)
+	if g.PointCell[0] != g.PointCell[1] {
+		t.Error("both negative points belong to cell (-1,-1)")
+	}
+	if g.PointCell[0] == g.PointCell[2] {
+		t.Error("cells (-1,-1) and (0,0) must differ")
+	}
+}
+
+func TestForEachNeighborCell(t *testing.T) {
+	// 3x3 block of occupied cells; the center cell has 8 neighbors at
+	// reach 1 and itself is excluded.
+	var pts [][]float64
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			pts = append(pts, []float64{float64(x) + 0.5, float64(y) + 0.5})
+		}
+	}
+	g := Build(pts, 1.0)
+	center := g.CellIDAt([]int64{1, 1})
+	if center < 0 {
+		t.Fatal("center cell missing")
+	}
+	seen := map[int32]bool{}
+	g.ForEachNeighborCell(center, 1, func(id int32) {
+		if seen[id] {
+			t.Fatalf("neighbor %d visited twice", id)
+		}
+		seen[id] = true
+	})
+	if len(seen) != 8 {
+		t.Errorf("neighbors = %d, want 8", len(seen))
+	}
+	if seen[center] {
+		t.Error("center must be excluded")
+	}
+	// Corner cell has only 3 neighbors.
+	corner := g.CellIDAt([]int64{0, 0})
+	count := 0
+	g.ForEachNeighborCell(corner, 1, func(int32) { count++ })
+	if count != 3 {
+		t.Errorf("corner neighbors = %d, want 3", count)
+	}
+}
+
+func TestDeterministicCellOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([][]float64, 300)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 20, rng.Float64() * 20}
+	}
+	a := Build(pts, 1.5)
+	b := Build(pts, 1.5)
+	if a.NumCells() != b.NumCells() {
+		t.Fatal("cell counts differ between identical builds")
+	}
+	for i := range a.Cells {
+		if len(a.Cells[i].Points) != len(b.Cells[i].Points) {
+			t.Fatalf("cell %d member counts differ", i)
+		}
+		for j := range a.Cells[i].Points {
+			if a.Cells[i].Points[j] != b.Cells[i].Points[j] {
+				t.Fatalf("cell %d member order differs", i)
+			}
+		}
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	g := Build(nil, 1.0)
+	if g.NumCells() != 0 {
+		t.Errorf("NumCells = %d", g.NumCells())
+	}
+}
+
+func TestAllPointsAssigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([][]float64, 1000)
+	for i := range pts {
+		pts[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+	}
+	g := Build(pts, 2.0)
+	total := 0
+	for _, c := range g.Cells {
+		total += len(c.Points)
+	}
+	if total != len(pts) {
+		t.Errorf("sum of cell members = %d, want %d", total, len(pts))
+	}
+}

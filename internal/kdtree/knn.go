@@ -1,0 +1,125 @@
+package kdtree
+
+import (
+	"math"
+)
+
+// KNN returns the k nearest tree points to q as (ids, sqDists), ordered
+// by ascending distance. Fewer than k results are returned when the tree
+// is smaller. It is used by the FastDPeak baseline, whose local density is
+// derived from the k-NN distance.
+func (t *Tree) KNN(q []float64, k int) ([]int32, []float64) {
+	if k <= 0 || t.root == nilNode {
+		return nil, nil
+	}
+	h := &maxHeap{cap: k}
+	t.knn(t.root, q, h)
+	// Extract in ascending order.
+	ids := make([]int32, len(h.items))
+	sqs := make([]float64, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		it := h.popMax()
+		ids[i] = it.id
+		sqs[i] = it.sq
+	}
+	return ids, sqs
+}
+
+func (t *Tree) knn(cur int32, q []float64, h *maxHeap) {
+	nd := &t.nodes[cur]
+	p := t.pts[nd.pt]
+	var sq float64
+	for i := range q {
+		d := q[i] - p[i]
+		sq += d * d
+	}
+	h.offer(nd.pt, sq)
+	ax := q[nd.dim] - p[nd.dim]
+	near, far := nd.l, nd.r
+	if ax >= 0 {
+		near, far = nd.r, nd.l
+	}
+	if near != nilNode {
+		t.knn(near, q, h)
+	}
+	if far != nilNode && (len(h.items) < h.cap || ax*ax < h.items[0].sq) {
+		t.knn(far, q, h)
+	}
+}
+
+type knnItem struct {
+	sq float64
+	id int32
+}
+
+// maxHeap keeps the k smallest squared distances seen, with the largest
+// at the root for O(log k) replacement.
+type maxHeap struct {
+	items []knnItem
+	cap   int
+}
+
+func (h *maxHeap) offer(id int32, sq float64) {
+	if len(h.items) < h.cap {
+		h.items = append(h.items, knnItem{sq: sq, id: id})
+		h.siftUp(len(h.items) - 1)
+		return
+	}
+	if sq >= h.items[0].sq {
+		return
+	}
+	h.items[0] = knnItem{sq: sq, id: id}
+	h.siftDown(0)
+}
+
+func (h *maxHeap) popMax() knnItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *maxHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].sq >= h.items[i].sq {
+			return
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *maxHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.items[l].sq > h.items[big].sq {
+			big = l
+		}
+		if r < n && h.items[r].sq > h.items[big].sq {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+}
+
+// kthNearestSq returns the squared distance to the k-th nearest tree
+// point (or +Inf when the tree has fewer than k points). Convenience for
+// density-by-kNN estimators.
+func (t *Tree) KthNearestSq(q []float64, k int) float64 {
+	_, sqs := t.KNN(q, k)
+	if len(sqs) < k {
+		return math.Inf(1)
+	}
+	return sqs[k-1]
+}

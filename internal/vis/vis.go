@@ -1,0 +1,169 @@
+// Package vis renders the paper's 2-D figures without external
+// dependencies: cluster scatter plots (Figure 2, Figure 6) as PPM images
+// or SVG documents, and decision graphs (Figure 1) as SVG.
+package vis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// palette holds visually distinct colors for cluster labels; noise is
+// drawn gray. Labels beyond the palette wrap around.
+var palette = [][3]uint8{
+	{230, 25, 75}, {60, 180, 75}, {0, 130, 200}, {245, 130, 48},
+	{145, 30, 180}, {70, 240, 240}, {240, 50, 230}, {210, 245, 60},
+	{250, 190, 212}, {0, 128, 128}, {220, 190, 255}, {170, 110, 40},
+	{128, 0, 0}, {128, 128, 0}, {0, 0, 128}, {255, 215, 180},
+}
+
+const noiseGray = 200
+
+// Color returns the RGB color for a cluster label.
+func Color(label int32) [3]uint8 {
+	if label < 0 {
+		return [3]uint8{noiseGray, noiseGray, noiseGray}
+	}
+	return palette[int(label)%len(palette)]
+}
+
+// ScatterPPM writes a width x height binary PPM (P6) scatter plot of the
+// 2-d points colored by label. Points beyond two dimensions use their
+// first two coordinates.
+func ScatterPPM(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
+	if width <= 0 || height <= 0 {
+		return fmt.Errorf("vis: non-positive image size %dx%d", width, height)
+	}
+	if len(pts) != len(labels) {
+		return fmt.Errorf("vis: %d points but %d labels", len(pts), len(labels))
+	}
+	minX, maxX, minY, maxY := bounds2(pts)
+	img := make([]uint8, 3*width*height)
+	for i := range img {
+		img[i] = 255
+	}
+	set := func(x, y int, c [3]uint8) {
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return
+		}
+		o := 3 * (y*width + x)
+		img[o], img[o+1], img[o+2] = c[0], c[1], c[2]
+	}
+	for i, p := range pts {
+		x := scale(p[0], minX, maxX, width)
+		y := height - 1 - scale(p[1], minY, maxY, height)
+		c := Color(labels[i])
+		set(x, y, c)
+		set(x+1, y, c)
+		set(x, y+1, c)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	if _, err := bw.Write(img); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ScatterSVG writes an SVG scatter plot of the 2-d points colored by label.
+func ScatterSVG(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
+	if len(pts) != len(labels) {
+		return fmt.Errorf("vis: %d points but %d labels", len(pts), len(labels))
+	}
+	minX, maxX, minY, maxY := bounds2(pts)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	for i, p := range pts {
+		x := scale(p[0], minX, maxX, width)
+		y := height - 1 - scale(p[1], minY, maxY, height)
+		c := Color(labels[i])
+		fmt.Fprintf(bw, `<circle cx="%d" cy="%d" r="1.4" fill="rgb(%d,%d,%d)"/>`+"\n", x, y, c[0], c[1], c[2])
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+// DecisionGraphSVG renders (rho, delta) pairs as the paper's Figure 1(b):
+// local density on the x axis, dependent distance on the y axis. Infinite
+// deltas are drawn at the top edge. Points selected as centers (delta >=
+// deltaMin and rho >= rhoMin) are highlighted red.
+func DecisionGraphSVG(w io.Writer, rho, delta []float64, rhoMin, deltaMin float64, width, height int) error {
+	if len(rho) != len(delta) {
+		return fmt.Errorf("vis: %d rho but %d delta", len(rho), len(delta))
+	}
+	maxRho, maxDelta := 1.0, 1.0
+	for i := range rho {
+		if rho[i] > maxRho {
+			maxRho = rho[i]
+		}
+		if !math.IsInf(delta[i], 1) && delta[i] > maxDelta {
+			maxDelta = delta[i]
+		}
+	}
+	maxDelta *= 1.05
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	// Threshold guides.
+	ty := height - 1 - scale(deltaMin, 0, maxDelta, height)
+	fmt.Fprintf(bw, `<line x1="0" y1="%d" x2="%d" y2="%d" stroke="lightgray" stroke-dasharray="4"/>`+"\n", ty, width, ty)
+	for i := range rho {
+		dv := delta[i]
+		if math.IsInf(dv, 1) {
+			dv = maxDelta
+		}
+		x := scale(rho[i], 0, maxRho, width)
+		y := height - 1 - scale(dv, 0, maxDelta, height)
+		color := "rgb(0,130,200)"
+		if rho[i] >= rhoMin && delta[i] >= deltaMin {
+			color = "rgb(230,25,75)"
+		}
+		fmt.Fprintf(bw, `<circle cx="%d" cy="%d" r="2" fill="%s"/>`+"\n", x, y, color)
+	}
+	fmt.Fprint(bw, "</svg>\n")
+	return bw.Flush()
+}
+
+func bounds2(pts [][]float64) (minX, maxX, minY, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		if p[0] < minX {
+			minX = p[0]
+		}
+		if p[0] > maxX {
+			maxX = p[0]
+		}
+		if p[1] < minY {
+			minY = p[1]
+		}
+		if p[1] > maxY {
+			maxY = p[1]
+		}
+	}
+	if len(pts) == 0 {
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	return
+}
+
+func scale(v, lo, hi float64, size int) int {
+	if hi <= lo {
+		return size / 2
+	}
+	// Clamp before the int conversion: a float-to-int overflow is
+	// implementation-defined in Go.
+	f := (v - lo) / (hi - lo) * float64(size-1)
+	if f < 0 {
+		f = 0
+	}
+	if f > float64(size-1) {
+		f = float64(size - 1)
+	}
+	return int(f)
+}

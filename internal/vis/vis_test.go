@@ -1,0 +1,113 @@
+package vis
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestColor(t *testing.T) {
+	if Color(-1) != [3]uint8{200, 200, 200} {
+		t.Error("noise must be gray")
+	}
+	if Color(0) == Color(1) {
+		t.Error("distinct labels must differ")
+	}
+	if Color(0) != Color(int32(len(palette))) {
+		t.Error("palette must wrap")
+	}
+}
+
+func TestScatterPPM(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
+	labels := []int32{0, 1, -1}
+	var buf bytes.Buffer
+	if err := ScatterPPM(&buf, pts, labels, 64, 48); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P6\n64 48\n255\n")) {
+		t.Fatalf("bad PPM header: %q", out[:16])
+	}
+	want := len("P6\n64 48\n255\n") + 3*64*48
+	if len(out) != want {
+		t.Errorf("PPM size %d, want %d", len(out), want)
+	}
+	// Some pixel must be non-white.
+	body := out[len(out)-3*64*48:]
+	nonWhite := false
+	for _, b := range body {
+		if b != 255 {
+			nonWhite = true
+			break
+		}
+	}
+	if !nonWhite {
+		t.Error("no points drawn")
+	}
+}
+
+func TestScatterPPMErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScatterPPM(&buf, [][]float64{{0, 0}}, []int32{0, 1}, 10, 10); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+	if err := ScatterPPM(&buf, nil, nil, 0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	pts := [][]float64{{0, 0}, {10, 10}}
+	var buf bytes.Buffer
+	if err := ScatterSVG(&buf, pts, []int32{0, 1}, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "</svg>") {
+		t.Error("not an SVG document")
+	}
+	if strings.Count(s, "<circle") != 2 {
+		t.Errorf("expected 2 circles, got %d", strings.Count(s, "<circle"))
+	}
+}
+
+func TestDecisionGraphSVG(t *testing.T) {
+	rho := []float64{10, 50, 3}
+	delta := []float64{2, math.Inf(1), 1}
+	var buf bytes.Buffer
+	if err := DecisionGraphSVG(&buf, rho, delta, 5, 1.5, 200, 150); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "<circle") != 3 {
+		t.Errorf("expected 3 circles, got %d", strings.Count(s, "<circle"))
+	}
+	// The center (rho=50, delta=Inf) must be highlighted red.
+	if !strings.Contains(s, "rgb(230,25,75)") {
+		t.Error("no highlighted center")
+	}
+	if err := DecisionGraphSVG(&buf, rho, delta[:2], 5, 1.5, 10, 10); err == nil {
+		t.Error("mismatched slices accepted")
+	}
+}
+
+func TestScaleDegenerate(t *testing.T) {
+	if got := scale(5, 3, 3, 100); got != 50 {
+		t.Errorf("degenerate scale = %d, want midpoint", got)
+	}
+	if got := scale(-1e18, 0, 1, 100); got != 0 {
+		t.Errorf("underflow clamp = %d", got)
+	}
+	if got := scale(1e18, 0, 1, 100); got != 99 {
+		t.Errorf("overflow clamp = %d", got)
+	}
+}
+
+func TestEmptyScatter(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ScatterPPM(&buf, nil, nil, 8, 8); err != nil {
+		t.Fatalf("empty scatter: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+package dpc
+
+import "repro/internal/eval"
+
+// RandIndex returns the Rand index of two labelings in [0, 1] — the
+// accuracy measure of the paper's Tables 2-5, computed from a contingency
+// table in O(n + clusters^2). Noise (-1) counts as one ordinary class.
+func RandIndex(a, b []int32) float64 { return eval.RandIndex(a, b) }
+
+// AdjustedRandIndex returns the chance-corrected Rand index.
+func AdjustedRandIndex(a, b []int32) float64 { return eval.AdjustedRandIndex(a, b) }
+
+// Purity returns the fraction of points whose predicted cluster's
+// majority true label matches their own.
+func Purity(truth, pred []int32) float64 { return eval.Purity(truth, pred) }

@@ -1,0 +1,26 @@
+package dpc
+
+import "repro/internal/core"
+
+// The paper's §6 also tested three further competitors and dropped them
+// from the main charts — FastDPeak and DPCG for speed, CFSFDP-DE for
+// accuracy. They are provided for completeness and for regenerating that
+// observation (dpcbench -exp others).
+
+// NewFastDPeak returns the kNN-based FastDPeak competitor (Chen et al.
+// 2020 style): Definition-1 densities plus per-point kNN lists for
+// dependent-point shortcuts.
+func NewFastDPeak() Algorithm { return core.FastDPeak{} }
+
+// NewDPCG returns the grid-based DPCG competitor (Xu et al. 2018 style):
+// neighborhood-scan densities and ring-expansion dependent points.
+func NewDPCG() Algorithm { return core.DPCG{} }
+
+// NewCFSFDPDE returns the density-estimate variant of CFSFDP (Bai et al.
+// 2017): fast but markedly less accurate, as the paper reports.
+func NewCFSFDPDE() Algorithm { return core.CFSFDPDE{} }
+
+// OtherAlgorithms returns the three §6 "also tested" competitors.
+func OtherAlgorithms() []Algorithm {
+	return []Algorithm{core.FastDPeak{}, core.DPCG{}, core.CFSFDPDE{}}
+}

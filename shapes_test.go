@@ -1,0 +1,126 @@
+package dpc_test
+
+import (
+	"testing"
+
+	dpc "repro"
+	"repro/datasets"
+)
+
+// TestArbitraryShapes verifies the density-based-clustering motivation of
+// the paper's introduction end-to-end: DPC separates interleaved moons
+// and spirals that centroid methods cannot.
+func TestArbitraryShapesMoons(t *testing.T) {
+	ds := datasets.TwoMoons(4000, 100, 3, 1)
+	// Near-uniform filaments carry several local density peaks, so the
+	// thresholds come from the decision graph for the known k=2 (the
+	// paper's Figure 1 workflow).
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
+	probe, err := dpc.ClusterExact(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, ok := dpc.SuggestDeltaMin(probe, 2, ds.RhoMin)
+	if !ok {
+		t.Fatal("no threshold for k=2")
+	}
+	p.DeltaMin = dm
+	res, err := dpc.Cluster(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Fatalf("moons: %d clusters, want 2", res.NumClusters())
+	}
+	// Even/odd indices belong to opposite moons; check purity.
+	bad := 0
+	counts := [2]map[int32]int{{}, {}}
+	for i, l := range res.Labels {
+		counts[i%2][l]++
+	}
+	for m := 0; m < 2; m++ {
+		best, total := 0, 0
+		for _, c := range counts[m] {
+			total += c
+			if c > best {
+				best = c
+			}
+		}
+		bad += total - best
+	}
+	if float64(bad) > 0.05*float64(len(ds.Points)) {
+		t.Errorf("moons: %d of %d points mis-clustered", bad, len(ds.Points))
+	}
+}
+
+func TestArbitraryShapesSpirals(t *testing.T) {
+	ds := datasets.Spirals(2200, 3, 2, 0.1, 2)
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
+	probe, err := dpc.ClusterExact(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, ok := dpc.SuggestDeltaMin(probe, 3, ds.RhoMin)
+	if !ok {
+		t.Fatal("no threshold for k=3")
+	}
+	p.DeltaMin = dm
+	res, err := dpc.ClusterExact(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 3 {
+		t.Fatalf("spirals: %d clusters, want 3", res.NumClusters())
+	}
+	// Points are emitted arm by arm, so arm membership is contiguous.
+	perArm := len(ds.Points) / 3
+	bad := 0
+	for m := 0; m < 3; m++ {
+		counts := map[int32]int{}
+		for i := m * perArm; i < (m+1)*perArm; i++ {
+			counts[res.Labels[i]]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		bad += perArm - best
+	}
+	if float64(bad) > 0.10*float64(len(ds.Points)) {
+		t.Errorf("spirals: %d of %d points mis-clustered", bad, len(ds.Points))
+	}
+}
+
+func TestHaloPublicAPI(t *testing.T) {
+	ds := datasets.SSet(3, 4000, 3) // heavy overlap: halos must exist
+	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
+	probe, err := dpc.ClusterExact(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm, ok := dpc.SuggestDeltaMin(probe, 15, ds.RhoMin); ok {
+		p.DeltaMin = dm
+	}
+	res, err := dpc.Cluster(ds.Points, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halo, err := dpc.ComputeHalo(ds.Points, res, p.DCut, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, h := range halo {
+		if h {
+			count++
+		}
+	}
+	if count == 0 {
+		t.Error("overlapping S3 clusters should produce halo points")
+	}
+	if count > len(ds.Points)*9/10 {
+		t.Errorf("halo covers %d of %d points — too aggressive", count, len(ds.Points))
+	}
+}

@@ -1,0 +1,28 @@
+// Package visual renders clustering results and decision graphs as PPM or
+// SVG images — the repository's equivalent of the paper's Figures 1, 2,
+// and 6. It has no dependencies beyond the standard library.
+package visual
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/vis"
+)
+
+// ScatterPPM writes a binary PPM scatter plot of 2-d points colored by
+// cluster label (noise gray).
+func ScatterPPM(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
+	return vis.ScatterPPM(w, pts, labels, width, height)
+}
+
+// ScatterSVG writes an SVG scatter plot of 2-d points colored by label.
+func ScatterSVG(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
+	return vis.ScatterSVG(w, pts, labels, width, height)
+}
+
+// DecisionGraphSVG renders a result's decision graph (Figure 1 style);
+// selected centers are highlighted.
+func DecisionGraphSVG(w io.Writer, res *core.Result, rhoMin, deltaMin float64, width, height int) error {
+	return vis.DecisionGraphSVG(w, res.Rho, res.Delta, rhoMin, deltaMin, width, height)
+}

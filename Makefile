@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: verify build vet test fmt bench bench-json
+
+# verify is the tier-1 gate: everything must build, vet clean, and pass.
+verify: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# fmt fails when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench runs the memory-layout micro-benchmarks (flat Dataset vs row
+# slices) whose committed baseline lives in BENCH_flat_layout.json.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSqDist|ExDPC(Rows|Flat)' -benchmem -benchtime=2s .
+
+# bench-json records a machine-readable harness run for before/after
+# comparisons.
+bench-json:
+	$(GO) run ./cmd/dpcbench -exp table3,table6 -n 10000 -json BENCH_dpcbench.json

@@ -10,9 +10,16 @@ type Assigner = core.Assigner
 
 // NewAssigner indexes a clustering for out-of-sample assignment; pts and
 // res must be the dataset and result of one clustering run and dcut the
-// d_cut used there.
+// d_cut used there. The rows are copied once into the flat layout;
+// callers holding a Dataset should use NewAssignerDataset.
 func NewAssigner(pts [][]float64, res *Result, dcut float64) (*Assigner, error) {
 	return core.NewAssigner(pts, res, dcut)
+}
+
+// NewAssignerDataset indexes a flat Dataset for out-of-sample assignment
+// without copying the points.
+func NewAssignerDataset(ds *Dataset, res *Result, dcut float64) (*Assigner, error) {
+	return core.NewAssignerDataset(ds, res, dcut)
 }
 
 // SuggestCenters ranks non-noise points by gamma = rho * delta (the
@@ -30,4 +37,9 @@ func SuggestCenters(res *Result, k int, rhoMin float64) []int32 {
 // error source of the approximate algorithms.
 func ComputeHalo(pts [][]float64, res *Result, dcut float64, workers int) ([]bool, error) {
 	return core.ComputeHalo(pts, res, dcut, workers)
+}
+
+// ComputeHaloDataset is ComputeHalo over a flat Dataset (no copy).
+func ComputeHaloDataset(ds *Dataset, res *Result, dcut float64, workers int) ([]bool, error) {
+	return core.ComputeHaloDataset(ds, res, dcut, workers)
 }

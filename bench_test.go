@@ -9,6 +9,7 @@ package dpc_test
 
 import (
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	dpc "repro"
 	"repro/datasets"
 	"repro/internal/bench"
+	"repro/internal/geom"
 )
 
 func benchN() int {
@@ -95,7 +97,7 @@ func benchAlgorithm(b *testing.B, alg dpc.Algorithm) {
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Seed: 1, Epsilon: 0.8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := alg.Cluster(ds.Points, p); err != nil {
+		if _, err := alg.ClusterDataset(ds.Points, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -116,7 +118,93 @@ func BenchmarkSingleThreadExDPC(b *testing.B) {
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Workers: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dpc.ClusterExact(ds.Points, p); err != nil {
+		if _, err := dpc.ClusterExactDataset(ds.Points, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Memory-layout micro-benchmarks (flat Dataset vs row slices) ---
+//
+// BenchmarkSqDistRows and BenchmarkSqDistFlat compare the inner distance
+// kernel over the two storage layouts on identical coordinates and an
+// identical pseudo-random access pattern. The rows variant allocates one
+// slice per point (the pre-refactor layout, with a pointer dereference
+// per access); the flat variant indexes one contiguous buffer.
+
+const (
+	layoutBenchN   = 100000
+	layoutBenchDim = 4
+)
+
+func layoutBenchRows() [][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	rows := make([][]float64, layoutBenchN)
+	for i := range rows {
+		p := make([]float64, layoutBenchDim)
+		for j := range p {
+			p[j] = rng.Float64() * 1e5
+		}
+		rows[i] = p
+	}
+	return rows
+}
+
+func BenchmarkSqDistRows(b *testing.B) {
+	rows := layoutBenchRows()
+	idx := rand.New(rand.NewSource(7))
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := rows[idx.Intn(layoutBenchN)]
+		c := rows[(i*31)%layoutBenchN]
+		var s float64
+		for t := range a {
+			d := a[t] - c[t]
+			s += d * d
+		}
+		sink += s
+	}
+	_ = sink
+}
+
+func BenchmarkSqDistFlat(b *testing.B) {
+	ds := geom.MustFromRows(layoutBenchRows())
+	idx := rand.New(rand.NewSource(7))
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += geom.SqDistIdx(ds, int32(idx.Intn(layoutBenchN)), int32((i*31)%layoutBenchN))
+	}
+	_ = sink
+}
+
+// BenchmarkExDPCRowsInput and BenchmarkExDPCFlatInput run Ex-DPC end to
+// end from each input representation (the rows path includes its one
+// FromRows copy); both produce identical results per the equivalence
+// tests.
+
+func exdpcBenchInput() (*datasets.Dataset, dpc.Params) {
+	ds := datasets.AirlineLike(benchN(), 1)
+	return ds, dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Seed: 1}
+}
+
+func BenchmarkExDPCRowsInput(b *testing.B) {
+	ds, p := exdpcBenchInput()
+	rows := ds.Points.Rows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpc.ClusterExact(rows, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExDPCFlatInput(b *testing.B) {
+	ds, p := exdpcBenchInput()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dpc.ClusterExactDataset(ds.Points, p); err != nil {
 			b.Fatal(err)
 		}
 	}

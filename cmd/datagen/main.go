@@ -73,6 +73,6 @@ func run(name string, n int, noise float64, seed int64, format, out string) erro
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "datagen: wrote %d %d-dimensional points to %s (defaults: dcut=%g rhomin=%g deltamin=%g)\n",
-		len(ds.Points), ds.Dim(), out, ds.DCut, ds.RhoMin, ds.DeltaMin)
+		ds.Len(), ds.Dim(), out, ds.DCut, ds.RhoMin, ds.DeltaMin)
 	return nil
 }

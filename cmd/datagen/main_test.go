@@ -20,8 +20,8 @@ func TestRunAllDatasets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: reload: %v", name, err)
 		}
-		if len(pts) < 500 {
-			t.Errorf("%s: only %d points", name, len(pts))
+		if pts.N < 500 {
+			t.Errorf("%s: only %d points", name, pts.N)
 		}
 	}
 }
@@ -40,8 +40,8 @@ func TestRunBinaryFormat(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 300 || len(pts[0]) != 8 {
-		t.Errorf("reloaded %dx%d", len(pts), len(pts[0]))
+	if pts.N != 300 || pts.Dim != 8 {
+		t.Errorf("reloaded %dx%d", pts.N, pts.Dim)
 	}
 }
 

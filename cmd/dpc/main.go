@@ -76,7 +76,7 @@ func runMain(in, algName string, dcut, rhoMin, deltaMin float64, k int, eps floa
 		// Probe run with a permissive threshold, then cut for k centers.
 		probe := p
 		probe.DeltaMin = dcut * 1.0001
-		res, err := alg.Cluster(pts, probe)
+		res, err := alg.ClusterDataset(pts, probe)
 		if err != nil {
 			return err
 		}
@@ -90,12 +90,12 @@ func runMain(in, algName string, dcut, rhoMin, deltaMin float64, k int, eps floa
 	if p.DeltaMin <= p.DCut {
 		return fmt.Errorf("-deltamin must exceed -dcut (got %g <= %g); or pass -k", p.DeltaMin, p.DCut)
 	}
-	res, err := alg.Cluster(pts, p)
+	res, err := alg.ClusterDataset(pts, p)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "dpc: %s on %d points: %d clusters, %d noise points, %.3fs total (rho %.3fs, delta %.3fs)\n",
-		alg.Name(), len(pts), res.NumClusters(), countNoise(res.Labels),
+		alg.Name(), pts.N, res.NumClusters(), countNoise(res.Labels),
 		res.Timing.Total().Seconds(), res.Timing.Rho.Seconds(), res.Timing.Delta.Seconds())
 
 	if labelsOut != "" {
@@ -123,7 +123,7 @@ func runMain(in, algName string, dcut, rhoMin, deltaMin float64, k int, eps floa
 		}
 	}
 	if plotOut != "" {
-		if len(pts[0]) < 2 {
+		if pts.Dim < 2 {
 			return fmt.Errorf("-plot needs at least 2-dimensional data")
 		}
 		f, err := os.Create(plotOut)
@@ -131,7 +131,7 @@ func runMain(in, algName string, dcut, rhoMin, deltaMin float64, k int, eps floa
 			return err
 		}
 		defer f.Close()
-		if err := visual.ScatterPPM(f, pts, res.Labels, 800, 800); err != nil {
+		if err := visual.ScatterDatasetPPM(f, pts, res.Labels, 800, 800); err != nil {
 			return err
 		}
 	}

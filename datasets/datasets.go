@@ -10,11 +10,17 @@ import (
 	"io"
 
 	"repro/internal/data"
+	"repro/internal/geom"
 )
 
 // Dataset is a named point set bundled with the paper's default DPC
-// parameters for it (DCut, RhoMin, DeltaMin).
+// parameters for it (DCut, RhoMin, DeltaMin). Its Points field is the
+// flat row-major dpc.Dataset representation.
 type Dataset = data.Dataset
+
+// Points is the flat point-set type stored in Dataset.Points — the same
+// type as dpc.Dataset.
+type Points = geom.Dataset
 
 // Syn generates the 2-d random-walk dataset (13 density peaks, domain
 // [0,1e5]^2) with the given uniform-noise rate.
@@ -51,19 +57,19 @@ func Spirals(n, arms int, turns, noise float64, seed int64) *Dataset {
 func Sample(d *Dataset, rate float64, seed int64) *Dataset { return data.Sample(d, rate, seed) }
 
 // SaveCSV writes points as comma-separated lines.
-func SaveCSV(w io.Writer, pts [][]float64) error { return data.SaveCSV(w, pts) }
+func SaveCSV(w io.Writer, ds *Points) error { return data.SaveCSV(w, ds) }
 
 // LoadCSV reads comma/whitespace-separated points; '#' lines are comments.
-func LoadCSV(r io.Reader) ([][]float64, error) { return data.LoadCSV(r) }
+func LoadCSV(r io.Reader) (*Points, error) { return data.LoadCSV(r) }
 
 // SaveBinary writes points in the compact DPC1 binary format.
-func SaveBinary(w io.Writer, pts [][]float64) error { return data.SaveBinary(w, pts) }
+func SaveBinary(w io.Writer, ds *Points) error { return data.SaveBinary(w, ds) }
 
 // LoadBinary reads the DPC1 binary format.
-func LoadBinary(r io.Reader) ([][]float64, error) { return data.LoadBinary(r) }
+func LoadBinary(r io.Reader) (*Points, error) { return data.LoadBinary(r) }
 
 // LoadCSVFile loads a CSV dataset from a path.
-func LoadCSVFile(path string) ([][]float64, error) { return data.LoadCSVFile(path) }
+func LoadCSVFile(path string) (*Points, error) { return data.LoadCSVFile(path) }
 
 // SaveCSVFile writes a CSV dataset to a path.
-func SaveCSVFile(path string, pts [][]float64) error { return data.SaveCSVFile(path, pts) }
+func SaveCSVFile(path string, ds *Points) error { return data.SaveCSVFile(path, ds) }

@@ -6,6 +6,7 @@ package dbscan
 
 import (
 	internal "repro/internal/dbscan"
+	"repro/internal/geom"
 )
 
 // Noise labels noise points.
@@ -17,14 +18,41 @@ type Result = internal.Result
 // OPTICSPoint is one entry of an OPTICS ordering.
 type OPTICSPoint = internal.OPTICSPoint
 
-// Run executes DBSCAN with radius eps and core threshold minPts.
+// Run executes DBSCAN with radius eps and core threshold minPts over
+// row-slice points (copied once into the flat layout).
 func Run(pts [][]float64, eps float64, minPts int) *Result {
-	return internal.Run(pts, eps, minPts)
+	return internal.Run(flatten(pts), eps, minPts)
 }
 
-// OPTICS computes the OPTICS ordering for the given parameters.
+// RunDataset executes DBSCAN over a flat dataset with no copying.
+func RunDataset(ds *geom.Dataset, eps float64, minPts int) *Result {
+	return internal.Run(ds, eps, minPts)
+}
+
+// OPTICS computes the OPTICS ordering for the given parameters over
+// row-slice points (copied once into the flat layout).
 func OPTICS(pts [][]float64, eps float64, minPts int) []OPTICSPoint {
-	return internal.OPTICS(pts, eps, minPts)
+	return internal.OPTICS(flatten(pts), eps, minPts)
+}
+
+// OPTICSDataset computes the OPTICS ordering over a flat dataset.
+func OPTICSDataset(ds *geom.Dataset, eps float64, minPts int) []OPTICSPoint {
+	return internal.OPTICS(ds, eps, minPts)
+}
+
+// flatten packs row-slice points into the flat layout. Shape errors
+// (ragged rows) panic loudly — DBSCAN historically crashed on them via
+// out-of-range indexing, and silent coordinate misalignment would be
+// worse — while NaN coordinates pass through as they always did.
+func flatten(pts [][]float64) *geom.Dataset {
+	if len(pts) == 0 {
+		return &geom.Dataset{}
+	}
+	ds, err := geom.PackRows(pts)
+	if err != nil {
+		panic("dbscan: " + err.Error())
+	}
+	return ds
 }
 
 // ExtractDBSCAN cuts an OPTICS ordering at a reachability threshold.

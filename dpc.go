@@ -36,7 +36,24 @@ package dpc
 
 import (
 	"repro/internal/core"
+	"repro/internal/geom"
 )
+
+// Dataset is a flat, row-major point set: one contiguous []float64
+// backing array plus N and Dim, with At(i) returning a zero-copy
+// subslice. It is the native input representation of every algorithm —
+// the [][]float64 entry points pay exactly one copy (FromRows) to reach
+// it. Construct with FromRows, or wrap an existing flat buffer with
+// NewDataset.
+type Dataset = geom.Dataset
+
+// FromRows copies row-slice points into a flat Dataset, validating that
+// the rows are rectangular and free of NaN/Inf.
+func FromRows(rows [][]float64) (*Dataset, error) { return geom.FromRows(rows) }
+
+// NewDataset wraps an existing flat row-major buffer (len(coords) must
+// be a multiple of dim) without copying.
+func NewDataset(coords []float64, dim int) *Dataset { return geom.NewDataset(coords, dim) }
 
 // Params are the clustering inputs. See the package comment and
 // Definitions 1-5 of the paper.
@@ -107,13 +124,25 @@ func ByName(name string) (Algorithm, bool) {
 
 // Cluster runs Approx-DPC — the paper's recommended default: fully
 // parallel, parameter-free, and center-identical to the exact algorithm.
+// The rows are copied once into the flat layout; callers that already
+// hold a Dataset should use ClusterDataset.
 func Cluster(pts [][]float64, p Params) (*Result, error) {
 	return core.ApproxDPC{}.Cluster(pts, p)
+}
+
+// ClusterDataset runs Approx-DPC over a flat Dataset with no copying.
+func ClusterDataset(ds *Dataset, p Params) (*Result, error) {
+	return core.ApproxDPC{}.ClusterDataset(ds, p)
 }
 
 // ClusterExact runs the exact Ex-DPC algorithm.
 func ClusterExact(pts [][]float64, p Params) (*Result, error) {
 	return core.ExDPC{}.Cluster(pts, p)
+}
+
+// ClusterExactDataset runs Ex-DPC over a flat Dataset with no copying.
+func ClusterExactDataset(ds *Dataset, p Params) (*Result, error) {
+	return core.ExDPC{}.ClusterDataset(ds, p)
 }
 
 // DecisionGraph returns the (rho, delta) pairs of a result sorted by

@@ -61,7 +61,7 @@ func TestDecisionGraphWorkflow(t *testing.T) {
 	// decision graph, pick a threshold for the known k, re-run.
 	ds := datasets.SSet(2, 3000, 42)
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.01}
-	res, err := dpc.ClusterExact(ds.Points, p)
+	res, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestDecisionGraphWorkflow(t *testing.T) {
 		t.Fatal("SuggestDeltaMin failed")
 	}
 	p.DeltaMin = dm
-	res2, err := dpc.Cluster(ds.Points, p)
+	res2, err := dpc.ClusterDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestDecisionGraphWorkflow(t *testing.T) {
 		t.Errorf("decision-graph workflow found %d clusters, want 15", res2.NumClusters())
 	}
 	dg := dpc.DecisionGraph(res)
-	if len(dg) != len(ds.Points) {
+	if len(dg) != ds.Points.N {
 		t.Errorf("decision graph size %d", len(dg))
 	}
 }
@@ -93,11 +93,11 @@ func TestMetricsExports(t *testing.T) {
 func TestApproxMatchesExactOnDataset(t *testing.T) {
 	ds := datasets.Syn(8000, 0.02, 7)
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DeltaMin, Workers: 4}
-	ex, err := dpc.ClusterExact(ds.Points, p)
+	ex, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ap, err := dpc.Cluster(ds.Points, p)
+	ap, err := dpc.ClusterDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}

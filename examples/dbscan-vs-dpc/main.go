@@ -23,14 +23,14 @@ func main() {
 
 	// DPC with the dataset's default parameters, targeting 15 clusters.
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
-	probe, err := dpc.ClusterExact(ds.Points, p)
+	probe, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if dm, ok := dpc.SuggestDeltaMin(probe, 15, ds.RhoMin); ok {
 		p.DeltaMin = dm
 	}
-	res, err := dpc.Cluster(ds.Points, p)
+	res, err := dpc.ClusterDataset(ds.Points, p)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 
 	// DBSCAN parameterized from OPTICS, as the paper does: search for a
 	// reachability threshold that yields 15 substantial clusters.
-	order := dbscan.OPTICS(ds.Points, 1e9, 5)
+	order := dbscan.OPTICSDataset(ds.Points, 1e9, 5)
 	eps, ok := dbscan.ParamsForK(order, 15, 50)
 	var db *dbscan.Result
 	if ok {
@@ -71,13 +71,13 @@ func main() {
 	must(writePPM("dbscan_s2.ppm", ds.Points, db.Labels))
 }
 
-func writePPM(path string, pts [][]float64, labels []int32) error {
+func writePPM(path string, pts *dpc.Dataset, labels []int32) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return visual.ScatterPPM(f, pts, labels, 800, 800)
+	return visual.ScatterDatasetPPM(f, pts, labels, 800, 800)
 }
 
 func must(err error) {

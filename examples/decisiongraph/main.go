@@ -25,7 +25,7 @@ func main() {
 
 	// Pass 1: permissive DeltaMin just above DCut, so nothing is filtered.
 	probe := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
-	res, err := dpc.ClusterExact(ds.Points, probe)
+	res, err := dpc.ClusterExactDataset(ds.Points, probe)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func main() {
 
 	final := probe
 	final.DeltaMin = deltaMin
-	res2, err := dpc.Cluster(ds.Points, final) // Approx-DPC: same centers, parallel
+	res2, err := dpc.ClusterDataset(ds.Points, final) // Approx-DPC: same centers, parallel
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,13 +73,13 @@ func writeSVG(path string, res *dpc.Result, rhoMin, deltaMin float64) error {
 	return visual.DecisionGraphSVG(f, res, rhoMin, deltaMin, 640, 480)
 }
 
-func writePPM(path string, pts [][]float64, labels []int32) error {
+func writePPM(path string, pts *dpc.Dataset, labels []int32) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return visual.ScatterPPM(f, pts, labels, 800, 800)
+	return visual.ScatterDatasetPPM(f, pts, labels, 800, 800)
 }
 
 func must(err error) {

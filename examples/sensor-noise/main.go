@@ -27,11 +27,11 @@ func main() {
 		Epsilon:  0.8,
 	}
 
-	exact, err := dpc.ClusterExact(ds.Points, p)
+	exact, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fast, err := dpc.NewSApproxDPC().Cluster(ds.Points, p)
+	fast, err := dpc.NewSApproxDPC().ClusterDataset(ds.Points, p)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,14 +23,14 @@ func main() {
 	// in-regime densities above the noise threshold.
 	ref := datasets.PAMAP2Like(30000, 1)
 	p := dpc.Params{DCut: 2 * ref.DCut, RhoMin: ref.RhoMin, DeltaMin: ref.DeltaMin}
-	res, err := dpc.Cluster(ref.Points, p)
+	res, err := dpc.ClusterDataset(ref.Points, p)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("reference clustering: %d activity regimes from %d readings (%.2fs)\n",
-		res.NumClusters(), len(ref.Points), res.Timing.Total().Seconds())
+		res.NumClusters(), ref.Points.N, res.Timing.Total().Seconds())
 
-	assigner, err := dpc.NewAssigner(ref.Points, res, p.DCut)
+	assigner, err := dpc.NewAssignerDataset(ref.Points, res, p.DCut)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func main() {
 			})
 			continue
 		}
-		base := ref.Points[rng.Intn(len(ref.Points))]
+		base := ref.Points.At(rng.Intn(ref.Points.N))
 		q := make([]float64, len(base))
 		for j := range q {
 			q[j] = base[j] + rng.NormFloat64()*ref.DCut/4

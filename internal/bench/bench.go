@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/geom"
 )
 
 // Config controls the harness.
@@ -86,10 +87,11 @@ func (c Config) params(ds *data.Dataset) core.Params {
 	}
 }
 
-// run executes one algorithm and returns its result; fatal errors abort
-// the experiment (they indicate a bug, not a measurement).
-func run(alg core.Algorithm, pts [][]float64, p core.Params) (*core.Result, error) {
-	res, err := alg.Cluster(pts, p)
+// run executes one algorithm over a flat dataset and returns its result;
+// fatal errors abort the experiment (they indicate a bug, not a
+// measurement).
+func run(alg core.Algorithm, ds *geom.Dataset, p core.Params) (*core.Result, error) {
+	res, err := alg.ClusterDataset(ds, p)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", alg.Name(), err)
 	}

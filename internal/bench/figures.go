@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dbscan"
 	"repro/internal/eval"
+	"repro/internal/geom"
 	"repro/internal/vis"
 )
 
@@ -127,7 +128,7 @@ func (c Config) Fig6() error {
 	if err != nil {
 		return err
 	}
-	header(w, fmt.Sprintf("Figure 6: clustering visualization on Syn (n=%d, d_cut=%.0f)", len(ds.Points), p.DCut))
+	header(w, fmt.Sprintf("Figure 6: clustering visualization on Syn (n=%d, d_cut=%.0f)", ds.Points.N, p.DCut))
 	fmt.Fprintf(w, "Ex-DPC clusters: %d (paper: 13 density peaks)\n", truth.NumClusters())
 	if path, ok := c.outPath("fig6_b_exdpc.ppm"); ok {
 		if err := writePPM(path, ds.Points, truth.Labels); err != nil {
@@ -171,13 +172,13 @@ func (c Config) Fig6() error {
 	return nil
 }
 
-func writePPM(path string, pts [][]float64, labels []int32) error {
+func writePPM(path string, ds *geom.Dataset, labels []int32) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := vis.ScatterPPM(f, pts, labels, 800, 800); err != nil {
+	if err := vis.ScatterPPM(f, ds, labels, 800, 800); err != nil {
 		return err
 	}
 	return f.Close()

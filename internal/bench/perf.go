@@ -58,7 +58,7 @@ func (c Config) Table7() error {
 			p := c.params(ds)
 			var keep *core.Result
 			mem := eval.MeasureMem(func() {
-				r, err := alg.Cluster(ds.Points, p)
+				r, err := alg.ClusterDataset(ds.Points, p)
 				if err != nil {
 					panic(err)
 				}

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"fmt"
 	"sort"
 )
 
@@ -53,15 +52,4 @@ func Names() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// RunAll executes every experiment with the given configuration, stopping
-// at the first error.
-func RunAll(c Config) error {
-	for _, e := range Experiments() {
-		if err := e.Run(c); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
-		}
-	}
-	return nil
 }

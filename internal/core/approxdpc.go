@@ -76,11 +76,16 @@ func (ApproxDPC) Name() string { return "Approx-DPC" }
 
 // Cluster implements Algorithm.
 func (a ApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (a ApproxDPC) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
-	d := len(pts[0])
+	n := ds.N
+	d := ds.Dim
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -89,17 +94,17 @@ func (a ApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 	workers := p.workers()
 
 	start := time.Now()
-	tree := kdtree.BuildAll(pts)
-	g := grid.Build(pts, grid.SideForDCut(p.DCut, d))
+	tree := kdtree.BuildAll(ds)
+	g := grid.Build(ds, grid.SideForDCut(p.DCut, d))
 	res.Timing.Build = time.Since(start)
 
 	start = time.Now()
-	rangeResults := jointRangeSearch(pts, tree, g, p, workers, a.Sched)
-	computeDensities(pts, g, rangeResults, res.Rho, p, workers, a.Sched)
+	rangeResults := jointRangeSearch(ds, tree, g, p, workers, a.Sched)
+	computeDensities(ds, g, rangeResults, res.Rho, p, workers, a.Sched)
 	res.Timing.Rho = time.Since(start)
 
 	start = time.Now()
-	approxThenExactDependents(pts, g, res, p, workers, d, a.Sched, a.SubsetS)
+	approxThenExactDependents(ds, g, res, p, workers, d, a.Sched, a.SubsetS)
 	res.Timing.Delta = time.Since(start)
 
 	start = time.Now()
@@ -110,7 +115,7 @@ func (a ApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 
 // jointRangeSearch runs one expanded-ball range search per cell
 // (phase 1 of §4.5; cost estimate |P(c)|, LPT-partitioned).
-func jointRangeSearch(pts [][]float64, tree *kdtree.Tree, g *grid.Grid, p Params, workers int, sched SchedMode) [][]int32 {
+func jointRangeSearch(ds *geom.Dataset, tree *kdtree.Tree, g *grid.Grid, p Params, workers int, sched SchedMode) [][]int32 {
 	nc := g.NumCells()
 	results := make([][]int32, nc)
 	costs := make([]float64, nc)
@@ -122,7 +127,7 @@ func jointRangeSearch(pts [][]float64, tree *kdtree.Tree, g *grid.Grid, p Params
 		cp := g.Center(int32(c))
 		var maxSq float64
 		for _, m := range cell.Points {
-			if sq := geom.SqDist(cp, pts[m]); sq > maxSq {
+			if sq := geom.SqDist(cp, ds.At(int(m))); sq > maxSq {
 				maxSq = sq
 			}
 		}
@@ -139,7 +144,7 @@ func jointRangeSearch(pts [][]float64, tree *kdtree.Tree, g *grid.Grid, p Params
 // computeDensities scans each cell's joint result to obtain exact local
 // densities for all members and fills the cell summaries p*(c), min rho,
 // and N(c) (phase 2 of §4.5; cost estimate |P(c)|*|R(c)|).
-func computeDensities(pts [][]float64, g *grid.Grid, rangeResults [][]int32, rho []float64, p Params, workers int, sched SchedMode) {
+func computeDensities(ds *geom.Dataset, g *grid.Grid, rangeResults [][]int32, rho []float64, p Params, workers int, sched SchedMode) {
 	sq := p.DCut * p.DCut
 	nc := g.NumCells()
 	costs := make([]float64, nc)
@@ -153,10 +158,10 @@ func computeDensities(pts [][]float64, g *grid.Grid, rangeResults [][]int32, rho
 		bestRho := math.Inf(-1)
 		minRho := math.Inf(1)
 		for _, m := range cell.Points {
-			pm := pts[m]
+			pm := ds.At(int(m))
 			count := 0
 			for _, x := range r {
-				if v, ok := geom.SqDistPartial(pm, pts[x], sq); ok && v < sq {
+				if v, ok := geom.SqDistPartial(pm, ds.At(int(x)), sq); ok && v < sq {
 					count++
 				}
 			}
@@ -172,7 +177,7 @@ func computeDensities(pts [][]float64, g *grid.Grid, rangeResults [][]int32, rho
 		cell.Best = best
 		cell.MinRho = minRho
 		// N(c): cells of points outside c within d_cut of p*(c).
-		pb := pts[best]
+		pb := ds.At(int(best))
 		seen := make(map[int32]struct{})
 		for _, x := range r {
 			xc := g.PointCell[x]
@@ -182,7 +187,7 @@ func computeDensities(pts [][]float64, g *grid.Grid, rangeResults [][]int32, rho
 			if _, ok := seen[xc]; ok {
 				continue
 			}
-			if geom.SqDist(pb, pts[x]) < sq {
+			if geom.SqDist(pb, ds.At(int(x))) < sq {
 				seen[xc] = struct{}{}
 				cell.Neighbors = append(cell.Neighbors, xc)
 			}
@@ -194,8 +199,8 @@ func computeDensities(pts [][]float64, g *grid.Grid, rangeResults [][]int32, rho
 // approxThenExactDependents applies the two O(1) approximation rules of
 // §4.3 and resolves the remaining set P' exactly with s density-sorted
 // kd-tree subsets.
-func approxThenExactDependents(pts [][]float64, g *grid.Grid, res *Result, p Params, workers, d int, sched SchedMode, subsetS int) {
-	n := len(pts)
+func approxThenExactDependents(ds *geom.Dataset, g *grid.Grid, res *Result, p Params, workers, d int, sched SchedMode, subsetS int) {
+	n := ds.N
 	unresolvedMark := int32(-2)
 	// Rule pass, parallel over cells (each point is touched by exactly its
 	// own cell's task).
@@ -228,7 +233,7 @@ func approxThenExactDependents(pts [][]float64, g *grid.Grid, res *Result, p Par
 			unresolved = append(unresolved, i)
 		}
 	}
-	exactDependentsOpt(pts, res.Rho, unresolved, res.Delta, res.Dep, workers, d, sched, subsetS)
+	exactDependentsOpt(ds, res.Rho, unresolved, res.Delta, res.Dep, workers, d, sched, subsetS)
 }
 
 // exactDependents computes exact dependent points for the given subset of
@@ -236,12 +241,12 @@ func approxThenExactDependents(pts [][]float64, g *grid.Grid, res *Result, p Par
 // shared with S-Approx-DPC's fallback path (there the universe is the
 // picked set). universe entries are the points eligible to *be* dependent
 // points; here that is all of P, identified implicitly by len(rho).
-func exactDependents(pts [][]float64, rho []float64, queries []int32, delta []float64, dep []int32, workers, d int) {
-	exactDependentsOpt(pts, rho, queries, delta, dep, workers, d, SchedLPT, 0)
+func exactDependents(ds *geom.Dataset, rho []float64, queries []int32, delta []float64, dep []int32, workers, d int) {
+	exactDependentsOpt(ds, rho, queries, delta, dep, workers, d, SchedLPT, 0)
 }
 
 // exactDependentsOpt is exactDependents with the ablation knobs exposed.
-func exactDependentsOpt(pts [][]float64, rho []float64, queries []int32, delta []float64, dep []int32, workers, d int, sched SchedMode, subsetS int) {
+func exactDependentsOpt(ds *geom.Dataset, rho []float64, queries []int32, delta []float64, dep []int32, workers, d int, sched SchedMode, subsetS int) {
 	n := len(rho)
 	if len(queries) == 0 {
 		return
@@ -281,7 +286,7 @@ func exactDependentsOpt(pts [][]float64, rho []float64, queries []int32, delta [
 	partition.Dynamic(len(subsets), workers, func(k int) {
 		ids := make([]int32, len(subsets[k]))
 		copy(ids, subsets[k])
-		trees[k] = kdtree.Build(pts, ids)
+		trees[k] = kdtree.Build(ds, ids)
 	})
 
 	// cost_dep of §4.5: own-subset scan when case (ii) applies, plus one NN
@@ -297,7 +302,7 @@ func exactDependentsOpt(pts [][]float64, rho []float64, queries []int32, delta [
 
 	sched.schedule(costs, workers, func(qi int) {
 		i := queries[qi]
-		pi := pts[i]
+		pi := ds.At(int(i))
 		k := int(rank[i]) / chunk
 		bestSq := math.Inf(1)
 		best := NoDependent
@@ -306,7 +311,7 @@ func exactDependentsOpt(pts [][]float64, rho []float64, queries []int32, delta [
 			if rho[j] <= rho[i] {
 				continue
 			}
-			if sq, ok := geom.SqDistPartial(pi, pts[j], bestSq); ok && sq < bestSq {
+			if sq, ok := geom.SqDistPartial(pi, ds.At(int(j)), bestSq); ok && sq < bestSq {
 				bestSq, best = sq, j
 			}
 		}

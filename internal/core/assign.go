@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/geom"
 	"repro/internal/kdtree"
 )
 
@@ -24,22 +25,36 @@ type Assigner struct {
 
 // NewAssigner indexes a clustering for out-of-sample assignment. pts and
 // res must be the dataset and result of one Cluster call; dcut should be
-// the d_cut used there.
+// the d_cut used there. It copies the rows into a flat dataset; callers
+// already holding one should use NewAssignerDataset.
 func NewAssigner(pts [][]float64, res *Result, dcut float64) (*Assigner, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
 	}
-	if len(res.Labels) != len(pts) {
-		return nil, fmt.Errorf("core: result has %d labels for %d points", len(res.Labels), len(pts))
+	ds, err := geom.FromRows(pts)
+	if err != nil {
+		return nil, err
+	}
+	return NewAssignerDataset(ds, res, dcut)
+}
+
+// NewAssignerDataset indexes a flat dataset for out-of-sample assignment
+// without copying the points.
+func NewAssignerDataset(ds *geom.Dataset, res *Result, dcut float64) (*Assigner, error) {
+	if ds.N == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if len(res.Labels) != ds.N {
+		return nil, fmt.Errorf("core: result has %d labels for %d points", len(res.Labels), ds.N)
 	}
 	if dcut <= 0 {
 		return nil, fmt.Errorf("core: non-positive dcut")
 	}
 	return &Assigner{
-		tree:   kdtree.BuildAll(pts),
+		tree:   kdtree.BuildAll(ds),
 		labels: res.Labels,
 		dcut:   dcut,
-		dim:    len(pts[0]),
+		dim:    ds.Dim,
 	}, nil
 }
 

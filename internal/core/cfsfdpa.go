@@ -31,10 +31,15 @@ func (CFSFDPA) Name() string { return "CFSFDP-A" }
 
 // Cluster implements Algorithm.
 func (a CFSFDPA) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (a CFSFDPA) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
+	n := ds.N
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -54,14 +59,14 @@ func (a CFSFDPA) Cluster(pts [][]float64, p Params) (*Result, error) {
 	}
 
 	start := time.Now()
-	km := kmeans.Run(pts, k, 20, p.Seed+2)
+	km := kmeans.Run(ds, k, 20, p.Seed+2)
 	k = len(km.Centroids)
 	// Per-point distance to every pivot: the filter's precomputed table.
 	pivDist := make([][]float64, n)
 	partition.DynamicChunked(n, workers, 64, func(i int) {
 		row := make([]float64, k)
 		for c := 0; c < k; c++ {
-			row[c] = geom.Dist(pts[i], km.Centroids[c])
+			row[c] = geom.Dist(ds.At(i), km.Centroids[c])
 		}
 		pivDist[i] = row
 	})
@@ -80,7 +85,7 @@ func (a CFSFDPA) Cluster(pts [][]float64, p Params) (*Result, error) {
 	sq := p.DCut * p.DCut
 	start = time.Now()
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		pi := pts[i]
+		pi := ds.At(i)
 		count := 0
 		for c := 0; c < k; c++ {
 			g := groups[c]
@@ -92,7 +97,7 @@ func (a CFSFDPA) Cluster(pts [][]float64, p Params) (*Result, error) {
 				if dj >= center+p.DCut {
 					break // window end: |d_i - d_j| >= d_cut ⇒ dist >= d_cut
 				}
-				if v, ok := geom.SqDistPartial(pi, pts[j], sq); ok && v < sq {
+				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), sq); ok && v < sq {
 					count++
 				}
 			}
@@ -102,7 +107,7 @@ func (a CFSFDPA) Cluster(pts [][]float64, p Params) (*Result, error) {
 	res.Timing.Rho = time.Since(start)
 
 	start = time.Now()
-	res.Delta, res.Dep = scanDelta(pts, res.Rho, workers)
+	res.Delta, res.Dep = scanDelta(ds, res.Rho, workers)
 	res.Timing.Delta = time.Since(start)
 
 	start = time.Now()

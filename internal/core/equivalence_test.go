@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestFlatRowsEquivalence is the behavior-preservation contract of the
+// flat-dataset refactor: for each of the seven evaluated algorithms (and
+// the three dropped competitors), the [][]float64 entry point (one
+// row-pack copy) and the flat ClusterDataset entry point must produce
+// byte-identical Result fields — Rho, Delta, Dep, Centers, and Labels —
+// because they traverse the same coordinates in the same order.
+func TestFlatRowsEquivalence(t *testing.T) {
+	algs := []Algorithm{
+		Scan{}, RtreeScan{}, LSHDDP{}, CFSFDPA{},
+		ExDPC{}, ApproxDPC{}, SApproxDPC{},
+		FastDPeak{}, DPCG{}, CFSFDPDE{},
+	}
+	for _, d := range []int{2, 3} {
+		rng := rand.New(rand.NewSource(int64(100 + d)))
+		rows := equivBlobs(rng, 900, d)
+		ds := geom.MustFromRows(rows)
+		p := Params{DCut: 12, RhoMin: 3, DeltaMin: 40, Workers: 4, Epsilon: 0.8, Seed: 1}
+		for _, alg := range algs {
+			fromRows, err := alg.Cluster(rows, p)
+			if err != nil {
+				t.Fatalf("%s rows (d=%d): %v", alg.Name(), d, err)
+			}
+			fromFlat, err := alg.ClusterDataset(ds, p)
+			if err != nil {
+				t.Fatalf("%s flat (d=%d): %v", alg.Name(), d, err)
+			}
+			compareResults(t, alg.Name(), d, fromRows, fromFlat)
+		}
+	}
+}
+
+func compareResults(t *testing.T, name string, d int, a, b *Result) {
+	t.Helper()
+	if len(a.Rho) != len(b.Rho) {
+		t.Fatalf("%s (d=%d): result sizes differ", name, d)
+	}
+	for i := range a.Rho {
+		if a.Rho[i] != b.Rho[i] {
+			t.Fatalf("%s (d=%d): Rho[%d] %v != %v", name, d, i, a.Rho[i], b.Rho[i])
+		}
+		// Compare Delta bit-exactly, treating equal infinities as equal.
+		if a.Delta[i] != b.Delta[i] && !(math.IsInf(a.Delta[i], 1) && math.IsInf(b.Delta[i], 1)) {
+			t.Fatalf("%s (d=%d): Delta[%d] %v != %v", name, d, i, a.Delta[i], b.Delta[i])
+		}
+		if a.Dep[i] != b.Dep[i] {
+			t.Fatalf("%s (d=%d): Dep[%d] %d != %d", name, d, i, a.Dep[i], b.Dep[i])
+		}
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatalf("%s (d=%d): Labels[%d] %d != %d", name, d, i, a.Labels[i], b.Labels[i])
+		}
+	}
+	if len(a.Centers) != len(b.Centers) {
+		t.Fatalf("%s (d=%d): %d vs %d centers", name, d, len(a.Centers), len(b.Centers))
+	}
+	for i := range a.Centers {
+		if a.Centers[i] != b.Centers[i] {
+			t.Fatalf("%s (d=%d): Centers[%d] %d != %d", name, d, i, a.Centers[i], b.Centers[i])
+		}
+	}
+}
+
+// equivBlobs generates a few well-separated Gaussian blobs plus stray
+// noise — enough structure that every algorithm exercises its center,
+// label, and noise paths.
+func equivBlobs(rng *rand.Rand, n, d int) [][]float64 {
+	centers := make([][]float64, 5)
+	for c := range centers {
+		ctr := make([]float64, d)
+		for j := range ctr {
+			ctr[j] = float64(c+1) * 150
+		}
+		ctr[0] = float64((c%3)+1) * 180
+		centers[c] = ctr
+	}
+	rows := make([][]float64, 0, n)
+	for len(rows) < n {
+		p := make([]float64, d)
+		if rng.Float64() < 0.03 {
+			for j := range p {
+				p[j] = rng.Float64() * 800
+			}
+		} else {
+			c := centers[rng.Intn(len(centers))]
+			for j := range p {
+				p[j] = c[j] + rng.NormFloat64()*5
+			}
+		}
+		rows = append(rows, p)
+	}
+	return rows
+}

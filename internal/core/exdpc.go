@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/partition"
 )
@@ -26,12 +27,16 @@ type ExDPC struct{}
 func (ExDPC) Name() string { return "Ex-DPC" }
 
 // Cluster implements Algorithm.
-func (ExDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+func (a ExDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (ExDPC) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
-	d := len(pts[0])
+	n := ds.N
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -40,14 +45,14 @@ func (ExDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 	workers := p.workers()
 
 	start := time.Now()
-	tree := kdtree.BuildAll(pts)
+	tree := kdtree.BuildAll(ds)
 	res.Timing.Build = time.Since(start)
 
 	// Local density: one range count per point, dynamically scheduled
 	// ("#pragma omp parallel for schedule(dynamic)" in the paper).
 	start = time.Now()
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		res.Rho[i] = float64(tree.RangeCount(pts[i], p.DCut)) + jitter(i)
+		res.Rho[i] = float64(tree.RangeCount(ds.At(i), p.DCut)) + jitter(i)
 	})
 	res.Timing.Rho = time.Since(start)
 
@@ -56,13 +61,13 @@ func (ExDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 	// than the current one, so the NN result is the true dependent point.
 	start = time.Now()
 	order := densityOrder(res.Rho)
-	tree = kdtree.New(pts, d) // "destroy K"
+	tree = kdtree.New(ds) // "destroy K"
 	res.Delta[order[0]] = math.Inf(1)
 	res.Dep[order[0]] = NoDependent
 	tree.Insert(order[0])
 	for r := 1; r < n; r++ {
 		i := order[r]
-		id, sq := tree.NN(pts[i])
+		id, sq := tree.NN(ds.At(int(i)))
 		res.Dep[i] = id
 		res.Delta[i] = math.Sqrt(sq)
 		tree.Insert(i)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/geom"
 	"repro/internal/partition"
 )
 
@@ -84,8 +85,8 @@ func densityOrder(rho []float64) []int32 {
 // dependent-distance step for this one). Parallelized per point with
 // dynamic scheduling; cost grows with rank, which static partitioning
 // would balance poorly.
-func scanDelta(pts [][]float64, rho []float64, workers int) (delta []float64, dep []int32) {
-	n := len(pts)
+func scanDelta(ds *geom.Dataset, rho []float64, workers int) (delta []float64, dep []int32) {
+	n := ds.N
 	delta = make([]float64, n)
 	dep = make([]int32, n)
 	order := densityOrder(rho)
@@ -95,12 +96,12 @@ func scanDelta(pts [][]float64, rho []float64, workers int) (delta []float64, de
 	partition.DynamicChunked(n-1, workers, 8, func(k int) {
 		r := k + 1 // rank in the density order
 		i := order[r]
-		pi := pts[i]
+		pi := ds.At(int(i))
 		bestSq := math.Inf(1)
 		best := NoDependent
 		for _, j := range order[:r] {
 			var s float64
-			pj := pts[j]
+			pj := ds.At(int(j))
 			for t := range pi {
 				d := pi[t] - pj[t]
 				s += d * d

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/partition"
 )
@@ -18,7 +19,16 @@ import (
 // never halo; they are already excluded). The computation is one range
 // search per point, parallelized like a density phase.
 func ComputeHalo(pts [][]float64, res *Result, dcut float64, workers int) ([]bool, error) {
-	n := len(pts)
+	ds, err := geom.FromRows(pts)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeHaloDataset(ds, res, dcut, workers)
+}
+
+// ComputeHaloDataset is ComputeHalo over a flat dataset (no copy).
+func ComputeHaloDataset(ds *geom.Dataset, res *Result, dcut float64, workers int) ([]bool, error) {
+	n := ds.N
 	if len(res.Labels) != n || len(res.Rho) != n {
 		return nil, fmt.Errorf("core: result does not match dataset (%d labels for %d points)", len(res.Labels), n)
 	}
@@ -28,7 +38,7 @@ func ComputeHalo(pts [][]float64, res *Result, dcut float64, workers int) ([]boo
 	if workers <= 0 {
 		workers = 1
 	}
-	tree := kdtree.BuildAll(pts)
+	tree := kdtree.BuildAll(ds)
 	k := res.NumClusters()
 	// Per-cluster border density, accumulated with per-worker maxima to
 	// stay lock-free.
@@ -52,7 +62,7 @@ func ComputeHalo(pts [][]float64, res *Result, dcut float64, workers int) ([]boo
 				continue
 			}
 			touchesOther := false
-			tree.RangeSearch(pts[i], dcut, func(j int32, _ float64) {
+			tree.RangeSearch(ds.At(i), dcut, func(j int32, _ float64) {
 				if touchesOther {
 					return
 				}

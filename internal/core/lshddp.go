@@ -31,10 +31,15 @@ func (LSHDDP) Name() string { return "LSH-DDP" }
 
 // Cluster implements Algorithm.
 func (a LSHDDP) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (a LSHDDP) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
+	n := ds.N
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -49,7 +54,7 @@ func (a LSHDDP) Cluster(pts [][]float64, p Params) (*Result, error) {
 	}
 
 	start := time.Now()
-	forest := lsh.Build(pts, lp)
+	forest := lsh.Build(ds, lp)
 	res.Timing.Build = time.Since(start)
 
 	sq := p.DCut * p.DCut
@@ -59,10 +64,10 @@ func (a LSHDDP) Cluster(pts [][]float64, p Params) (*Result, error) {
 	staticPartition(n, workers, func(lo, hi int) {
 		stamp := make([]int32, n)
 		for i := lo; i < hi; i++ {
-			pi := pts[i]
+			pi := ds.At(i)
 			count := 1 // self
 			forest.Candidates(int32(i), stamp, int32(i)+1, func(j int32) {
-				if v, ok := geom.SqDistPartial(pi, pts[j], sq); ok && v < sq {
+				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), sq); ok && v < sq {
 					count++
 				}
 			})
@@ -77,14 +82,14 @@ func (a LSHDDP) Cluster(pts [][]float64, p Params) (*Result, error) {
 	staticPartition(n, workers, func(lo, hi int) {
 		stamp := make([]int32, n)
 		for i := lo; i < hi; i++ {
-			pi := pts[i]
+			pi := ds.At(i)
 			bestSq := math.Inf(1)
 			best := NoDependent
 			forest.Candidates(int32(i), stamp, int32(i)+1, func(j int32) {
 				if res.Rho[j] <= res.Rho[i] {
 					return
 				}
-				if v, ok := geom.SqDistPartial(pi, pts[j], bestSq); ok && v < bestSq {
+				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), bestSq); ok && v < bestSq {
 					bestSq, best = v, j
 				}
 			})
@@ -96,7 +101,7 @@ func (a LSHDDP) Cluster(pts [][]float64, p Params) (*Result, error) {
 					if res.Rho[j] <= res.Rho[i] {
 						continue
 					}
-					if v, ok := geom.SqDistPartial(pi, pts[j], bestSq); ok && v < bestSq {
+					if v, ok := geom.SqDistPartial(pi, ds.At(j), bestSq); ok && v < bestSq {
 						bestSq, best = v, int32(j)
 					}
 				}

@@ -35,11 +35,16 @@ func (FastDPeak) Name() string { return "FastDPeak" }
 
 // Cluster implements Algorithm.
 func (a FastDPeak) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (a FastDPeak) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
-	d := len(pts[0])
+	n := ds.N
+	d := ds.Dim
 	k := a.K
 	if k <= 0 {
 		k = 32
@@ -55,7 +60,7 @@ func (a FastDPeak) Cluster(pts [][]float64, p Params) (*Result, error) {
 	workers := p.workers()
 
 	start := time.Now()
-	tree := kdtree.BuildAll(pts)
+	tree := kdtree.BuildAll(ds)
 	res.Timing.Build = time.Since(start)
 
 	// Density phase: a range count per point (Definition 1) plus the kNN
@@ -63,8 +68,8 @@ func (a FastDPeak) Cluster(pts [][]float64, p Params) (*Result, error) {
 	start = time.Now()
 	knnIDs := make([][]int32, n)
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		res.Rho[i] = float64(tree.RangeCount(pts[i], p.DCut)) + jitter(i)
-		ids, _ := tree.KNN(pts[i], k+1) // +1: the query point itself
+		res.Rho[i] = float64(tree.RangeCount(ds.At(i), p.DCut)) + jitter(i)
+		ids, _ := tree.KNN(ds.At(i), k+1) // +1: the query point itself
 		// Drop the self match (distance zero, same index).
 		out := make([]int32, 0, k)
 		for _, id := range ids {
@@ -83,7 +88,7 @@ func (a FastDPeak) Cluster(pts [][]float64, p Params) (*Result, error) {
 		for _, j := range knnIDs[i] { // ascending distance order
 			if res.Rho[j] > res.Rho[i] {
 				res.Dep[i] = j
-				res.Delta[i] = geom.Dist(pts[i], pts[j])
+				res.Delta[i] = geom.DistIdx(ds, int32(i), j)
 				return
 			}
 		}
@@ -95,7 +100,7 @@ func (a FastDPeak) Cluster(pts [][]float64, p Params) (*Result, error) {
 			unresolved = append(unresolved, i)
 		}
 	}
-	exactDependents(pts, res.Rho, unresolved, res.Delta, res.Dep, workers, d)
+	exactDependents(ds, res.Rho, unresolved, res.Delta, res.Dep, workers, d)
 	res.Timing.Delta = time.Since(start)
 
 	start = time.Now()
@@ -116,12 +121,17 @@ type DPCG struct{}
 func (DPCG) Name() string { return "DPCG" }
 
 // Cluster implements Algorithm.
-func (DPCG) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+func (a DPCG) Cluster(pts [][]float64, p Params) (*Result, error) {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (DPCG) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
-	d := len(pts[0])
+	n := ds.N
+	d := ds.Dim
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -131,7 +141,7 @@ func (DPCG) Cluster(pts [][]float64, p Params) (*Result, error) {
 
 	start := time.Now()
 	side := grid.SideForDCut(p.DCut, d)
-	g := grid.Build(pts, side)
+	g := grid.Build(ds, side)
 	res.Timing.Build = time.Since(start)
 
 	// A d_cut ball around a point reaches at most ceil(d_cut/side) cells
@@ -141,11 +151,11 @@ func (DPCG) Cluster(pts [][]float64, p Params) (*Result, error) {
 
 	start = time.Now()
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		pi := pts[i]
+		pi := ds.At(i)
 		count := 0
 		scan := func(c int32) {
 			for _, j := range g.Cells[c].Points {
-				if v, ok := geom.SqDistPartial(pi, pts[j], sq); ok && v < sq {
+				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), sq); ok && v < sq {
 					count++
 				}
 			}
@@ -159,7 +169,7 @@ func (DPCG) Cluster(pts [][]float64, p Params) (*Result, error) {
 
 	start = time.Now()
 	partition.DynamicChunked(n, workers, 8, func(i int) {
-		pi := pts[i]
+		pi := ds.At(i)
 		bestSq := math.Inf(1)
 		best := NoDependent
 		tryCell := func(c int32) {
@@ -167,7 +177,7 @@ func (DPCG) Cluster(pts [][]float64, p Params) (*Result, error) {
 				if res.Rho[j] <= res.Rho[i] {
 					continue
 				}
-				if v, ok := geom.SqDistPartial(pi, pts[j], bestSq); ok && v < bestSq {
+				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), bestSq); ok && v < bestSq {
 					bestSq, best = v, j
 				}
 			}
@@ -227,10 +237,15 @@ func (CFSFDPDE) Name() string { return "CFSFDP-DE" }
 
 // Cluster implements Algorithm.
 func (a CFSFDPDE) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (a CFSFDPDE) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
+	n := ds.N
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -250,13 +265,13 @@ func (a CFSFDPDE) Cluster(pts [][]float64, p Params) (*Result, error) {
 	}
 
 	start := time.Now()
-	km := kmeans.Run(pts, k, 20, p.Seed+3)
+	km := kmeans.Run(ds, k, 20, p.Seed+3)
 	k = len(km.Centroids)
 	pivotDist := make([]float64, n)
 	groups := make([][]int32, k)
 	for i := 0; i < n; i++ {
 		c := km.Assign[i]
-		pivotDist[i] = geom.Dist(pts[i], km.Centroids[c])
+		pivotDist[i] = geom.Dist(ds.At(i), km.Centroids[c])
 		groups[c] = append(groups[c], int32(i))
 	}
 	partition.Dynamic(k, workers, func(c int) {
@@ -300,7 +315,7 @@ func (a CFSFDPDE) Cluster(pts [][]float64, p Params) (*Result, error) {
 			if res.Rho[j] <= res.Rho[i] {
 				continue
 			}
-			if v, ok := geom.SqDistPartial(pts[i], pts[j], bestSq); ok && v < bestSq {
+			if v, ok := geom.SqDistIdxPartial(ds, int32(i), j, bestSq); ok && v < bestSq {
 				bestSq, best = v, j
 			}
 		}
@@ -309,7 +324,7 @@ func (a CFSFDPDE) Cluster(pts [][]float64, p Params) (*Result, error) {
 				if pk < 0 || res.Rho[pk] <= res.Rho[i] {
 					continue
 				}
-				if v, ok := geom.SqDistPartial(pts[i], pts[pk], bestSq); ok && v < bestSq {
+				if v, ok := geom.SqDistIdxPartial(ds, int32(i), pk, bestSq); ok && v < bestSq {
 					bestSq, best = v, pk
 				}
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/geom"
 	"repro/internal/partition"
 	"repro/internal/rtree"
 )
@@ -21,10 +22,15 @@ func (RtreeScan) Name() string { return "R-tree + Scan" }
 
 // Cluster implements Algorithm.
 func (a RtreeScan) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (a RtreeScan) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
+	n := ds.N
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -33,17 +39,17 @@ func (a RtreeScan) Cluster(pts [][]float64, p Params) (*Result, error) {
 	workers := p.workers()
 
 	start := time.Now()
-	tree := rtree.Build(pts, a.Fanout)
+	tree := rtree.Build(ds, a.Fanout)
 	res.Timing.Build = time.Since(start)
 
 	start = time.Now()
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		res.Rho[i] = float64(tree.RangeCount(pts[i], p.DCut)) + jitter(i)
+		res.Rho[i] = float64(tree.RangeCount(ds.At(i), p.DCut)) + jitter(i)
 	})
 	res.Timing.Rho = time.Since(start)
 
 	start = time.Now()
-	res.Delta, res.Dep = scanDelta(pts, res.Rho, workers)
+	res.Delta, res.Dep = scanDelta(ds, res.Rho, workers)
 	res.Timing.Delta = time.Since(start)
 
 	start = time.Now()

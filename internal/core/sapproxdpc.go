@@ -29,12 +29,17 @@ type SApproxDPC struct{}
 func (SApproxDPC) Name() string { return "S-Approx-DPC" }
 
 // Cluster implements Algorithm.
-func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+func (a SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (SApproxDPC) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
-	d := len(pts[0])
+	n := ds.N
+	d := ds.Dim
 	eps := p.epsilon()
 	res := &Result{
 		Rho:   make([]float64, n),
@@ -44,8 +49,8 @@ func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 	workers := p.workers()
 
 	start := time.Now()
-	tree := kdtree.BuildAll(pts)
-	g := grid.Build(pts, eps*grid.SideForDCut(p.DCut, d))
+	tree := kdtree.BuildAll(ds)
+	g := grid.Build(ds, eps*grid.SideForDCut(p.DCut, d))
 	res.Timing.Build = time.Since(start)
 
 	// Picked point of every cell: the first member in dataset order
@@ -65,7 +70,7 @@ func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 		pi := picked[c]
 		count := 0
 		seen := make(map[int32]struct{})
-		tree.RangeSearch(pts[pi], p.DCut, func(id int32, _ float64) {
+		tree.RangeSearch(ds.At(int(pi)), p.DCut, func(id int32, _ float64) {
 			count++
 			if xc := g.PointCell[id]; xc != int32(c) {
 				if _, ok := seen[xc]; !ok {
@@ -108,7 +113,7 @@ func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 			if res.Rho[pj] <= res.Rho[pi] {
 				continue
 			}
-			if v := geom.SqDist(pts[pi], pts[pj]); v < bestSq {
+			if v := geom.SqDist(ds.At(int(pi)), ds.At(int(pj))); v < bestSq {
 				bestSq, best = v, pj
 			}
 		}
@@ -128,9 +133,9 @@ func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 	if len(unresolved)*len(unresolved) > 4*n {
 		// |P'_pick|^2 exceeds O(n): fall back to the Approx-DPC exact
 		// machinery restricted to the picked universe.
-		sApproxSubsetFallback(pts, res, picked, unresolved, workers, d)
+		sApproxSubsetFallback(ds, res, picked, unresolved, workers, d)
 	} else {
-		sApproxTemporaryClusters(pts, g, res, picked, unresolved, workers)
+		sApproxTemporaryClusters(ds, g, res, picked, unresolved, workers)
 	}
 	res.Timing.Delta = time.Since(start)
 
@@ -144,7 +149,7 @@ func (SApproxDPC) Cluster(pts [][]float64, p Params) (*Result, error) {
 // clusters rooted at P'_pick, radii r_i, brute-force nearest denser root
 // p', then triangle-inequality pruning dist(p_i,p_k) - r_k <= dist(p_i,p')
 // over candidate clusters.
-func sApproxTemporaryClusters(pts [][]float64, g *grid.Grid, res *Result, picked, unresolved []int32, workers int) {
+func sApproxTemporaryClusters(ds *geom.Dataset, g *grid.Grid, res *Result, picked, unresolved []int32, workers int) {
 	// Temporary cluster of every picked point = the P'_pick root its
 	// first-phase dependency chain reaches. Memoized chain following.
 	root := make(map[int32]int32, len(picked))
@@ -172,7 +177,7 @@ func sApproxTemporaryClusters(pts [][]float64, g *grid.Grid, res *Result, picked
 	for r, ms := range members {
 		var maxSq float64
 		for _, m := range ms {
-			if v := geom.SqDist(pts[r], pts[m]); v > maxSq {
+			if v := geom.SqDistIdx(ds, r, m); v > maxSq {
 				maxSq = v
 			}
 		}
@@ -188,7 +193,7 @@ func sApproxTemporaryClusters(pts [][]float64, g *grid.Grid, res *Result, picked
 			if res.Rho[pj] <= res.Rho[pi] {
 				continue
 			}
-			if v, ok := geom.SqDistPartial(pts[pi], pts[pj], bestSq); ok && v < bestSq {
+			if v, ok := geom.SqDistIdxPartial(ds, pi, pj, bestSq); ok && v < bestSq {
 				bestSq, best = v, pj
 			}
 		}
@@ -208,14 +213,14 @@ func sApproxTemporaryClusters(pts [][]float64, g *grid.Grid, res *Result, picked
 			if res.Rho[rt] <= res.Rho[pi] {
 				continue
 			}
-			if geom.Dist(pts[pi], pts[rt])-radius[rt] > dPrime {
+			if geom.DistIdx(ds, pi, rt)-radius[rt] > dPrime {
 				continue
 			}
 			for _, m := range ms {
 				if res.Rho[m] <= res.Rho[pi] {
 					continue
 				}
-				if v, ok := geom.SqDistPartial(pts[pi], pts[m], bestSq); ok && (v < bestSq || (v == bestSq && m < best)) {
+				if v, ok := geom.SqDistIdxPartial(ds, pi, m, bestSq); ok && (v < bestSq || (v == bestSq && m < best)) {
 					bestSq, best = v, m
 				}
 			}
@@ -228,13 +233,12 @@ func sApproxTemporaryClusters(pts [][]float64, g *grid.Grid, res *Result, picked
 // sApproxSubsetFallback resolves P'_pick with the Approx-DPC s-subset
 // method over the picked universe: remap picked points into a compact
 // index space, run exactDependents there, and map back.
-func sApproxSubsetFallback(pts [][]float64, res *Result, picked, unresolved []int32, workers, d int) {
-	sub := make([][]float64, len(picked))
+func sApproxSubsetFallback(ds *geom.Dataset, res *Result, picked, unresolved []int32, workers, d int) {
+	sub := ds.Select(picked)
 	rho := make([]float64, len(picked))
 	back := make([]int32, len(picked))
 	fwd := make(map[int32]int32, len(picked))
 	for k, pi := range picked {
-		sub[k] = pts[pi]
 		rho[k] = res.Rho[pi]
 		back[k] = pi
 		fwd[pi] = int32(k)

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/geom"
 	"repro/internal/partition"
 )
 
@@ -16,11 +17,16 @@ type Scan struct{}
 func (Scan) Name() string { return "Scan" }
 
 // Cluster implements Algorithm.
-func (Scan) Cluster(pts [][]float64, p Params) (*Result, error) {
-	if _, err := validateInput(pts, p); err != nil {
+func (a Scan) Cluster(pts [][]float64, p Params) (*Result, error) {
+	return clusterRows(a, pts, p)
+}
+
+// ClusterDataset implements Algorithm.
+func (Scan) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
+	if err := validateInput(ds, p); err != nil {
 		return nil, err
 	}
-	n := len(pts)
+	n := ds.N
 	res := &Result{
 		Rho:   make([]float64, n),
 		Delta: make([]float64, n),
@@ -31,10 +37,10 @@ func (Scan) Cluster(pts [][]float64, p Params) (*Result, error) {
 
 	start := time.Now()
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		pi := pts[i]
+		pi := ds.At(i)
 		count := 0
 		for j := 0; j < n; j++ {
-			pj := pts[j]
+			pj := ds.At(j)
 			var s float64
 			for t := range pi {
 				d := pi[t] - pj[t]
@@ -52,7 +58,7 @@ func (Scan) Cluster(pts [][]float64, p Params) (*Result, error) {
 	res.Timing.Rho = time.Since(start)
 
 	start = time.Now()
-	res.Delta, res.Dep = scanDelta(pts, res.Rho, workers)
+	res.Delta, res.Dep = scanDelta(ds, res.Rho, workers)
 	res.Timing.Delta = time.Since(start)
 
 	start = time.Now()

@@ -114,8 +114,27 @@ func (r *Result) NumClusters() int { return len(r.Centers) }
 type Algorithm interface {
 	// Name returns the paper's name for the algorithm, e.g. "Ex-DPC".
 	Name() string
-	// Cluster runs DPC over pts. Implementations must not retain pts.
+	// Cluster runs DPC over row-slice points. It pays one copy to enter
+	// the flat representation (geom.FromRows) and then delegates to
+	// ClusterDataset; results are identical. Implementations must not
+	// retain pts.
 	Cluster(pts [][]float64, p Params) (*Result, error)
+	// ClusterDataset runs DPC over a flat dataset with no copying — the
+	// native, cache-friendly entry point. Implementations must not retain
+	// ds.
+	ClusterDataset(ds *geom.Dataset, p Params) (*Result, error)
+}
+
+// clusterRows is the shared [][]float64 adapter behind every algorithm's
+// Cluster method: copy once into the flat layout (shape check only —
+// ClusterDataset's validateInput performs the parameter check and the
+// single NaN/Inf scan) and delegate.
+func clusterRows(a Algorithm, pts [][]float64, p Params) (*Result, error) {
+	ds, err := geom.PackRows(pts)
+	if err != nil {
+		return nil, err
+	}
+	return a.ClusterDataset(ds, p)
 }
 
 // jitter returns a deterministic pseudo-random value in (0,1) derived from
@@ -133,13 +152,9 @@ func jitter(i int) float64 {
 }
 
 // validateInput checks the dataset and parameters once per run.
-func validateInput(pts [][]float64, p Params) (int, error) {
+func validateInput(ds *geom.Dataset, p Params) error {
 	if err := p.Validate(); err != nil {
-		return 0, err
+		return err
 	}
-	d, err := geom.ValidateDataset(pts)
-	if err != nil {
-		return 0, err
-	}
-	return d, nil
+	return ds.Validate()
 }

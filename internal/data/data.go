@@ -14,13 +14,17 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/geom"
 )
 
 // Dataset is a named point set with the default DPC parameters the paper
-// uses for it.
+// uses for it. Points are stored flat (row-major geom.Dataset), so the
+// generators allocate one contiguous buffer per dataset instead of one
+// slice per point.
 type Dataset struct {
 	Name   string
-	Points [][]float64
+	Points *geom.Dataset
 	// DCut is the paper's default cutoff distance for this dataset.
 	DCut float64
 	// RhoMin and DeltaMin are defaults chosen per §2 ("rho_min is
@@ -31,10 +35,18 @@ type Dataset struct {
 
 // Dim returns the dataset dimensionality.
 func (d *Dataset) Dim() int {
-	if len(d.Points) == 0 {
+	if d.Points == nil || d.Points.N == 0 {
 		return 0
 	}
-	return len(d.Points[0])
+	return d.Points.Dim
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int {
+	if d.Points == nil {
+		return 0
+	}
+	return d.Points.N
 }
 
 // Syn generates the paper's Syn dataset: a 2-dimensional random-walk
@@ -45,7 +57,7 @@ func (d *Dataset) Dim() int {
 func Syn(n int, noiseRate float64, seed int64) *Dataset {
 	const domain = 1e5
 	rng := rand.New(rand.NewSource(seed))
-	pts := make([][]float64, 0, n)
+	coords := make([]float64, 0, 2*n)
 	// 13 walkers to match the paper's "13 density-peaks" on Syn.
 	const walkers = 13
 	starts := make([][]float64, walkers)
@@ -57,7 +69,7 @@ func Syn(n int, noiseRate float64, seed int64) *Dataset {
 		cur[w] = []float64{starts[w][0], starts[w][1]}
 	}
 	step := domain / 400
-	for len(pts) < n {
+	for len(coords) < 2*n {
 		w := rng.Intn(walkers)
 		if rng.Float64() < 0.002 {
 			// Restart near the walker's home peak so density concentrates.
@@ -68,13 +80,14 @@ func Syn(n int, noiseRate float64, seed int64) *Dataset {
 		cur[w][0] = clamp(cur[w][0]+math.Cos(theta)*step*rng.Float64()*2, 0, domain)
 		cur[w][1] = clamp(cur[w][1]+math.Sin(theta)*step*rng.Float64()*2, 0, domain)
 		// Emit a point near the walker with a tight Gaussian spread.
-		pts = append(pts, []float64{
+		coords = append(coords,
 			clamp(cur[w][0]+rng.NormFloat64()*step/2, 0, domain),
 			clamp(cur[w][1]+rng.NormFloat64()*step/2, 0, domain),
-		})
+		)
 	}
-	applyNoise(pts, noiseRate, domain, rng)
-	return &Dataset{Name: "Syn", Points: pts, DCut: 250, RhoMin: 10, DeltaMin: 5000}
+	ds := geom.NewDataset(coords, 2)
+	applyNoise(ds, noiseRate, domain, rng)
+	return &Dataset{Name: "Syn", Points: ds, DCut: 250, RhoMin: 10, DeltaMin: 5000}
 }
 
 // SSet generates an S1-S4 style benchmark (Fränti & Sieranoja 2018):
@@ -94,17 +107,17 @@ func SSet(grade, n int, seed int64) *Dataset {
 	// Cluster spread grows with the overlap grade: S1 well separated,
 	// S4 heavily overlapping (cf. the original S-sets).
 	sd := domain / 40 * (0.6 + 0.55*float64(grade))
-	pts := make([][]float64, 0, n)
-	for len(pts) < n {
+	coords := make([]float64, 0, 2*n)
+	for len(coords) < 2*n {
 		c := centers[rng.Intn(k)]
-		pts = append(pts, []float64{
+		coords = append(coords,
 			clamp(c[0]+rng.NormFloat64()*sd, 0, domain),
 			clamp(c[1]+rng.NormFloat64()*sd, 0, domain),
-		})
+		)
 	}
 	return &Dataset{
 		Name:   fmt.Sprintf("S%d", grade),
-		Points: pts, DCut: 2500, RhoMin: 5, DeltaMin: 12000,
+		Points: geom.NewDataset(coords, 2), DCut: 2500, RhoMin: 5, DeltaMin: 12000,
 	}
 }
 
@@ -112,8 +125,8 @@ func SSet(grade, n int, seed int64) *Dataset {
 // records, domain [0, 1e6]^3): a mixture of many anisotropic Gaussian
 // hubs of skewed sizes over a broad domain plus 3% uniform background.
 func AirlineLike(n int, seed int64) *Dataset {
-	pts := hubMixture(n, 3, 1e6, 40, 0.03, 1.9, seed)
-	return &Dataset{Name: "Airline", Points: pts, DCut: 1000, RhoMin: 10, DeltaMin: 20000}
+	ds := hubMixture(n, 3, 1e6, 40, 0.03, 1.9, seed)
+	return &Dataset{Name: "Airline", Points: ds, DCut: 1000, RhoMin: 10, DeltaMin: 20000}
 }
 
 // HouseholdLike stands in for the 4-d Household electric-power dataset
@@ -123,20 +136,19 @@ func HouseholdLike(n int, seed int64) *Dataset {
 	const domain = 1e5
 	const regimes = 24
 	centers := scatteredCenters(rng, regimes, 4, domain, domain/20)
-	pts := make([][]float64, 0, n)
-	for len(pts) < n {
+	coords := make([]float64, 0, 4*n)
+	for len(coords) < 4*n {
 		c := centers[rng.Intn(regimes)]
 		// Correlated dims: a shared latent factor plus per-dim noise gives
 		// the ridge structure of appliance load curves.
 		latent := rng.NormFloat64() * domain / 60
-		p := make([]float64, 4)
-		for j := range p {
-			p[j] = clamp(c[j]+latent+rng.NormFloat64()*domain/200, 0, domain)
+		for j := 0; j < 4; j++ {
+			coords = append(coords, clamp(c[j]+latent+rng.NormFloat64()*domain/200, 0, domain))
 		}
-		pts = append(pts, p)
 	}
-	applyNoise(pts, 0.02, domain, rng)
-	return &Dataset{Name: "Household", Points: pts, DCut: 1000, RhoMin: 10, DeltaMin: 15000}
+	ds := geom.NewDataset(coords, 4)
+	applyNoise(ds, 0.02, domain, rng)
+	return &Dataset{Name: "Household", Points: ds, DCut: 1000, RhoMin: 10, DeltaMin: 15000}
 }
 
 // PAMAP2Like stands in for the 4-d PAMAP2 physical-activity dataset
@@ -147,33 +159,32 @@ func PAMAP2Like(n int, seed int64) *Dataset {
 	const domain = 1e5
 	const regimes = 12
 	centers := scatteredCenters(rng, regimes, 4, domain, domain/12)
-	pts := make([][]float64, 0, n)
-	for len(pts) < n {
+	coords := make([]float64, 0, 4*n)
+	for len(coords) < 4*n {
 		c := rng.Intn(regimes)
 		// Regime-specific spread: resting activities are tight, dynamic
 		// ones broad — the skewed-density profile the paper relies on.
 		sd := domain / 150 * (1 + 3*float64(c)/regimes)
-		p := make([]float64, 4)
-		for j := range p {
-			p[j] = clamp(centers[c][j]+rng.NormFloat64()*sd, 0, domain)
+		for j := 0; j < 4; j++ {
+			coords = append(coords, clamp(centers[c][j]+rng.NormFloat64()*sd, 0, domain))
 		}
-		pts = append(pts, p)
 	}
-	applyNoise(pts, 0.03, domain, rng)
-	return &Dataset{Name: "PAMAP2", Points: pts, DCut: 1000, RhoMin: 10, DeltaMin: 15000}
+	ds := geom.NewDataset(coords, 4)
+	applyNoise(ds, 0.03, domain, rng)
+	return &Dataset{Name: "PAMAP2", Points: ds, DCut: 1000, RhoMin: 10, DeltaMin: 15000}
 }
 
 // SensorLike stands in for the 8-d Intel-lab Sensor dataset (928,991
 // rows): mote-signature clusters in 8 dimensions on [0, 1e5]^8.
 func SensorLike(n int, seed int64) *Dataset {
-	pts := hubMixture(n, 8, 1e5, 54, 0.02, 1.4, seed^0x53454e)
-	return &Dataset{Name: "Sensor", Points: pts, DCut: 5000, RhoMin: 10, DeltaMin: 40000}
+	ds := hubMixture(n, 8, 1e5, 54, 0.02, 1.4, seed^0x53454e)
+	return &Dataset{Name: "Sensor", Points: ds, DCut: 5000, RhoMin: 10, DeltaMin: 40000}
 }
 
 // hubMixture draws n points from `hubs` anisotropic Gaussian hubs with
 // Zipf-skewed sizes over [0, domain]^d, plus a uniform background
 // fraction. skew > 1 steepens the hub-size distribution.
-func hubMixture(n, d int, domain float64, hubs int, background, skew float64, seed int64) [][]float64 {
+func hubMixture(n, d int, domain float64, hubs int, background, skew float64, seed int64) *geom.Dataset {
 	rng := rand.New(rand.NewSource(seed))
 	centers := scatteredCenters(rng, hubs, d, domain, domain/30)
 	// Zipf-like hub weights.
@@ -198,14 +209,12 @@ func hubMixture(n, d int, domain float64, hubs int, background, skew float64, se
 		}
 		sds[h] = sd
 	}
-	pts := make([][]float64, 0, n)
-	for len(pts) < n {
+	coords := make([]float64, 0, n*d)
+	for len(coords) < n*d {
 		if rng.Float64() < background {
-			p := make([]float64, d)
-			for j := range p {
-				p[j] = rng.Float64() * domain
+			for j := 0; j < d; j++ {
+				coords = append(coords, rng.Float64()*domain)
 			}
-			pts = append(pts, p)
 			continue
 		}
 		u := rng.Float64()
@@ -213,13 +222,11 @@ func hubMixture(n, d int, domain float64, hubs int, background, skew float64, se
 		for h < hubs-1 && cum[h] < u {
 			h++
 		}
-		p := make([]float64, d)
-		for j := range p {
-			p[j] = clamp(centers[h][j]+rng.NormFloat64()*sds[h][j], 0, domain)
+		for j := 0; j < d; j++ {
+			coords = append(coords, clamp(centers[h][j]+rng.NormFloat64()*sds[h][j], 0, domain))
 		}
-		pts = append(pts, p)
 	}
-	return pts
+	return geom.NewDataset(coords, d)
 }
 
 // scatteredCenters places k centers in [0.1, 0.9]*domain per dimension
@@ -252,14 +259,15 @@ func scatteredCenters(rng *rand.Rand, k, d int, domain, minSep float64) [][]floa
 
 // applyNoise replaces a uniform-random rate of the points with uniform
 // noise over [0, domain]^d, in place.
-func applyNoise(pts [][]float64, rate, domain float64, rng *rand.Rand) {
+func applyNoise(ds *geom.Dataset, rate, domain float64, rng *rand.Rand) {
 	if rate <= 0 {
 		return
 	}
-	for i := range pts {
+	for i := 0; i < ds.N; i++ {
 		if rng.Float64() < rate {
-			for j := range pts[i] {
-				pts[i][j] = rng.Float64() * domain
+			p := ds.At(i)
+			for j := range p {
+				p[j] = rng.Float64() * domain
 			}
 		}
 	}
@@ -272,18 +280,19 @@ func Sample(d *Dataset, rate float64, seed int64) *Dataset {
 		return d
 	}
 	rng := rand.New(rand.NewSource(seed))
-	out := make([][]float64, 0, int(float64(len(d.Points))*rate)+1)
-	for _, p := range d.Points {
+	dim := d.Points.Dim
+	coords := make([]float64, 0, (int(float64(d.Points.N)*rate)+1)*dim)
+	for i := 0; i < d.Points.N; i++ {
 		if rng.Float64() < rate {
-			out = append(out, p)
+			coords = append(coords, d.Points.At(i)...)
 		}
 	}
-	if len(out) == 0 {
-		out = append(out, d.Points[0])
+	if len(coords) == 0 {
+		coords = append(coords, d.Points.At(0)...)
 	}
 	return &Dataset{
 		Name:   fmt.Sprintf("%s@%.2f", d.Name, rate),
-		Points: out, DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin,
+		Points: geom.NewDataset(coords, dim), DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin,
 	}
 }
 

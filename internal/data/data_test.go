@@ -24,13 +24,13 @@ func TestGeneratorsBasics(t *testing.T) {
 		{"Sensor", SensorLike(4000, 1), 8},
 	}
 	for _, g := range gens {
-		if got := len(g.ds.Points); got < 3000 {
+		if got := g.ds.Len(); got < 3000 {
 			t.Errorf("%s: %d points", g.name, got)
 		}
 		if g.ds.Dim() != g.dim {
 			t.Errorf("%s: dim %d, want %d", g.name, g.ds.Dim(), g.dim)
 		}
-		if _, err := geom.ValidateDataset(g.ds.Points); err != nil {
+		if err := g.ds.Points.Validate(); err != nil {
 			t.Errorf("%s: invalid dataset: %v", g.name, err)
 		}
 		if g.ds.DCut <= 0 || g.ds.DeltaMin <= g.ds.DCut {
@@ -42,20 +42,16 @@ func TestGeneratorsBasics(t *testing.T) {
 func TestGeneratorsDeterministic(t *testing.T) {
 	a := AirlineLike(2000, 7)
 	b := AirlineLike(2000, 7)
-	for i := range a.Points {
-		for j := range a.Points[i] {
-			if a.Points[i][j] != b.Points[i][j] {
-				t.Fatal("same seed produced different datasets")
-			}
+	for o, v := range a.Points.Coords {
+		if v != b.Points.Coords[o] {
+			t.Fatal("same seed produced different datasets")
 		}
 	}
 	c := AirlineLike(2000, 8)
 	same := true
-	for i := range a.Points {
-		for j := range a.Points[i] {
-			if a.Points[i][j] != c.Points[i][j] {
-				same = false
-			}
+	for o, v := range a.Points.Coords {
+		if v != c.Points.Coords[o] {
+			same = false
 		}
 	}
 	if same {
@@ -68,7 +64,8 @@ func TestSynHasDensityStructure(t *testing.T) {
 	// Count points in coarse cells; a random-walk mixture must be far from
 	// uniform: max cell count >> mean cell count.
 	counts := map[[2]int]int{}
-	for _, p := range ds.Points {
+	for i := 0; i < ds.Points.N; i++ {
+		p := ds.Points.At(i)
 		counts[[2]int{int(p[0] / 5000), int(p[1] / 5000)}]++
 	}
 	max := 0
@@ -77,7 +74,7 @@ func TestSynHasDensityStructure(t *testing.T) {
 			max = c
 		}
 	}
-	mean := float64(len(ds.Points)) / 400 // 20x20 cells
+	mean := float64(ds.Points.N) / 400 // 20x20 cells
 	if float64(max) < 5*mean {
 		t.Errorf("Syn looks too uniform: max cell %d vs mean %.0f", max, mean)
 	}
@@ -91,14 +88,16 @@ func TestSSetOverlapGrows(t *testing.T) {
 	spreadOf := func(g int) float64 {
 		ds := SSet(g, 4000, 9)
 		var mx, my, sx, sy float64
-		n := float64(len(ds.Points))
-		for _, p := range ds.Points {
+		n := float64(ds.Points.N)
+		for i := 0; i < ds.Points.N; i++ {
+			p := ds.Points.At(i)
 			mx += p[0]
 			my += p[1]
 		}
 		mx /= n
 		my /= n
-		for _, p := range ds.Points {
+		for i := 0; i < ds.Points.N; i++ {
+			p := ds.Points.At(i)
 			sx += (p[0] - mx) * (p[0] - mx)
 			sy += (p[1] - my) * (p[1] - my)
 		}
@@ -112,11 +111,11 @@ func TestSSetOverlapGrows(t *testing.T) {
 		var sum float64
 		for i := 0; i < 200; i++ {
 			best := math.Inf(1)
-			for j := range ds.Points {
+			for j := 0; j < ds.Points.N; j++ {
 				if j == i {
 					continue
 				}
-				if d := geom.Dist(ds.Points[i], ds.Points[j]); d < best {
+				if d := geom.DistIdx(ds.Points, int32(i), int32(j)); d < best {
 					best = d
 				}
 			}
@@ -134,9 +133,10 @@ func TestApplyNoiseRate(t *testing.T) {
 	noisy := Syn(10000, 0.16, 5)
 	// Count far-from-anything points via coarse occupancy: noisy version
 	// must occupy clearly more cells.
-	occ := func(pts [][]float64) int {
+	occ := func(ds *geom.Dataset) int {
 		cells := map[[2]int]bool{}
-		for _, p := range pts {
+		for i := 0; i < ds.N; i++ {
+			p := ds.At(i)
 			cells[[2]int{int(p[0] / 2000), int(p[1] / 2000)}] = true
 		}
 		return len(cells)
@@ -149,7 +149,7 @@ func TestApplyNoiseRate(t *testing.T) {
 func TestSample(t *testing.T) {
 	ds := Syn(10000, 0, 6)
 	half := Sample(ds, 0.5, 1)
-	if r := float64(len(half.Points)) / 10000; r < 0.45 || r > 0.55 {
+	if r := float64(half.Points.N) / 10000; r < 0.45 || r > 0.55 {
 		t.Errorf("sample rate 0.5 kept %.2f", r)
 	}
 	if Sample(ds, 1.0, 1) != ds {
@@ -159,7 +159,7 @@ func TestSample(t *testing.T) {
 		t.Error("sample must preserve default parameters")
 	}
 	tiny := Sample(ds, 1e-9, 1)
-	if len(tiny.Points) == 0 {
+	if tiny.Points.N == 0 {
 		t.Error("sample must never be empty")
 	}
 }
@@ -167,20 +167,20 @@ func TestSample(t *testing.T) {
 func TestCSVRoundTrip(t *testing.T) {
 	pts := [][]float64{{1.5, -2.25, 3}, {0, 1e-9, -1e9}}
 	var buf bytes.Buffer
-	if err := SaveCSV(&buf, pts); err != nil {
+	if err := SaveCSV(&buf, geom.MustFromRows(pts)); err != nil {
 		t.Fatal(err)
 	}
 	got, err := LoadCSV(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 2 {
-		t.Fatalf("loaded %d rows", len(got))
+	if got.N != 2 {
+		t.Fatalf("loaded %d rows", got.N)
 	}
 	for i := range pts {
 		for j := range pts[i] {
-			if got[i][j] != pts[i][j] {
-				t.Errorf("round trip [%d][%d]: %v != %v", i, j, got[i][j], pts[i][j])
+			if got.At(i)[j] != pts[i][j] {
+				t.Errorf("round trip [%d][%d]: %v != %v", i, j, got.At(i)[j], pts[i][j])
 			}
 		}
 	}
@@ -192,7 +192,7 @@ func TestLoadCSVFlexible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 || got[2][1] != 6 {
+	if got.N != 3 || got.At(2)[1] != 6 {
 		t.Fatalf("parsed %v", got)
 	}
 	if _, err := LoadCSV(strings.NewReader("1,2\n3\n")); err == nil {
@@ -213,14 +213,12 @@ func TestBinaryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(ds.Points) {
-		t.Fatalf("loaded %d rows, want %d", len(got), len(ds.Points))
+	if got.N != ds.Points.N {
+		t.Fatalf("loaded %d rows, want %d", got.N, ds.Points.N)
 	}
-	for i := range got {
-		for j := range got[i] {
-			if got[i][j] != ds.Points[i][j] {
-				t.Fatal("binary round trip mismatch")
-			}
+	for o, v := range got.Coords {
+		if v != ds.Points.Coords[o] {
+			t.Fatal("binary round trip mismatch")
 		}
 	}
 }
@@ -230,7 +228,7 @@ func TestBinaryErrors(t *testing.T) {
 		t.Error("truncated header accepted")
 	}
 	var buf bytes.Buffer
-	if err := SaveBinary(&buf, [][]float64{{1, 2}}); err != nil {
+	if err := SaveBinary(&buf, geom.MustFromRows([][]float64{{1, 2}})); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()

@@ -9,12 +9,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/geom"
 )
 
 // SaveCSV writes the points one-per-line as comma-separated coordinates.
-func SaveCSV(w io.Writer, pts [][]float64) error {
+func SaveCSV(w io.Writer, ds *geom.Dataset) error {
 	bw := bufio.NewWriter(w)
-	for _, p := range pts {
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
 		for j, v := range p {
 			if j > 0 {
 				if err := bw.WriteByte(','); err != nil {
@@ -33,11 +36,12 @@ func SaveCSV(w io.Writer, pts [][]float64) error {
 }
 
 // LoadCSV reads comma- or whitespace-separated points, skipping blank
-// lines and lines starting with '#'. All rows must agree in width.
-func LoadCSV(r io.Reader) ([][]float64, error) {
+// lines and lines starting with '#'. All rows must agree in width. The
+// coordinates land directly in one flat buffer — no per-row allocation.
+func LoadCSV(r io.Reader) (*geom.Dataset, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var pts [][]float64
+	var coords []float64
 	width := -1
 	lineNo := 0
 	for sc.Scan() {
@@ -49,25 +53,26 @@ func LoadCSV(r io.Reader) ([][]float64, error) {
 		fields := strings.FieldsFunc(line, func(r rune) bool {
 			return r == ',' || r == ' ' || r == '\t' || r == ';'
 		})
-		p := make([]float64, 0, len(fields))
+		if width == -1 {
+			width = len(fields)
+		} else if len(fields) != width {
+			return nil, fmt.Errorf("data: line %d has %d columns, want %d", lineNo, len(fields), width)
+		}
 		for _, f := range fields {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
 			}
-			p = append(p, v)
+			coords = append(coords, v)
 		}
-		if width == -1 {
-			width = len(p)
-		} else if len(p) != width {
-			return nil, fmt.Errorf("data: line %d has %d columns, want %d", lineNo, len(p), width)
-		}
-		pts = append(pts, p)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return pts, nil
+	if width <= 0 {
+		return &geom.Dataset{}, nil
+	}
+	return geom.NewDataset(coords, width), nil
 }
 
 // binMagic identifies the binary point format.
@@ -75,23 +80,21 @@ const binMagic = uint32(0x44504331) // "DPC1"
 
 // SaveBinary writes points in a compact little-endian binary format
 // (magic, n, d, then n*d float64s) for fast reload of large datasets.
-func SaveBinary(w io.Writer, pts [][]float64) error {
+func SaveBinary(w io.Writer, ds *geom.Dataset) error {
 	bw := bufio.NewWriter(w)
 	d := 0
-	if len(pts) > 0 {
-		d = len(pts[0])
+	if ds.N > 0 {
+		d = ds.Dim
 	}
-	hdr := []uint32{binMagic, uint32(len(pts)), uint32(d)}
+	hdr := []uint32{binMagic, uint32(ds.N), uint32(d)}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
 	buf := make([]byte, 8*d)
-	for _, p := range pts {
-		if len(p) != d {
-			return fmt.Errorf("data: ragged dataset (row width %d, want %d)", len(p), d)
-		}
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
 		for j, v := range p {
 			binary.LittleEndian.PutUint64(buf[8*j:], math.Float64bits(v))
 		}
@@ -102,8 +105,8 @@ func SaveBinary(w io.Writer, pts [][]float64) error {
 	return bw.Flush()
 }
 
-// LoadBinary reads the SaveBinary format.
-func LoadBinary(r io.Reader) ([][]float64, error) {
+// LoadBinary reads the SaveBinary format straight into one flat buffer.
+func LoadBinary(r io.Reader) (*geom.Dataset, error) {
 	br := bufio.NewReader(r)
 	var magic, n, d uint32
 	for _, v := range []*uint32{&magic, &n, &d} {
@@ -117,36 +120,37 @@ func LoadBinary(r io.Reader) ([][]float64, error) {
 	if d == 0 && n > 0 {
 		return nil, fmt.Errorf("data: zero-dimensional points")
 	}
-	pts := make([][]float64, n)
+	if n == 0 {
+		return &geom.Dataset{Dim: int(d)}, nil
+	}
+	coords := make([]float64, int(n)*int(d))
 	buf := make([]byte, 8*d)
-	for i := range pts {
+	for i := 0; i < int(n); i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("data: truncated at row %d: %w", i, err)
 		}
-		p := make([]float64, d)
-		for j := range p {
-			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		for j := 0; j < int(d); j++ {
+			coords[i*int(d)+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
 		}
-		pts[i] = p
 	}
-	return pts, nil
+	return geom.NewDataset(coords, int(d)), nil
 }
 
 // SaveCSVFile and LoadCSVFile are path-based conveniences.
-func SaveCSVFile(path string, pts [][]float64) error {
+func SaveCSVFile(path string, ds *geom.Dataset) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := SaveCSV(f, pts); err != nil {
+	if err := SaveCSV(f, ds); err != nil {
 		return err
 	}
 	return f.Close()
 }
 
 // LoadCSVFile loads a CSV dataset from disk.
-func LoadCSVFile(path string) ([][]float64, error) {
+func LoadCSVFile(path string) (*geom.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,8 @@ package data
 import (
 	"math"
 	"math/rand"
+
+	"repro/internal/geom"
 )
 
 // The shape generators below produce the classic arbitrary-shape
@@ -15,8 +17,8 @@ import (
 // split between two crescents of the given radius and Gaussian noise.
 func TwoMoons(n int, radius, noise float64, seed int64) *Dataset {
 	rng := rand.New(rand.NewSource(seed))
-	pts := make([][]float64, 0, n)
-	for i := 0; len(pts) < n; i++ {
+	coords := make([]float64, 0, 2*n)
+	for i := 0; len(coords) < 2*n; i++ {
 		theta := rng.Float64() * math.Pi
 		var x, y float64
 		if i%2 == 0 {
@@ -26,13 +28,13 @@ func TwoMoons(n int, radius, noise float64, seed int64) *Dataset {
 			x = radius - radius*math.Cos(theta)
 			y = radius/2 - radius*math.Sin(theta)
 		}
-		pts = append(pts, []float64{
-			x + rng.NormFloat64()*noise,
-			y + rng.NormFloat64()*noise,
-		})
+		coords = append(coords,
+			x+rng.NormFloat64()*noise,
+			y+rng.NormFloat64()*noise,
+		)
 	}
 	return &Dataset{
-		Name: "TwoMoons", Points: pts,
+		Name: "TwoMoons", Points: geom.NewDataset(coords, 2),
 		DCut: radius / 12, RhoMin: 3, DeltaMin: radius / 2,
 	}
 }
@@ -60,17 +62,17 @@ func Spirals(n, arms int, turns, noise float64, seed int64) *Dataset {
 		s0 = 0.1
 	}
 	sMax := 3.5 * s0
-	pts := make([][]float64, 0, n)
+	coords := make([]float64, 0, 2*n)
 	for arm := 0; arm < arms; arm++ {
 		for t := 0.0; t < totalTurns; {
 			// Inner-radius offset keeps the arms from merging at the
 			// origin; the x2 pitch keeps adjacent arms ~4 units apart.
 			r := 4 + 2*t
 			phi := t + float64(arm)*2*math.Pi/float64(arms)
-			pts = append(pts, []float64{
-				r*math.Cos(phi) + rng.NormFloat64()*noise,
-				r*math.Sin(phi) + rng.NormFloat64()*noise,
-			})
+			coords = append(coords,
+				r*math.Cos(phi)+rng.NormFloat64()*noise,
+				r*math.Sin(phi)+rng.NormFloat64()*noise,
+			)
 			s := s0 * (1 + 0.3*t)
 			if s > sMax {
 				s = sMax
@@ -79,7 +81,7 @@ func Spirals(n, arms int, turns, noise float64, seed int64) *Dataset {
 		}
 	}
 	return &Dataset{
-		Name: "Spirals", Points: pts,
+		Name: "Spirals", Points: geom.NewDataset(coords, 2),
 		DCut: 1.2, RhoMin: 2, DeltaMin: 6,
 	}
 }

@@ -3,21 +3,20 @@ package data
 import (
 	"math"
 	"testing"
-
-	"repro/internal/geom"
 )
 
 func TestTwoMoons(t *testing.T) {
 	ds := TwoMoons(2000, 100, 4, 1)
-	if len(ds.Points) != 2000 {
-		t.Fatalf("got %d points", len(ds.Points))
+	if ds.Points.N != 2000 {
+		t.Fatalf("got %d points", ds.Points.N)
 	}
-	if _, err := geom.ValidateDataset(ds.Points); err != nil {
+	if err := ds.Points.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	// The two crescents occupy distinct vertical half-planes on average.
 	var upY, downY float64
-	for i, p := range ds.Points {
+	for i := 0; i < ds.Points.N; i++ {
+		p := ds.Points.At(i)
 		if i%2 == 0 {
 			upY += p[1]
 		} else {
@@ -31,15 +30,16 @@ func TestTwoMoons(t *testing.T) {
 
 func TestSpirals(t *testing.T) {
 	ds := Spirals(3000, 3, 2, 0.3, 1)
-	if n := len(ds.Points); n < 2000 || n > 4500 {
+	if n := ds.Points.N; n < 2000 || n > 4500 {
 		t.Fatalf("got %d points, want about 3000", n)
 	}
-	if _, err := geom.ValidateDataset(ds.Points); err != nil {
+	if err := ds.Points.Validate(); err != nil {
 		t.Fatal(err)
 	}
 	// Spiral radius stays bounded by turns * 2 pi (plus noise).
 	maxR := 0.0
-	for _, p := range ds.Points {
+	for i := 0; i < ds.Points.N; i++ {
+		p := ds.Points.At(i)
 		if r := math.Hypot(p[0], p[1]); r > maxR {
 			maxR = r
 		}
@@ -55,8 +55,8 @@ func TestSpirals(t *testing.T) {
 func TestShapesDeterministic(t *testing.T) {
 	a := TwoMoons(500, 50, 2, 9)
 	b := TwoMoons(500, 50, 2, 9)
-	for i := range a.Points {
-		if a.Points[i][0] != b.Points[i][0] {
+	for i := 0; i < a.Points.N; i++ {
+		if a.Points.At(i)[0] != b.Points.At(i)[0] {
 			t.Fatal("TwoMoons not deterministic")
 		}
 	}

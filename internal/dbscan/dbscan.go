@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/geom"
 	"repro/internal/kdtree"
 )
 
@@ -29,13 +30,13 @@ type Result struct {
 // Run executes DBSCAN with radius eps and density threshold minPts
 // (a point is core when at least minPts points, itself included, lie
 // within eps — the inclusive convention of the original paper).
-func Run(pts [][]float64, eps float64, minPts int) *Result {
-	n := len(pts)
+func Run(ds *geom.Dataset, eps float64, minPts int) *Result {
+	n := ds.N
 	res := &Result{Labels: make([]int32, n), Core: make([]bool, n)}
 	if n == 0 {
 		return res
 	}
-	tree := kdtree.BuildAll(pts)
+	tree := kdtree.BuildAll(ds)
 	const unvisited = int32(-2)
 	for i := range res.Labels {
 		res.Labels[i] = unvisited
@@ -45,7 +46,7 @@ func Run(pts [][]float64, eps float64, minPts int) *Result {
 		var out []int32
 		// DBSCAN's eps-neighborhood is closed (dist <= eps); our tree
 		// search is strict, so query with the next float up.
-		tree.RangeSearch(pts[i], math.Nextafter(eps, math.Inf(1)), func(id int32, _ float64) {
+		tree.RangeSearch(ds.At(int(i)), math.Nextafter(eps, math.Inf(1)), func(id int32, _ float64) {
 			out = append(out, id)
 		})
 		return out
@@ -97,12 +98,12 @@ type OPTICSPoint struct {
 }
 
 // OPTICS computes the OPTICS ordering with parameters eps and minPts.
-func OPTICS(pts [][]float64, eps float64, minPts int) []OPTICSPoint {
-	n := len(pts)
+func OPTICS(ds *geom.Dataset, eps float64, minPts int) []OPTICSPoint {
+	n := ds.N
 	if n == 0 {
 		return nil
 	}
-	tree := kdtree.BuildAll(pts)
+	tree := kdtree.BuildAll(ds)
 	processed := make([]bool, n)
 	reach := make([]float64, n)
 	for i := range reach {
@@ -112,7 +113,7 @@ func OPTICS(pts [][]float64, eps float64, minPts int) []OPTICSPoint {
 
 	neighborhood := func(i int32) []nbr {
 		var out []nbr
-		tree.RangeSearch(pts[i], math.Nextafter(eps, math.Inf(1)), func(id int32, sq float64) {
+		tree.RangeSearch(ds.At(int(i)), math.Nextafter(eps, math.Inf(1)), func(id int32, sq float64) {
 			out = append(out, nbr{id: id, d: math.Sqrt(sq)})
 		})
 		sort.Slice(out, func(a, b int) bool { return out[a].d < out[b].d })

@@ -1,6 +1,8 @@
 package dbscan
 
 import (
+	"repro/internal/geom"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +25,7 @@ func blobs(rng *rand.Rand, centers [][]float64, per int, sd float64) [][]float64
 func TestDBSCANSeparatedBlobs(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	pts := blobs(rng, [][]float64{{0, 0}, {100, 0}, {0, 100}}, 150, 3)
-	res := Run(pts, 10, 5)
+	res := Run(geom.MustFromRows(pts), 10, 5)
 	if res.NumClusters != 3 {
 		t.Fatalf("found %d clusters, want 3", res.NumClusters)
 	}
@@ -42,7 +44,7 @@ func TestDBSCANNoise(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pts := blobs(rng, [][]float64{{0, 0}}, 200, 2)
 	pts = append(pts, []float64{500, 500}) // isolated
-	res := Run(pts, 8, 5)
+	res := Run(geom.MustFromRows(pts), 8, 5)
 	if res.Labels[200] != Noise {
 		t.Errorf("isolated point labelled %d, want noise", res.Labels[200])
 	}
@@ -58,7 +60,7 @@ func TestDBSCANBorderAdoption(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		pts = append(pts, []float64{float64(i) * 0.9, 0})
 	}
-	res := Run(pts, 1.0, 3)
+	res := Run(geom.MustFromRows(pts), 1.0, 3)
 	if res.NumClusters != 1 {
 		t.Fatalf("chain gave %d clusters, want 1", res.NumClusters)
 	}
@@ -81,7 +83,7 @@ func TestDBSCANMergesCloseBlobsThatDPCSeparates(t *testing.T) {
 	// Mid-bridge points see exactly 3 neighbors within eps (themselves and
 	// the two adjacent bridge points), so minPts=3 makes the bridge
 	// core-connected.
-	res := Run(pts, 6, 3)
+	res := Run(geom.MustFromRows(pts), 6, 3)
 	majority := func(lo, hi int) int32 {
 		counts := map[int32]int{}
 		for i := lo; i < hi; i++ {
@@ -102,15 +104,15 @@ func TestDBSCANMergesCloseBlobsThatDPCSeparates(t *testing.T) {
 }
 
 func TestDBSCANEmptyAndSingle(t *testing.T) {
-	res := Run(nil, 1, 3)
+	res := Run(&geom.Dataset{}, 1, 3)
 	if res.NumClusters != 0 {
 		t.Error("empty input should have 0 clusters")
 	}
-	res = Run([][]float64{{1, 1}}, 1, 1)
+	res = Run(geom.MustFromRows([][]float64{{1, 1}}), 1, 1)
 	if res.NumClusters != 1 || res.Labels[0] != 0 {
 		t.Errorf("single point with minPts=1: %+v", res)
 	}
-	res = Run([][]float64{{1, 1}}, 1, 2)
+	res = Run(geom.MustFromRows([][]float64{{1, 1}}), 1, 2)
 	if res.Labels[0] != Noise {
 		t.Error("single point with minPts=2 should be noise")
 	}
@@ -119,7 +121,7 @@ func TestDBSCANEmptyAndSingle(t *testing.T) {
 func TestOPTICSOrderingComplete(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := blobs(rng, [][]float64{{0, 0}, {50, 50}}, 100, 3)
-	order := OPTICS(pts, 15, 5)
+	order := OPTICS(geom.MustFromRows(pts), 15, 5)
 	if len(order) != len(pts) {
 		t.Fatalf("ordering has %d entries, want %d", len(order), len(pts))
 	}
@@ -137,7 +139,7 @@ func TestOPTICSValleyStructure(t *testing.T) {
 	// (> blob-internal reachability) where it crosses between blobs.
 	rng := rand.New(rand.NewSource(5))
 	pts := blobs(rng, [][]float64{{0, 0}, {200, 0}}, 120, 3)
-	order := OPTICS(pts, 500, 5)
+	order := OPTICS(geom.MustFromRows(pts), 500, 5)
 	jumps := 0
 	for _, op := range order[1:] {
 		if op.Reachability > 50 {
@@ -154,9 +156,9 @@ func TestExtractDBSCANMatchesRun(t *testing.T) {
 	// (cluster counts match; labels may permute).
 	rng := rand.New(rand.NewSource(6))
 	pts := blobs(rng, [][]float64{{0, 0}, {80, 0}, {0, 80}}, 120, 3)
-	order := OPTICS(pts, 100, 5)
+	order := OPTICS(geom.MustFromRows(pts), 100, 5)
 	ext := ExtractDBSCAN(order, 10)
-	run := Run(pts, 10, 5)
+	run := Run(geom.MustFromRows(pts), 10, 5)
 	if ext.NumClusters != run.NumClusters {
 		t.Fatalf("extract gave %d clusters, Run gave %d", ext.NumClusters, run.NumClusters)
 	}
@@ -188,7 +190,7 @@ func TestExtractDBSCANMatchesRun(t *testing.T) {
 func TestParamsForK(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	pts := blobs(rng, [][]float64{{0, 0}, {100, 0}, {0, 100}, {100, 100}}, 100, 3)
-	order := OPTICS(pts, 500, 5)
+	order := OPTICS(geom.MustFromRows(pts), 500, 5)
 	eps, ok := ParamsForK(order, 4, 20)
 	if !ok {
 		t.Fatal("no threshold for 4 clusters found")
@@ -214,8 +216,8 @@ func TestParamsForK(t *testing.T) {
 func TestOPTICSCoreDistMonotoneInMinPts(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	pts := blobs(rng, [][]float64{{0, 0}}, 150, 5)
-	o3 := OPTICS(pts, 100, 3)
-	o9 := OPTICS(pts, 100, 9)
+	o3 := OPTICS(geom.MustFromRows(pts), 100, 3)
+	o9 := OPTICS(geom.MustFromRows(pts), 100, 9)
 	cd3 := make([]float64, len(pts))
 	cd9 := make([]float64, len(pts))
 	for _, op := range o3 {

@@ -1,0 +1,199 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is a flat, row-major point set: point i occupies
+// Coords[i*Dim : (i+1)*Dim]. One contiguous backing array replaces the
+// [][]float64 representation on every hot path, so the inner distance
+// loops of the clustering algorithms stream over contiguous memory
+// instead of chasing a pointer per point — the cache-conscious layout
+// the paper's multicore speedups assume.
+//
+// The zero value is an empty dataset. Construct with NewDataset over an
+// existing flat buffer (zero copy) or FromRows over row slices (one
+// copy). Mutating Coords after handing the Dataset to an index is the
+// caller's responsibility, exactly as it was for shared [][]float64.
+type Dataset struct {
+	// Coords is the row-major backing array; len(Coords) == N*Dim.
+	Coords []float64
+	// N is the number of points.
+	N int
+	// Dim is the dimensionality of every point.
+	Dim int
+}
+
+// NewDataset wraps an existing flat buffer without copying. It panics
+// when dim < 1 or len(coords) is not a multiple of dim, because that is
+// always a programming error in this codebase.
+func NewDataset(coords []float64, dim int) *Dataset {
+	if dim < 1 {
+		panic(fmt.Sprintf("geom: NewDataset with dim %d", dim))
+	}
+	if len(coords)%dim != 0 {
+		panic(fmt.Sprintf("geom: NewDataset with %d coords not divisible by dim %d", len(coords), dim))
+	}
+	return &Dataset{Coords: coords, N: len(coords) / dim, Dim: dim}
+}
+
+// PackRows copies row-slice points into a fresh flat Dataset, checking
+// only the shape (non-empty, rectangular, d >= 1). Callers that need the
+// NaN/Inf guarantee use FromRows, or run Validate once on the result —
+// the split lets the clustering entry points avoid scanning the
+// coordinates twice.
+func PackRows(rows [][]float64) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("geom: empty dataset")
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, fmt.Errorf("geom: zero-dimensional point at index 0")
+	}
+	coords := make([]float64, 0, len(rows)*d)
+	for i, p := range rows {
+		if len(p) != d {
+			return nil, fmt.Errorf("geom: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		coords = append(coords, p...)
+	}
+	return &Dataset{Coords: coords, N: len(rows), Dim: d}, nil
+}
+
+// FromRows copies row-slice points into a fresh flat Dataset — the one
+// copy the public [][]float64 API pays to enter the flat representation.
+// It validates the rows like ValidateDataset (rectangular, d >= 1, no
+// NaN/Inf).
+func FromRows(rows [][]float64) (*Dataset, error) {
+	ds, err := PackRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// MustFromRows is FromRows for callers with known-good data (tests,
+// generators); it panics on invalid input.
+func MustFromRows(rows [][]float64) *Dataset {
+	ds, err := FromRows(rows)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// At returns point i as a zero-copy subslice of the backing array. The
+// capacity is clipped to Dim so an append through the returned slice can
+// never bleed into the next point.
+func (ds *Dataset) At(i int) Point {
+	o := i * ds.Dim
+	return ds.Coords[o : o+ds.Dim : o+ds.Dim]
+}
+
+// Len returns the number of points.
+func (ds *Dataset) Len() int { return ds.N }
+
+// Coord returns coordinate j of point i straight from the flat buffer —
+// the single place that knows the row-major indexing arithmetic.
+func (ds *Dataset) Coord(i int32, j int) float64 {
+	return ds.Coords[int(i)*ds.Dim+j]
+}
+
+// Rows returns zero-copy row headers over the backing array: Rows()[i]
+// aliases the same memory as At(i). It exists for row-oriented consumers
+// (rendering, CSV emit) at the edge of the system; algorithms should stay
+// on the flat representation.
+func (ds *Dataset) Rows() [][]float64 {
+	rows := make([][]float64, ds.N)
+	for i := range rows {
+		rows[i] = ds.At(i)
+	}
+	return rows
+}
+
+// Select gather-copies the given point indices into a new compact
+// Dataset, preserving order. Used when an algorithm re-indexes a subset
+// of points into its own dense id space.
+func (ds *Dataset) Select(ids []int32) *Dataset {
+	coords := make([]float64, 0, len(ids)*ds.Dim)
+	for _, id := range ids {
+		coords = append(coords, ds.At(int(id))...)
+	}
+	return &Dataset{Coords: coords, N: len(ids), Dim: ds.Dim}
+}
+
+// Validate checks that the dataset is non-empty, at least 1-dimensional,
+// and free of NaN/Inf coordinates — the flat counterpart of
+// ValidateDataset.
+func (ds *Dataset) Validate() error {
+	if ds.N == 0 {
+		return fmt.Errorf("geom: empty dataset")
+	}
+	if ds.Dim == 0 {
+		return fmt.Errorf("geom: zero-dimensional point at index 0")
+	}
+	if len(ds.Coords) != ds.N*ds.Dim {
+		return fmt.Errorf("geom: dataset has %d coords, want %d (N=%d, Dim=%d)", len(ds.Coords), ds.N*ds.Dim, ds.N, ds.Dim)
+	}
+	for o, x := range ds.Coords {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("geom: point %d coordinate %d is %v", o/ds.Dim, o%ds.Dim, x)
+		}
+	}
+	return nil
+}
+
+// Bounds returns the minimum bounding rectangle of the dataset.
+// It panics when the dataset is empty.
+func (ds *Dataset) Bounds() Rect {
+	if ds.N == 0 {
+		panic("geom: Bounds of empty point set")
+	}
+	r := EmptyRect(ds.Dim)
+	for i := 0; i < ds.N; i++ {
+		r.Expand(ds.At(i))
+	}
+	return r
+}
+
+// SqDistIdx returns the squared Euclidean distance between points i and
+// j of the dataset — the flat-index twin of SqDist, and the innermost
+// kernel of every algorithm here.
+func SqDistIdx(ds *Dataset, i, j int32) float64 {
+	d := ds.Dim
+	a := ds.Coords[int(i)*d : int(i)*d+d]
+	b := ds.Coords[int(j)*d : int(j)*d+d]
+	var s float64
+	for t := range a {
+		v := a[t] - b[t]
+		s += v * v
+	}
+	return s
+}
+
+// DistIdx returns the Euclidean distance between points i and j.
+func DistIdx(ds *Dataset, i, j int32) float64 {
+	return math.Sqrt(SqDistIdx(ds, i, j))
+}
+
+// SqDistIdxPartial is the flat-index twin of SqDistPartial: it abandons
+// the sum as soon as it exceeds limit, returning (sum, false); when the
+// full squared distance is at most limit it returns (sum, true).
+func SqDistIdxPartial(ds *Dataset, i, j int32, limit float64) (float64, bool) {
+	d := ds.Dim
+	a := ds.Coords[int(i)*d : int(i)*d+d]
+	b := ds.Coords[int(j)*d : int(j)*d+d]
+	var s float64
+	for t := range a {
+		v := a[t] - b[t]
+		s += v * v
+		if s > limit {
+			return s, false
+		}
+	}
+	return s, true
+}

@@ -16,6 +16,8 @@ package grid
 import (
 	"encoding/binary"
 	"math"
+
+	"repro/internal/geom"
 )
 
 // Cell is one non-empty grid cell.
@@ -48,29 +50,29 @@ type Grid struct {
 	coordLo, coordHi []int64
 }
 
-// Build maps every point of pts into a grid with the given cell side
-// length, creating cells on first touch in dataset order (so cell ids and
-// member orders are deterministic).
-func Build(pts [][]float64, side float64) *Grid {
+// Build maps every point of the flat dataset into a grid with the given
+// cell side length, creating cells on first touch in dataset order (so
+// cell ids and member orders are deterministic).
+func Build(ds *geom.Dataset, side float64) *Grid {
 	if side <= 0 {
 		panic("grid: non-positive side length")
 	}
-	d := 0
-	if len(pts) > 0 {
-		d = len(pts[0])
+	d := ds.Dim
+	if ds.N == 0 {
+		d = 0
 	}
 	g := &Grid{
 		Side:      side,
 		Dim:       d,
-		PointCell: make([]int32, len(pts)),
+		PointCell: make([]int32, ds.N),
 		index:     make(map[string]int32),
 		keyBuf:    make([]byte, 8*d),
 	}
 	g.coordLo = make([]int64, d)
 	g.coordHi = make([]int64, d)
 	coords := make([]int64, d)
-	for i, p := range pts {
-		g.coordsOf(p, coords)
+	for i := 0; i < ds.N; i++ {
+		g.coordsOf(ds.At(i), coords)
 		if i == 0 {
 			copy(g.coordLo, coords)
 			copy(g.coordHi, coords)

@@ -15,7 +15,7 @@ func TestBuildMembership(t *testing.T) {
 		{1.5, 0.5},   // cell (1,0)
 		{-0.5, -0.5}, // cell (-1,-1)
 	}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	if g.NumCells() != 3 {
 		t.Fatalf("NumCells = %d, want 3", g.NumCells())
 	}
@@ -41,7 +41,7 @@ func TestBuildMembership(t *testing.T) {
 
 func TestCellID(t *testing.T) {
 	pts := [][]float64{{0.5, 0.5}}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	if id := g.CellID([]float64{0.2, 0.7}); id != g.PointCell[0] {
 		t.Errorf("CellID of co-resident point = %d, want %d", id, g.PointCell[0])
 	}
@@ -69,7 +69,7 @@ func TestCellDiagonalProperty(t *testing.T) {
 			}
 			pts[i] = p
 		}
-		g := Build(pts, side)
+		g := Build(geom.MustFromRows(pts), side)
 		for _, c := range g.Cells {
 			for _, a := range c.Points {
 				for _, b := range c.Points {
@@ -84,7 +84,7 @@ func TestCellDiagonalProperty(t *testing.T) {
 
 func TestCenter(t *testing.T) {
 	pts := [][]float64{{2.5, 3.5}}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	c := g.Center(g.PointCell[0])
 	if c[0] != 2.5 || c[1] != 3.5 {
 		t.Errorf("Center = %v, want [2.5 3.5]", c)
@@ -98,7 +98,7 @@ func TestCenter(t *testing.T) {
 
 func TestNegativeCoords(t *testing.T) {
 	pts := [][]float64{{-0.1, -0.1}, {-0.9, -0.9}, {0.1, 0.1}}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	if g.PointCell[0] != g.PointCell[1] {
 		t.Error("both negative points belong to cell (-1,-1)")
 	}
@@ -116,7 +116,7 @@ func TestForEachNeighborCell(t *testing.T) {
 			pts = append(pts, []float64{float64(x) + 0.5, float64(y) + 0.5})
 		}
 	}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	center := g.CellIDAt([]int64{1, 1})
 	if center < 0 {
 		t.Fatal("center cell missing")
@@ -149,8 +149,8 @@ func TestDeterministicCellOrder(t *testing.T) {
 	for i := range pts {
 		pts[i] = []float64{rng.Float64() * 20, rng.Float64() * 20}
 	}
-	a := Build(pts, 1.5)
-	b := Build(pts, 1.5)
+	a := Build(geom.MustFromRows(pts), 1.5)
+	b := Build(geom.MustFromRows(pts), 1.5)
 	if a.NumCells() != b.NumCells() {
 		t.Fatal("cell counts differ between identical builds")
 	}
@@ -167,7 +167,7 @@ func TestDeterministicCellOrder(t *testing.T) {
 }
 
 func TestEmptyDataset(t *testing.T) {
-	g := Build(nil, 1.0)
+	g := Build(&geom.Dataset{}, 1.0)
 	if g.NumCells() != 0 {
 		t.Errorf("NumCells = %d", g.NumCells())
 	}
@@ -179,7 +179,7 @@ func TestAllPointsAssigned(t *testing.T) {
 	for i := range pts {
 		pts[i] = []float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10, rng.NormFloat64() * 10}
 	}
-	g := Build(pts, 2.0)
+	g := Build(geom.MustFromRows(pts), 2.0)
 	total := 0
 	for _, c := range g.Cells {
 		total += len(c.Points)

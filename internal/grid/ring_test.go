@@ -1,6 +1,8 @@
 package grid
 
 import (
+	"repro/internal/geom"
+
 	"math/rand"
 	"testing"
 )
@@ -23,7 +25,7 @@ func denseGrid(t *testing.T, dims []int) *Grid {
 		}
 	}
 	rec(nil, 0)
-	return Build(pts, 1.0)
+	return Build(geom.MustFromRows(pts), 1.0)
 }
 
 func TestRingEnumerationExactDistance(t *testing.T) {
@@ -103,7 +105,7 @@ func TestRingSparseGrid(t *testing.T) {
 	// Only a few occupied cells: rings must return exactly the occupied
 	// ones at the right distance.
 	pts := [][]float64{{0.5, 0.5}, {3.5, 0.5}, {0.5, 3.5}}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	origin := g.CellIDAt([]int64{0, 0})
 	count := 0
 	g.ForEachNeighborRing(origin, 3, func(int32) { count++ })
@@ -119,7 +121,7 @@ func TestRingSparseGrid(t *testing.T) {
 
 func TestMaxRing(t *testing.T) {
 	pts := [][]float64{{0.5, 0.5}, {10.5, 0.5}, {0.5, 6.5}}
-	g := Build(pts, 1.0)
+	g := Build(geom.MustFromRows(pts), 1.0)
 	origin := g.CellIDAt([]int64{0, 0})
 	if got := g.MaxRing(origin); got != 10 {
 		t.Errorf("MaxRing = %d, want 10", got)

@@ -6,10 +6,12 @@
 // points; Approx-DPC issues one joint range search per grid cell and builds
 // s small trees for its exact dependent-point phase.
 //
-// The tree stores int32 indices into a caller-owned [][]float64 dataset, so
-// several trees over subsets of one dataset share the point storage. Nodes
-// live in a flat arena to keep pointers out of the GC's way; this matters
-// at the paper's cardinalities (10^6-10^7 points).
+// The tree stores int32 indices into a caller-owned flat geom.Dataset, so
+// several trees over subsets of one dataset share the point storage, and
+// construction is pure index permutation: no point is ever copied and the
+// only allocations are the node arena and the id slice. Nodes live in a
+// flat arena to keep pointers out of the GC's way; this matters at the
+// paper's cardinalities (10^6-10^7 points).
 //
 // Bulk construction splits on the dimension of largest spread at each level
 // (median split via in-place quickselect), yielding the O(n^{1-1/d} + k)
@@ -36,25 +38,31 @@ type node struct {
 // Tree is a kd-tree over a subset of a dataset. The zero value is not
 // usable; construct with New or Build.
 type Tree struct {
-	pts   [][]float64
+	ds    *geom.Dataset
 	nodes []node
 	root  int32
 	dim   int
 }
 
-// New returns an empty tree over the dataset pts (d-dimensional points).
-// Points are added with Insert.
-func New(pts [][]float64, d int) *Tree {
-	return &Tree{pts: pts, root: nilNode, dim: d}
+// at returns point id as a zero-copy subslice of the dataset.
+func (t *Tree) at(id int32) []float64 { return t.ds.At(int(id)) }
+
+// coord returns coordinate dim of point id straight from the flat buffer.
+func (t *Tree) coord(id int32, dim int) float64 { return t.ds.Coord(id, dim) }
+
+// New returns an empty tree over the dataset. Points are added with
+// Insert.
+func New(ds *geom.Dataset) *Tree {
+	return &Tree{ds: ds, root: nilNode, dim: ds.Dim}
 }
 
 // Build bulk-loads a balanced tree over the given point indices.
 // The ids slice is reordered in place.
-func Build(pts [][]float64, ids []int32) *Tree {
-	if len(pts) == 0 {
+func Build(ds *geom.Dataset, ids []int32) *Tree {
+	if ds.N == 0 {
 		panic("kdtree: Build over empty dataset")
 	}
-	t := &Tree{pts: pts, root: nilNode, dim: len(pts[0])}
+	t := &Tree{ds: ds, root: nilNode, dim: ds.Dim}
 	if len(ids) == 0 {
 		return t
 	}
@@ -64,12 +72,12 @@ func Build(pts [][]float64, ids []int32) *Tree {
 }
 
 // BuildAll bulk-loads a tree over every point of the dataset.
-func BuildAll(pts [][]float64) *Tree {
-	ids := make([]int32, len(pts))
+func BuildAll(ds *geom.Dataset) *Tree {
+	ids := make([]int32, ds.N)
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	return Build(pts, ids)
+	return Build(ds, ids)
 }
 
 // Len returns the number of points currently in the tree.
@@ -106,7 +114,7 @@ func (t *Tree) widestDim(ids []int32) int {
 		hi[j] = math.Inf(-1)
 	}
 	for _, id := range ids {
-		p := t.pts[id]
+		p := t.at(id)
 		for j := 0; j < t.dim; j++ {
 			if p[j] < lo[j] {
 				lo[j] = p[j]
@@ -132,7 +140,7 @@ func (t *Tree) selectNth(ids []int32, n, dim int) {
 	for lo < hi {
 		// Median-of-three pivot to dodge quadratic behaviour on sorted input.
 		mid := lo + (hi-lo)/2
-		a, b, c := t.pts[ids[lo]][dim], t.pts[ids[mid]][dim], t.pts[ids[hi]][dim]
+		a, b, c := t.coord(ids[lo], dim), t.coord(ids[mid], dim), t.coord(ids[hi], dim)
 		var pi int
 		switch {
 		case (a <= b) == (b <= c):
@@ -143,10 +151,10 @@ func (t *Tree) selectNth(ids []int32, n, dim int) {
 			pi = hi
 		}
 		ids[pi], ids[hi] = ids[hi], ids[pi]
-		pivot := t.pts[ids[hi]][dim]
+		pivot := t.coord(ids[hi], dim)
 		i := lo
 		for j := lo; j < hi; j++ {
-			if t.pts[ids[j]][dim] < pivot {
+			if t.coord(ids[j], dim) < pivot {
 				ids[i], ids[j] = ids[j], ids[i]
 				i++
 			}
@@ -172,11 +180,11 @@ func (t *Tree) Insert(id int32) {
 		t.root = n
 		return
 	}
-	p := t.pts[id]
+	p := t.at(id)
 	cur := t.root
 	for {
 		nd := &t.nodes[cur]
-		if p[nd.dim] < t.pts[nd.pt][nd.dim] {
+		if p[nd.dim] < t.coord(nd.pt, int(nd.dim)) {
 			if nd.l == nilNode {
 				childDim := int32((int(nd.dim) + 1) % t.dim)
 				t.nodes = append(t.nodes, node{pt: id, dim: childDim, l: nilNode, r: nilNode})
@@ -227,7 +235,7 @@ func (t *Tree) rangeWalk(root int32, q []float64, r, sq float64, fn func(int32, 
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nd := &t.nodes[cur]
-		p := t.pts[nd.pt]
+		p := t.at(nd.pt)
 		if d, ok := geom.SqDistPartial(q, p, sq); ok && d < sq {
 			fn(nd.pt, d)
 		}
@@ -267,7 +275,7 @@ func (t *Tree) NN(q []float64) (int32, float64) {
 
 func (t *Tree) nn(cur int32, q []float64, best *int32, bestSq *float64) {
 	nd := &t.nodes[cur]
-	p := t.pts[nd.pt]
+	p := t.at(nd.pt)
 	if d := geom.SqDist(q, p); d < *bestSq {
 		*bestSq = d
 		*best = nd.pt
@@ -315,7 +323,7 @@ func (t *Tree) NNFiltered(q []float64, keep func(id int32) bool) (int32, float64
 
 func (t *Tree) nnFiltered(cur int32, q []float64, keep func(int32) bool, best *int32, bestSq *float64) {
 	nd := &t.nodes[cur]
-	p := t.pts[nd.pt]
+	p := t.at(nd.pt)
 	if d := geom.SqDist(q, p); d < *bestSq && keep(nd.pt) {
 		*bestSq = d
 		*best = nd.pt
@@ -368,13 +376,13 @@ func (t *Tree) Validate() error {
 		}
 		seen++
 		nd := t.nodes[cur]
-		split := t.pts[nd.pt][nd.dim]
+		split := t.coord(nd.pt, int(nd.dim))
 		var check func(c int32, left bool) error
 		check = func(c int32, left bool) error {
 			if c == nilNode {
 				return nil
 			}
-			v := t.pts[t.nodes[c].pt][nd.dim]
+			v := t.coord(t.nodes[c].pt, int(nd.dim))
 			// Ties may land on either side of the median during bulk
 			// construction, so the invariant is non-strict: left <= split,
 			// right >= split. Search pruning only relies on this weak form.

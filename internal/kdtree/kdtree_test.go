@@ -46,7 +46,7 @@ func TestBuildValidate(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, d := range []int{1, 2, 3, 8} {
 		pts := randPts(rng, 500, d, 100)
-		tr := BuildAll(pts)
+		tr := BuildAll(geom.MustFromRows(pts))
 		if tr.Len() != 500 {
 			t.Fatalf("d=%d: Len = %d, want 500", d, tr.Len())
 		}
@@ -59,7 +59,7 @@ func TestBuildValidate(t *testing.T) {
 func TestBuildBalanced(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pts := randPts(rng, 1<<12, 2, 100)
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	// A median-split tree over 4096 points has height 13; allow slack for
 	// duplicate-coordinate ties.
 	if h := tr.Height(); h > 16 {
@@ -73,7 +73,7 @@ func TestBuildDuplicatePoints(t *testing.T) {
 	for i := range pts {
 		pts[i] = []float64{1, 2}
 	}
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestRangeCountMatchesBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, d := range []int{1, 2, 3, 5, 8} {
 		pts := randPts(rng, 800, d, 50)
-		tr := BuildAll(pts)
+		tr := BuildAll(geom.MustFromRows(pts))
 		for i := 0; i < 50; i++ {
 			q := pts[rng.Intn(len(pts))]
 			r := rng.Float64() * 20
@@ -105,7 +105,7 @@ func TestRangeCountMatchesBrute(t *testing.T) {
 func TestRangeSearchMatchesBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := randPts(rng, 600, 3, 50)
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	for i := 0; i < 40; i++ {
 		q := randPts(rng, 1, 3, 50)[0]
 		r := rng.Float64() * 25
@@ -133,7 +133,7 @@ func TestRangeStrictInequality(t *testing.T) {
 	// Definition 1 counts dist < d_cut strictly: a point exactly at radius r
 	// must not be counted.
 	pts := [][]float64{{0, 0}, {3, 0}, {2.999, 0}}
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	if got := tr.RangeCount([]float64{0, 0}, 3); got != 2 {
 		t.Errorf("strict range count = %d, want 2 (self + 2.999)", got)
 	}
@@ -147,7 +147,7 @@ func TestNNMatchesBrute(t *testing.T) {
 		for i := range ids {
 			ids[i] = int32(i)
 		}
-		tr := BuildAll(pts)
+		tr := BuildAll(geom.MustFromRows(pts))
 		for i := 0; i < 60; i++ {
 			q := randPts(rng, 1, d, 60)[0]
 			_, wantSq := bruteNN(pts, ids, q)
@@ -160,7 +160,7 @@ func TestNNMatchesBrute(t *testing.T) {
 }
 
 func TestNNEmpty(t *testing.T) {
-	tr := New(nil, 2)
+	tr := New(&geom.Dataset{Dim: 2})
 	if id, sq := tr.NN([]float64{0, 0}); id != -1 || !math.IsInf(sq, 1) {
 		t.Errorf("NN on empty tree = (%d, %v), want (-1, +Inf)", id, sq)
 	}
@@ -173,7 +173,7 @@ func TestInsertIncremental(t *testing.T) {
 	// The Ex-DPC pattern: query NN, then insert, repeatedly.
 	rng := rand.New(rand.NewSource(6))
 	pts := randPts(rng, 400, 2, 100)
-	tr := New(pts, 2)
+	tr := New(geom.MustFromRows(pts))
 	var present []int32
 	for i := 0; i < len(pts); i++ {
 		q := pts[i]
@@ -200,7 +200,7 @@ func TestInsertIncremental(t *testing.T) {
 func TestInsertThenRange(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	pts := randPts(rng, 300, 3, 40)
-	tr := New(pts, 3)
+	tr := New(geom.MustFromRows(pts))
 	for i := range pts {
 		tr.Insert(int32(i))
 	}
@@ -215,7 +215,7 @@ func TestInsertThenRange(t *testing.T) {
 
 func TestNNFiltered(t *testing.T) {
 	pts := [][]float64{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	q := []float64{0.4, 0}
 	// Exclude the true nearest (index 0): expect index 1.
 	id, sq := tr.NNFiltered(q, func(id int32) bool { return id != 0 })
@@ -232,7 +232,7 @@ func TestBuildSubset(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	pts := randPts(rng, 200, 2, 10)
 	ids := []int32{5, 17, 99, 150, 151, 152}
-	tr := Build(pts, append([]int32(nil), ids...))
+	tr := Build(geom.MustFromRows(pts), append([]int32(nil), ids...))
 	if tr.Len() != len(ids) {
 		t.Fatalf("subset Len = %d", tr.Len())
 	}
@@ -253,7 +253,7 @@ func TestQuickPropertyRangeConsistency(t *testing.T) {
 	f := func(in q) bool {
 		rng := rand.New(rand.NewSource(in.Seed))
 		pts := randPts(rng, 150, 2, 30)
-		tr := BuildAll(pts)
+		tr := BuildAll(geom.MustFromRows(pts))
 		r := math.Mod(math.Abs(in.R), 30)
 		qp := randPts(rng, 1, 2, 30)[0]
 		return tr.RangeCount(qp, r) == len(bruteRange(pts, qp, r))
@@ -266,7 +266,7 @@ func TestQuickPropertyRangeConsistency(t *testing.T) {
 func TestSelectNth(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	pts := randPts(rng, 101, 1, 1000)
-	tr := &Tree{pts: pts, dim: 1}
+	tr := &Tree{ds: geom.MustFromRows(pts), dim: 1}
 	ids := make([]int32, len(pts))
 	for i := range ids {
 		ids[i] = int32(i)
@@ -290,7 +290,7 @@ func TestSelectNth(t *testing.T) {
 func BenchmarkRangeCount(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))
 	pts := randPts(rng, 100000, 3, 1000)
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.RangeCount(pts[i%len(pts)], 20)
@@ -300,7 +300,7 @@ func BenchmarkRangeCount(b *testing.B) {
 func BenchmarkNN(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	pts := randPts(rng, 100000, 3, 1000)
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.NN(pts[i%len(pts)])

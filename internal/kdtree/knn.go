@@ -27,7 +27,7 @@ func (t *Tree) KNN(q []float64, k int) ([]int32, []float64) {
 
 func (t *Tree) knn(cur int32, q []float64, h *maxHeap) {
 	nd := &t.nodes[cur]
-	p := t.pts[nd.pt]
+	p := t.at(nd.pt)
 	var sq float64
 	for i := range q {
 		d := q[i] - p[i]

@@ -25,7 +25,7 @@ func TestKNNMatchesBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, d := range []int{1, 2, 3, 8} {
 		pts := randPts(rng, 600, d, 50)
-		tr := BuildAll(pts)
+		tr := BuildAll(geom.MustFromRows(pts))
 		for trial := 0; trial < 40; trial++ {
 			q := randPts(rng, 1, d, 60)[0]
 			k := 1 + rng.Intn(20)
@@ -49,7 +49,7 @@ func TestKNNMatchesBrute(t *testing.T) {
 func TestKNNOrdering(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pts := randPts(rng, 300, 2, 10)
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	_, sqs := tr.KNN([]float64{5, 5}, 25)
 	for i := 1; i < len(sqs); i++ {
 		if sqs[i] < sqs[i-1] {
@@ -60,7 +60,7 @@ func TestKNNOrdering(t *testing.T) {
 
 func TestKNNSmallTree(t *testing.T) {
 	pts := [][]float64{{0, 0}, {1, 0}}
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	ids, _ := tr.KNN([]float64{0, 0}, 10)
 	if len(ids) != 2 {
 		t.Fatalf("k > n: got %d results, want 2", len(ids))
@@ -71,7 +71,7 @@ func TestKNNSmallTree(t *testing.T) {
 	if ids, _ := tr.KNN([]float64{0, 0}, 0); ids != nil {
 		t.Error("k=0 should return nil")
 	}
-	empty := New(pts, 2)
+	empty := New(geom.MustFromRows(pts))
 	if ids, _ := empty.KNN([]float64{0, 0}, 3); ids != nil {
 		t.Error("empty tree should return nil")
 	}
@@ -79,7 +79,7 @@ func TestKNNSmallTree(t *testing.T) {
 
 func TestKthNearestSq(t *testing.T) {
 	pts := [][]float64{{0}, {1}, {2}, {3}}
-	tr := BuildAll(pts)
+	tr := BuildAll(geom.MustFromRows(pts))
 	// From q=0: distances 0,1,2,3 -> squared 0,1,4,9.
 	if got := tr.KthNearestSq([]float64{0}, 3); got != 4 {
 		t.Errorf("KthNearestSq(3) = %v, want 4", got)
@@ -92,7 +92,7 @@ func TestKthNearestSq(t *testing.T) {
 func TestKNNOnInsertBuiltTree(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := randPts(rng, 200, 3, 20)
-	tr := New(pts, 3)
+	tr := New(geom.MustFromRows(pts))
 	for i := range pts {
 		tr.Insert(int32(i))
 	}

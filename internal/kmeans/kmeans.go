@@ -21,11 +21,11 @@ type Result struct {
 	Iters int
 }
 
-// Run clusters pts into k groups, iterating at most maxIter times or until
-// assignments stop changing. The seed drives k-means++ initialization.
-// k is clamped to [1, len(pts)].
-func Run(pts [][]float64, k, maxIter int, seed int64) *Result {
-	n := len(pts)
+// Run clusters the flat dataset into k groups, iterating at most maxIter
+// times or until assignments stop changing. The seed drives k-means++
+// initialization. k is clamped to [1, ds.N].
+func Run(ds *geom.Dataset, k, maxIter int, seed int64) *Result {
+	n := ds.N
 	if n == 0 {
 		return &Result{}
 	}
@@ -38,9 +38,9 @@ func Run(pts [][]float64, k, maxIter int, seed int64) *Result {
 	if maxIter < 1 {
 		maxIter = 1
 	}
-	d := len(pts[0])
+	d := ds.Dim
 	rng := rand.New(rand.NewSource(seed))
-	centroids := seedPlusPlus(pts, k, rng)
+	centroids := seedPlusPlus(ds, k, rng)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -60,7 +60,8 @@ func Run(pts [][]float64, k, maxIter int, seed int64) *Result {
 				sums[c][j] = 0
 			}
 		}
-		for i, p := range pts {
+		for i := 0; i < n; i++ {
+			p := ds.At(i)
 			best, bestSq := 0, math.Inf(1)
 			for c, ct := range centroids {
 				if sq := geom.SqDist(p, ct); sq < bestSq {
@@ -83,7 +84,7 @@ func Run(pts [][]float64, k, maxIter int, seed int64) *Result {
 			if counts[c] == 0 {
 				// Re-seed an empty cluster at a random point; keeps all k
 				// pivots useful for the triangle-inequality filter.
-				copy(centroids[c], pts[rng.Intn(n)])
+				copy(centroids[c], ds.At(rng.Intn(n)))
 				continue
 			}
 			for j := 0; j < d; j++ {
@@ -95,14 +96,14 @@ func Run(pts [][]float64, k, maxIter int, seed int64) *Result {
 }
 
 // seedPlusPlus picks k initial centroids with D^2 weighting.
-func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
-	n := len(pts)
+func seedPlusPlus(ds *geom.Dataset, k int, rng *rand.Rand) [][]float64 {
+	n := ds.N
 	centroids := make([][]float64, 0, k)
-	first := geom.Clone(pts[rng.Intn(n)])
+	first := geom.Clone(ds.At(rng.Intn(n)))
 	centroids = append(centroids, first)
 	sqd := make([]float64, n)
-	for i, p := range pts {
-		sqd[i] = geom.SqDist(p, first)
+	for i := 0; i < n; i++ {
+		sqd[i] = geom.SqDist(ds.At(i), first)
 	}
 	for len(centroids) < k {
 		var total float64
@@ -112,7 +113,7 @@ func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
 		var next []float64
 		if total == 0 {
 			// All remaining points coincide with a centroid; any choice works.
-			next = geom.Clone(pts[rng.Intn(n)])
+			next = geom.Clone(ds.At(rng.Intn(n)))
 		} else {
 			target := rng.Float64() * total
 			idx := n - 1
@@ -124,11 +125,11 @@ func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
 					break
 				}
 			}
-			next = geom.Clone(pts[idx])
+			next = geom.Clone(ds.At(idx))
 		}
 		centroids = append(centroids, next)
-		for i, p := range pts {
-			if sq := geom.SqDist(p, next); sq < sqd[i] {
+		for i := 0; i < n; i++ {
+			if sq := geom.SqDist(ds.At(i), next); sq < sqd[i] {
 				sqd[i] = sq
 			}
 		}
@@ -138,10 +139,10 @@ func seedPlusPlus(pts [][]float64, k int, rng *rand.Rand) [][]float64 {
 
 // Inertia returns the sum of squared distances of points to their assigned
 // centroids — the k-means objective, exposed for tests.
-func Inertia(pts [][]float64, r *Result) float64 {
+func Inertia(ds *geom.Dataset, r *Result) float64 {
 	var s float64
-	for i, p := range pts {
-		s += geom.SqDist(p, r.Centroids[r.Assign[i]])
+	for i := 0; i < ds.N; i++ {
+		s += geom.SqDist(ds.At(i), r.Centroids[r.Assign[i]])
 	}
 	return s
 }

@@ -21,7 +21,7 @@ func TestSeparatedClusters(t *testing.T) {
 	pts = append(pts, gauss2(rng, 0, 0, 1, 100)...)
 	pts = append(pts, gauss2(rng, 100, 0, 1, 100)...)
 	pts = append(pts, gauss2(rng, 0, 100, 1, 100)...)
-	r := Run(pts, 3, 50, 7)
+	r := Run(geom.MustFromRows(pts), 3, 50, 7)
 	// Each true group must be pure: all members share one assignment.
 	for g := 0; g < 3; g++ {
 		first := r.Assign[g*100]
@@ -45,8 +45,8 @@ func TestSeparatedClusters(t *testing.T) {
 func TestInertiaDecreasesWithK(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	pts := gauss2(rng, 0, 0, 50, 400)
-	i1 := Inertia(pts, Run(pts, 1, 30, 3))
-	i8 := Inertia(pts, Run(pts, 8, 30, 3))
+	i1 := Inertia(geom.MustFromRows(pts), Run(geom.MustFromRows(pts), 1, 30, 3))
+	i8 := Inertia(geom.MustFromRows(pts), Run(geom.MustFromRows(pts), 8, 30, 3))
 	if i8 >= i1 {
 		t.Errorf("inertia with k=8 (%v) should be below k=1 (%v)", i8, i1)
 	}
@@ -54,25 +54,25 @@ func TestInertiaDecreasesWithK(t *testing.T) {
 
 func TestKClamping(t *testing.T) {
 	pts := [][]float64{{0, 0}, {1, 1}}
-	r := Run(pts, 10, 5, 1)
+	r := Run(geom.MustFromRows(pts), 10, 5, 1)
 	if len(r.Centroids) != 2 {
 		t.Errorf("k clamped to %d, want 2", len(r.Centroids))
 	}
-	r = Run(pts, 0, 5, 1)
+	r = Run(geom.MustFromRows(pts), 0, 5, 1)
 	if len(r.Centroids) != 1 {
 		t.Errorf("k=0 coerced to %d centroids, want 1", len(r.Centroids))
 	}
 }
 
 func TestEmptyAndDuplicates(t *testing.T) {
-	if r := Run(nil, 3, 5, 1); len(r.Centroids) != 0 {
+	if r := Run(&geom.Dataset{}, 3, 5, 1); len(r.Centroids) != 0 {
 		t.Error("empty input should give empty result")
 	}
 	pts := make([][]float64, 20)
 	for i := range pts {
 		pts[i] = []float64{5, 5}
 	}
-	r := Run(pts, 4, 10, 1)
+	r := Run(geom.MustFromRows(pts), 4, 10, 1)
 	for i := range pts {
 		if geom.Dist(r.Centroids[r.Assign[i]], pts[i]) > 1e-9 {
 			t.Fatal("duplicate points must map to a coincident centroid")
@@ -83,8 +83,8 @@ func TestEmptyAndDuplicates(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := gauss2(rng, 10, 10, 5, 200)
-	a := Run(pts, 5, 20, 99)
-	b := Run(pts, 5, 20, 99)
+	a := Run(geom.MustFromRows(pts), 5, 20, 99)
+	b := Run(geom.MustFromRows(pts), 5, 20, 99)
 	for i := range a.Assign {
 		if a.Assign[i] != b.Assign[i] {
 			t.Fatal("same seed produced different assignments")
@@ -95,7 +95,7 @@ func TestDeterminism(t *testing.T) {
 func TestAssignmentIsNearest(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := gauss2(rng, 0, 0, 20, 300)
-	r := Run(pts, 6, 40, 5)
+	r := Run(geom.MustFromRows(pts), 6, 40, 5)
 	for i, p := range pts {
 		my := geom.SqDist(p, r.Centroids[r.Assign[i]])
 		for _, c := range r.Centroids {

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"math"
 	"math/rand"
+
+	"repro/internal/geom"
 )
 
 // Params configures an LSH forest.
@@ -53,8 +55,8 @@ type Forest struct {
 	n      int
 }
 
-// Build hashes every point of pts into all tables.
-func Build(pts [][]float64, p Params) *Forest {
+// Build hashes every point of the flat dataset into all tables.
+func Build(ds *geom.Dataset, p Params) *Forest {
 	if p.Tables < 1 {
 		p.Tables = 1
 	}
@@ -64,12 +66,12 @@ func Build(pts [][]float64, p Params) *Forest {
 	if p.Width <= 0 {
 		panic("lsh: non-positive width")
 	}
-	d := 0
-	if len(pts) > 0 {
-		d = len(pts[0])
+	d := ds.Dim
+	if ds.N == 0 {
+		d = 0
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
-	f := &Forest{params: p, n: len(pts)}
+	f := &Forest{params: p, n: ds.N}
 	f.tables = make([]table, p.Tables)
 	for t := range f.tables {
 		tb := &f.tables[t]
@@ -83,10 +85,10 @@ func Build(pts [][]float64, p Params) *Forest {
 			tb.funcs[h] = hashFunc{a: a, b: rng.Float64() * p.Width}
 		}
 		tb.buckets = make(map[string][]int32)
-		tb.keys = make([]string, len(pts))
+		tb.keys = make([]string, ds.N)
 		keyBuf := make([]byte, 8*p.Hashes)
-		for i, pt := range pts {
-			k := tb.key(pt, keyBuf)
+		for i := 0; i < ds.N; i++ {
+			k := tb.key(ds.At(i), keyBuf)
 			tb.buckets[k] = append(tb.buckets[k], int32(i))
 			tb.keys[i] = k
 		}

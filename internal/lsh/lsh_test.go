@@ -22,7 +22,7 @@ func randPts(rng *rand.Rand, n, d int, scale float64) [][]float64 {
 func TestCandidatesNoSelfNoDup(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	pts := randPts(rng, 500, 3, 100)
-	f := Build(pts, Params{Tables: 5, Hashes: 2, Width: 30, Seed: 7})
+	f := Build(geom.MustFromRows(pts), Params{Tables: 5, Hashes: 2, Width: 30, Seed: 7})
 	stamp := make([]int32, len(pts))
 	for i := int32(0); i < 100; i++ {
 		seen := map[int32]bool{}
@@ -50,7 +50,7 @@ func TestClosePointsShareBuckets(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		pts = append(pts, []float64{1000 + rng.NormFloat64(), 1000 + rng.NormFloat64()})
 	}
-	f := Build(pts, Params{Tables: 6, Hashes: 2, Width: 20, Seed: 3})
+	f := Build(geom.MustFromRows(pts), Params{Tables: 6, Hashes: 2, Width: 20, Seed: 3})
 	stamp := make([]int32, len(pts))
 	intra, inter := 0, 0
 	for i := int32(0); i < int32(len(pts)); i++ {
@@ -76,7 +76,7 @@ func TestRecallWithinWidth(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := randPts(rng, 400, 2, 200)
 	w := 40.0
-	f := Build(pts, DefaultParams(w/4))
+	f := Build(geom.MustFromRows(pts), DefaultParams(w/4))
 	stamp := make([]int32, len(pts))
 	found, total := 0, 0
 	for i := int32(0); i < int32(len(pts)); i++ {
@@ -106,7 +106,7 @@ func TestDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	pts := randPts(rng, 200, 3, 50)
 	p := Params{Tables: 3, Hashes: 2, Width: 10, Seed: 42}
-	a, b := Build(pts, p), Build(pts, p)
+	a, b := Build(geom.MustFromRows(pts), p), Build(geom.MustFromRows(pts), p)
 	sa, sb := a.BucketSizes(), b.BucketSizes()
 	if len(sa) != len(sb) {
 		t.Fatal("bucket structure differs between identical builds")
@@ -115,7 +115,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestParamCoercion(t *testing.T) {
 	pts := [][]float64{{1, 2}, {3, 4}}
-	f := Build(pts, Params{Tables: 0, Hashes: 0, Width: 5})
+	f := Build(geom.MustFromRows(pts), Params{Tables: 0, Hashes: 0, Width: 5})
 	if f.NumTables() != 1 {
 		t.Errorf("Tables coerced to %d, want 1", f.NumTables())
 	}
@@ -124,13 +124,13 @@ func TestParamCoercion(t *testing.T) {
 			t.Error("zero width must panic")
 		}
 	}()
-	Build(pts, Params{Tables: 1, Hashes: 1, Width: 0})
+	Build(geom.MustFromRows(pts), Params{Tables: 1, Hashes: 1, Width: 0})
 }
 
 func TestBucketSizesSumPerTable(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	pts := randPts(rng, 300, 2, 100)
-	f := Build(pts, Params{Tables: 3, Hashes: 1, Width: 25, Seed: 9})
+	f := Build(geom.MustFromRows(pts), Params{Tables: 3, Hashes: 1, Width: 25, Seed: 9})
 	total := 0
 	for _, s := range f.BucketSizes() {
 		total += s

@@ -30,34 +30,36 @@ type node struct {
 
 // Tree is a read-only STR-packed R-tree over dataset point indices.
 type Tree struct {
-	pts    [][]float64
+	ds     *geom.Dataset
 	root   *node
 	fanout int
 	size   int
 }
 
-// Build bulk-loads an R-tree over every point in pts using Sort-Tile-
-// Recursive packing with the given fanout (entries per node).
-func Build(pts [][]float64, fanout int) *Tree {
+// Build bulk-loads an R-tree over every point of the flat dataset using
+// Sort-Tile-Recursive packing with the given fanout (entries per node).
+func Build(ds *geom.Dataset, fanout int) *Tree {
 	if fanout <= 1 {
 		fanout = DefaultFanout
 	}
-	t := &Tree{pts: pts, fanout: fanout, size: len(pts)}
-	if len(pts) == 0 {
+	t := &Tree{ds: ds, fanout: fanout, size: ds.N}
+	if ds.N == 0 {
 		return t
 	}
-	ids := make([]int32, len(pts))
+	ids := make([]int32, ds.N)
 	for i := range ids {
 		ids[i] = int32(i)
 	}
-	d := len(pts[0])
-	leaves := t.packLeaves(ids, d)
+	leaves := t.packLeaves(ids, ds.Dim)
 	t.root = t.packUpward(leaves)
 	return t
 }
 
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.size }
+
+// coord reads coordinate dim of point id straight from the flat buffer.
+func (t *Tree) coord(id int32, dim int) float64 { return t.ds.Coord(id, dim) }
 
 // packLeaves tiles the point ids into leaf nodes: recursively sort by each
 // dimension and cut into vertical slabs sized so that the final groups hold
@@ -68,7 +70,7 @@ func (t *Tree) packLeaves(ids []int32, d int) []*node {
 	for _, g := range groups {
 		n := &node{leaf: true, entries: make([]entry, 0, len(g))}
 		for _, id := range g {
-			p := t.pts[id]
+			p := t.ds.At(int(id))
 			n.entries = append(n.entries, entry{rect: geom.NewRect(p, p), pt: id})
 		}
 		leaves = append(leaves, n)
@@ -80,7 +82,7 @@ func (t *Tree) packLeaves(ids []int32, d int) []*node {
 // on dimension dim and slicing into ceil((len/fanout)^(1/(d-dim))) slabs.
 func (t *Tree) tile(ids []int32, dim, d int) [][]int32 {
 	if len(ids) <= t.fanout || dim == d-1 {
-		sort.Slice(ids, func(a, b int) bool { return t.pts[ids[a]][dim] < t.pts[ids[b]][dim] })
+		sort.Slice(ids, func(a, b int) bool { return t.coord(ids[a], dim) < t.coord(ids[b], dim) })
 		var groups [][]int32
 		for i := 0; i < len(ids); i += t.fanout {
 			j := i + t.fanout
@@ -91,7 +93,7 @@ func (t *Tree) tile(ids []int32, dim, d int) [][]int32 {
 		}
 		return groups
 	}
-	sort.Slice(ids, func(a, b int) bool { return t.pts[ids[a]][dim] < t.pts[ids[b]][dim] })
+	sort.Slice(ids, func(a, b int) bool { return t.coord(ids[a], dim) < t.coord(ids[b], dim) })
 	nGroups := (len(ids) + t.fanout - 1) / t.fanout
 	nSlabs := int(math.Ceil(math.Pow(float64(nGroups), 1/float64(d-dim))))
 	if nSlabs < 1 {
@@ -157,7 +159,7 @@ func (t *Tree) RangeSearch(q []float64, r float64, fn func(id int32, sqDist floa
 		if n.leaf {
 			for i := range n.entries {
 				e := &n.entries[i]
-				if d, ok := geom.SqDistPartial(q, t.pts[e.pt], sq); ok && d < sq {
+				if d, ok := geom.SqDistPartial(q, t.ds.At(int(e.pt)), sq); ok && d < sq {
 					fn(e.pt, d)
 				}
 			}

@@ -31,12 +31,21 @@ func bruteRange(pts [][]float64, q []float64, r float64) []int32 {
 	return out
 }
 
+// flatPts packs rows into a flat dataset, tolerating the empty case.
+func flatPts(pts [][]float64, d int) *geom.Dataset {
+	coords := make([]float64, 0, len(pts)*d)
+	for _, p := range pts {
+		coords = append(coords, p...)
+	}
+	return geom.NewDataset(coords, d)
+}
+
 func TestBuildValidate(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{0, 1, 31, 32, 33, 1000, 5000} {
 		for _, d := range []int{1, 2, 4, 8} {
 			pts := randPts(rng, n, d, 100)
-			tr := Build(pts, 16)
+			tr := Build(flatPts(pts, d), 16)
 			if tr.Len() != n {
 				t.Fatalf("n=%d d=%d: Len = %d", n, d, tr.Len())
 			}
@@ -51,7 +60,7 @@ func TestRangeCountMatchesBrute(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for _, d := range []int{1, 2, 3, 8} {
 		pts := randPts(rng, 900, d, 50)
-		tr := Build(pts, 0) // default fanout
+		tr := Build(geom.MustFromRows(pts), 0) // default fanout
 		for i := 0; i < 50; i++ {
 			q := randPts(rng, 1, d, 50)[0]
 			r := rng.Float64() * 25
@@ -66,7 +75,7 @@ func TestRangeCountMatchesBrute(t *testing.T) {
 func TestRangeSearchIDs(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := randPts(rng, 400, 2, 30)
-	tr := Build(pts, 8)
+	tr := Build(geom.MustFromRows(pts), 8)
 	q := []float64{15, 15}
 	want := bruteRange(pts, q, 10)
 	var got []int32
@@ -89,18 +98,18 @@ func TestRangeSearchIDs(t *testing.T) {
 
 func TestStrictInequality(t *testing.T) {
 	pts := [][]float64{{0, 0}, {5, 0}}
-	tr := Build(pts, 4)
+	tr := Build(geom.MustFromRows(pts), 4)
 	if got := tr.RangeCount([]float64{0, 0}, 5); got != 1 {
 		t.Errorf("point at exactly r must be excluded: count = %d", got)
 	}
 }
 
 func TestEmptyAndSingle(t *testing.T) {
-	tr := Build(nil, 4)
+	tr := Build(&geom.Dataset{}, 4)
 	if got := tr.RangeCount([]float64{0}, 10); got != 0 {
 		t.Errorf("empty tree count = %d", got)
 	}
-	tr = Build([][]float64{{3, 3}}, 4)
+	tr = Build(geom.MustFromRows([][]float64{{3, 3}}), 4)
 	if got := tr.RangeCount([]float64{3, 3}, 1); got != 1 {
 		t.Errorf("single point count = %d", got)
 	}
@@ -112,7 +121,7 @@ func TestEmptyAndSingle(t *testing.T) {
 func TestHeightLogarithmic(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	pts := randPts(rng, 32*32*4, 2, 100)
-	tr := Build(pts, 32)
+	tr := Build(geom.MustFromRows(pts), 32)
 	// 4096 points, fanout 32: 128 leaves -> 4 internal -> 1 root = 3 levels.
 	if h := tr.Height(); h > 4 {
 		t.Errorf("height = %d, want <= 4", h)
@@ -124,7 +133,7 @@ func TestDuplicatePoints(t *testing.T) {
 	for i := range pts {
 		pts[i] = []float64{7, 7, 7}
 	}
-	tr := Build(pts, 8)
+	tr := Build(geom.MustFromRows(pts), 8)
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +145,7 @@ func TestDuplicatePoints(t *testing.T) {
 func BenchmarkRangeCount(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	pts := randPts(rng, 100000, 3, 1000)
-	tr := Build(pts, 0)
+	tr := Build(geom.MustFromRows(pts), 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.RangeCount(pts[i%len(pts)], 20)

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/geom"
 )
 
 // palette holds visually distinct colors for cluster labels; noise is
@@ -32,14 +34,14 @@ func Color(label int32) [3]uint8 {
 // ScatterPPM writes a width x height binary PPM (P6) scatter plot of the
 // 2-d points colored by label. Points beyond two dimensions use their
 // first two coordinates.
-func ScatterPPM(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
+func ScatterPPM(w io.Writer, ds *geom.Dataset, labels []int32, width, height int) error {
 	if width <= 0 || height <= 0 {
 		return fmt.Errorf("vis: non-positive image size %dx%d", width, height)
 	}
-	if len(pts) != len(labels) {
-		return fmt.Errorf("vis: %d points but %d labels", len(pts), len(labels))
+	if ds.N != len(labels) {
+		return fmt.Errorf("vis: %d points but %d labels", ds.N, len(labels))
 	}
-	minX, maxX, minY, maxY := bounds2(pts)
+	minX, maxX, minY, maxY := bounds2(ds)
 	img := make([]uint8, 3*width*height)
 	for i := range img {
 		img[i] = 255
@@ -51,7 +53,8 @@ func ScatterPPM(w io.Writer, pts [][]float64, labels []int32, width, height int)
 		o := 3 * (y*width + x)
 		img[o], img[o+1], img[o+2] = c[0], c[1], c[2]
 	}
-	for i, p := range pts {
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
 		x := scale(p[0], minX, maxX, width)
 		y := height - 1 - scale(p[1], minY, maxY, height)
 		c := Color(labels[i])
@@ -70,15 +73,16 @@ func ScatterPPM(w io.Writer, pts [][]float64, labels []int32, width, height int)
 }
 
 // ScatterSVG writes an SVG scatter plot of the 2-d points colored by label.
-func ScatterSVG(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
-	if len(pts) != len(labels) {
-		return fmt.Errorf("vis: %d points but %d labels", len(pts), len(labels))
+func ScatterSVG(w io.Writer, ds *geom.Dataset, labels []int32, width, height int) error {
+	if ds.N != len(labels) {
+		return fmt.Errorf("vis: %d points but %d labels", ds.N, len(labels))
 	}
-	minX, maxX, minY, maxY := bounds2(pts)
+	minX, maxX, minY, maxY := bounds2(ds)
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
 	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
-	for i, p := range pts {
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
 		x := scale(p[0], minX, maxX, width)
 		y := height - 1 - scale(p[1], minY, maxY, height)
 		c := Color(labels[i])
@@ -129,10 +133,11 @@ func DecisionGraphSVG(w io.Writer, rho, delta []float64, rhoMin, deltaMin float6
 	return bw.Flush()
 }
 
-func bounds2(pts [][]float64) (minX, maxX, minY, maxY float64) {
+func bounds2(ds *geom.Dataset) (minX, maxX, minY, maxY float64) {
 	minX, minY = math.Inf(1), math.Inf(1)
 	maxX, maxY = math.Inf(-1), math.Inf(-1)
-	for _, p := range pts {
+	for i := 0; i < ds.N; i++ {
+		p := ds.At(i)
 		if p[0] < minX {
 			minX = p[0]
 		}
@@ -146,7 +151,7 @@ func bounds2(pts [][]float64) (minX, maxX, minY, maxY float64) {
 			maxY = p[1]
 		}
 	}
-	if len(pts) == 0 {
+	if ds.N == 0 {
 		minX, maxX, minY, maxY = 0, 1, 0, 1
 	}
 	return

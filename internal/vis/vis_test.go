@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/geom"
 )
 
 func TestColor(t *testing.T) {
@@ -23,7 +25,7 @@ func TestScatterPPM(t *testing.T) {
 	pts := [][]float64{{0, 0}, {1, 1}, {0.5, 0.5}}
 	labels := []int32{0, 1, -1}
 	var buf bytes.Buffer
-	if err := ScatterPPM(&buf, pts, labels, 64, 48); err != nil {
+	if err := ScatterPPM(&buf, geom.MustFromRows(pts), labels, 64, 48); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.Bytes()
@@ -50,10 +52,10 @@ func TestScatterPPM(t *testing.T) {
 
 func TestScatterPPMErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := ScatterPPM(&buf, [][]float64{{0, 0}}, []int32{0, 1}, 10, 10); err == nil {
+	if err := ScatterPPM(&buf, geom.MustFromRows([][]float64{{0, 0}}), []int32{0, 1}, 10, 10); err == nil {
 		t.Error("mismatched labels accepted")
 	}
-	if err := ScatterPPM(&buf, nil, nil, 0, 10); err == nil {
+	if err := ScatterPPM(&buf, &geom.Dataset{}, nil, 0, 10); err == nil {
 		t.Error("zero width accepted")
 	}
 }
@@ -61,7 +63,7 @@ func TestScatterPPMErrors(t *testing.T) {
 func TestScatterSVG(t *testing.T) {
 	pts := [][]float64{{0, 0}, {10, 10}}
 	var buf bytes.Buffer
-	if err := ScatterSVG(&buf, pts, []int32{0, 1}, 100, 100); err != nil {
+	if err := ScatterSVG(&buf, geom.MustFromRows(pts), []int32{0, 1}, 100, 100); err != nil {
 		t.Fatal(err)
 	}
 	s := buf.String()
@@ -107,7 +109,7 @@ func TestScaleDegenerate(t *testing.T) {
 
 func TestEmptyScatter(t *testing.T) {
 	var buf bytes.Buffer
-	if err := ScatterPPM(&buf, nil, nil, 8, 8); err != nil {
+	if err := ScatterPPM(&buf, &geom.Dataset{}, nil, 8, 8); err != nil {
 		t.Fatalf("empty scatter: %v", err)
 	}
 }

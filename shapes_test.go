@@ -16,7 +16,7 @@ func TestArbitraryShapesMoons(t *testing.T) {
 	// thresholds come from the decision graph for the known k=2 (the
 	// paper's Figure 1 workflow).
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
-	probe, err := dpc.ClusterExact(ds.Points, p)
+	probe, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestArbitraryShapesMoons(t *testing.T) {
 		t.Fatal("no threshold for k=2")
 	}
 	p.DeltaMin = dm
-	res, err := dpc.Cluster(ds.Points, p)
+	res, err := dpc.ClusterDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,15 +48,15 @@ func TestArbitraryShapesMoons(t *testing.T) {
 		}
 		bad += total - best
 	}
-	if float64(bad) > 0.05*float64(len(ds.Points)) {
-		t.Errorf("moons: %d of %d points mis-clustered", bad, len(ds.Points))
+	if float64(bad) > 0.05*float64(ds.Points.N) {
+		t.Errorf("moons: %d of %d points mis-clustered", bad, ds.Points.N)
 	}
 }
 
 func TestArbitraryShapesSpirals(t *testing.T) {
 	ds := datasets.Spirals(2200, 3, 2, 0.1, 2)
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
-	probe, err := dpc.ClusterExact(ds.Points, p)
+	probe, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestArbitraryShapesSpirals(t *testing.T) {
 		t.Fatal("no threshold for k=3")
 	}
 	p.DeltaMin = dm
-	res, err := dpc.ClusterExact(ds.Points, p)
+	res, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestArbitraryShapesSpirals(t *testing.T) {
 		t.Fatalf("spirals: %d clusters, want 3", res.NumClusters())
 	}
 	// Points are emitted arm by arm, so arm membership is contiguous.
-	perArm := len(ds.Points) / 3
+	perArm := ds.Points.N / 3
 	bad := 0
 	for m := 0; m < 3; m++ {
 		counts := map[int32]int{}
@@ -88,26 +88,26 @@ func TestArbitraryShapesSpirals(t *testing.T) {
 		}
 		bad += perArm - best
 	}
-	if float64(bad) > 0.10*float64(len(ds.Points)) {
-		t.Errorf("spirals: %d of %d points mis-clustered", bad, len(ds.Points))
+	if float64(bad) > 0.10*float64(ds.Points.N) {
+		t.Errorf("spirals: %d of %d points mis-clustered", bad, ds.Points.N)
 	}
 }
 
 func TestHaloPublicAPI(t *testing.T) {
 	ds := datasets.SSet(3, 4000, 3) // heavy overlap: halos must exist
 	p := dpc.Params{DCut: ds.DCut, RhoMin: ds.RhoMin, DeltaMin: ds.DCut * 1.0001}
-	probe, err := dpc.ClusterExact(ds.Points, p)
+	probe, err := dpc.ClusterExactDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dm, ok := dpc.SuggestDeltaMin(probe, 15, ds.RhoMin); ok {
 		p.DeltaMin = dm
 	}
-	res, err := dpc.Cluster(ds.Points, p)
+	res, err := dpc.ClusterDataset(ds.Points, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	halo, err := dpc.ComputeHalo(ds.Points, res, p.DCut, 4)
+	halo, err := dpc.ComputeHaloDataset(ds.Points, res, p.DCut, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestHaloPublicAPI(t *testing.T) {
 	if count == 0 {
 		t.Error("overlapping S3 clusters should produce halo points")
 	}
-	if count > len(ds.Points)*9/10 {
-		t.Errorf("halo covers %d of %d points — too aggressive", count, len(ds.Points))
+	if count > ds.Points.N*9/10 {
+		t.Errorf("halo covers %d of %d points — too aggressive", count, ds.Points.N)
 	}
 }

@@ -7,18 +7,47 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/vis"
 )
 
-// ScatterPPM writes a binary PPM scatter plot of 2-d points colored by
-// cluster label (noise gray).
+// ScatterPPM writes a binary PPM scatter plot of 2-d row-slice points
+// colored by cluster label (noise gray); the rows are packed once into
+// the flat layout.
 func ScatterPPM(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
-	return vis.ScatterPPM(w, pts, labels, width, height)
+	return vis.ScatterPPM(w, packPlot(pts), labels, width, height)
 }
 
-// ScatterSVG writes an SVG scatter plot of 2-d points colored by label.
+// ScatterSVG writes an SVG scatter plot of 2-d row-slice points colored
+// by label; the rows are packed once into the flat layout.
 func ScatterSVG(w io.Writer, pts [][]float64, labels []int32, width, height int) error {
-	return vis.ScatterSVG(w, pts, labels, width, height)
+	return vis.ScatterSVG(w, packPlot(pts), labels, width, height)
+}
+
+// packPlot packs rows for rendering. An empty set stays a valid (blank)
+// plot, as it always was; ragged rows panic loudly rather than render
+// misaligned coordinates.
+func packPlot(pts [][]float64) *geom.Dataset {
+	if len(pts) == 0 {
+		return &geom.Dataset{}
+	}
+	ds, err := geom.PackRows(pts)
+	if err != nil {
+		panic("visual: " + err.Error())
+	}
+	return ds
+}
+
+// ScatterDatasetPPM renders a flat dataset as a PPM scatter plot with no
+// copying — the native path.
+func ScatterDatasetPPM(w io.Writer, ds *geom.Dataset, labels []int32, width, height int) error {
+	return vis.ScatterPPM(w, ds, labels, width, height)
+}
+
+// ScatterDatasetSVG renders a flat dataset as an SVG scatter plot with no
+// copying — the native path.
+func ScatterDatasetSVG(w io.Writer, ds *geom.Dataset, labels []int32, width, height int) error {
+	return vis.ScatterSVG(w, ds, labels, width, height)
 }
 
 // DecisionGraphSVG renders a result's decision graph (Figure 1 style);

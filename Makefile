@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test fmt bench bench-json
+.PHONY: verify build vet test fmt bench bench-json serve ci
 
 # verify is the tier-1 gate: everything must build, vet clean, and pass.
 verify: build vet test
@@ -27,3 +27,12 @@ bench:
 # comparisons.
 bench-json:
 	$(GO) run ./cmd/dpcbench -exp table3,table6 -n 10000 -json BENCH_dpcbench.json
+
+# serve runs the dpcd clustering daemon on a bundled dataset; see the
+# README "Serving: dpcd" section for the API and a curl session.
+serve:
+	$(GO) run ./cmd/dpcd -preload pamap2:20000,s2:5000 -addr :8080
+
+# ci mirrors the GitHub Actions workflow (.github/workflows/ci.yml).
+ci: build vet
+	$(GO) test -race ./...

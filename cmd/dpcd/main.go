@@ -1,0 +1,122 @@
+// Command dpcd is the density-peaks clustering daemon: an HTTP server
+// over the fit-once/assign-many service layer. Datasets are uploaded (or
+// preloaded from the bundled generators), models are fitted at most once
+// per (dataset, algorithm, params) and kept in an LRU cache, and new
+// points are labeled against a fitted model via its kd-tree in
+// microseconds instead of re-clustering.
+//
+// Usage:
+//
+//	dpcd                                  # empty registry on :8080
+//	dpcd -preload pamap2:20000,s2:5000    # serve bundled datasets
+//	dpcd -addr :9000 -workers 8 -cache 16
+//
+// See the README "Serving: dpcd" section for the JSON API and a curl
+// session.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/datasets"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size for fits and batch assigns (0 = all CPUs)")
+		cache   = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
+		preload = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
+		seed    = flag.Int64("seed", 1, "generation seed for preloaded datasets")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers})
+	specs, err := parsePreload(*preload)
+	if err != nil {
+		log.Fatalf("dpcd: %v", err)
+	}
+	for _, sp := range specs {
+		d, ok := datasets.Generate(sp.name, sp.n, *seed)
+		if !ok {
+			log.Fatalf("dpcd: unknown bundled dataset %q; have %s", sp.name, strings.Join(datasets.Names(), ", "))
+		}
+		info, err := svc.PutDataset(sp.name, d.Points)
+		if err != nil {
+			log.Fatalf("dpcd: preload %s: %v", sp.name, err)
+		}
+		log.Printf("dpcd: serving %s (n=%d dim=%d); suggested params dcut=%g rho_min=%g delta_min=%g",
+			info.Name, info.N, info.Dim, d.DCut, d.RhoMin, d.DeltaMin)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(service.NewHandler(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("dpcd: listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("dpcd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("dpcd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// preloadSpec is one -preload element: a bundled dataset name and its
+// cardinality.
+type preloadSpec struct {
+	name string
+	n    int
+}
+
+// parsePreload parses "name[:n]" comma lists; n defaults to 20000.
+func parsePreload(s string) ([]preloadSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []preloadSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sp := preloadSpec{name: part, n: 20000}
+		if name, ns, ok := strings.Cut(part, ":"); ok {
+			n, err := strconv.Atoi(ns)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("bad preload cardinality in %q", part)
+			}
+			sp.name, sp.n = name, n
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+	})
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/datasets"
+)
+
+func TestParsePreload(t *testing.T) {
+	specs, err := parsePreload(" pamap2:20000, s2:5000 ,syn ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []preloadSpec{{"pamap2", 20000}, {"s2", 5000}, {"syn", 20000}}
+	if len(specs) != len(want) {
+		t.Fatalf("got %d specs, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Errorf("spec %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+	if specs, err := parsePreload(""); err != nil || specs != nil {
+		t.Errorf("empty spec: got %v, %v", specs, err)
+	}
+	for _, bad := range []string{"s2:abc", "s2:0", "s2:-5"} {
+		if _, err := parsePreload(bad); err == nil {
+			t.Errorf("parsePreload(%q) accepted bad cardinality", bad)
+		}
+	}
+}
+
+func TestPreloadNamesGenerate(t *testing.T) {
+	// Every advertised bundled name must actually generate, at a tiny
+	// cardinality so the test stays fast.
+	for _, name := range datasets.Names() {
+		d, ok := datasets.Generate(name, 200, 1)
+		if !ok {
+			t.Errorf("Generate(%q) not found", name)
+			continue
+		}
+		if d.Points.N == 0 || d.Points.Dim == 0 {
+			t.Errorf("Generate(%q) produced empty dataset", name)
+		}
+		if d.DCut <= 0 || d.DeltaMin <= d.DCut {
+			t.Errorf("Generate(%q) has unusable default params: %+v", name, d)
+		}
+	}
+}

@@ -53,6 +53,43 @@ func Spirals(n, arms int, turns, noise float64, seed int64) *Dataset {
 	return data.Spirals(n, arms, turns, noise, seed)
 }
 
+// Names lists the bundled generator names accepted by Generate, in
+// presentation order.
+func Names() []string {
+	return []string{
+		"syn", "s1", "s2", "s3", "s4",
+		"airline", "household", "pamap2", "sensor",
+		"moons", "spirals",
+	}
+}
+
+// Generate builds a bundled dataset by name at cardinality n — the
+// dispatch cmd/dpcd and scripts use to serve a workload without shipping
+// CSV files. ok is false for unknown names. Generators with extra
+// parameters use their canonical defaults (Syn: 1% noise; moons: unit
+// radius, 5% noise; spirals: 3 arms, 2 turns, 2% noise).
+func Generate(name string, n int, seed int64) (*Dataset, bool) {
+	switch name {
+	case "syn":
+		return Syn(n, 0.01, seed), true
+	case "s1", "s2", "s3", "s4":
+		return SSet(int(name[1]-'0'), n, seed), true
+	case "airline":
+		return AirlineLike(n, seed), true
+	case "household":
+		return HouseholdLike(n, seed), true
+	case "pamap2":
+		return PAMAP2Like(n, seed), true
+	case "sensor":
+		return SensorLike(n, seed), true
+	case "moons":
+		return TwoMoons(n, 1, 0.05, seed), true
+	case "spirals":
+		return Spirals(n, 3, 2, 0.02, seed), true
+	}
+	return nil, false
+}
+
 // Sample returns a uniform sample of a dataset at the given rate (0, 1].
 func Sample(d *Dataset, rate float64, seed int64) *Dataset { return data.Sample(d, rate, seed) }
 

@@ -90,13 +90,13 @@ func TestFigureExperimentsRenderFiles(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Experiments()) != 16 {
-		t.Errorf("registry has %d experiments, want 16", len(Experiments()))
+	if len(Experiments()) != 17 {
+		t.Errorf("registry has %d experiments, want 17", len(Experiments()))
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Error("unknown experiment found")
 	}
-	if len(Names()) != 16 {
+	if len(Names()) != 17 {
 		t.Error("Names() incomplete")
 	}
 	for _, e := range Experiments() {
@@ -123,6 +123,24 @@ func TestOthersAndAblationsRun(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"FastDPeak", "DPCG", "CFSFDP-DE", "joint", "LPT", "Eq.(2)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestServiceExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	c := smallCfg(t, &buf)
+	e, ok := Lookup("service")
+	if !ok {
+		t.Fatal("service experiment missing")
+	}
+	if err := e.Run(c); err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fit-once", "Ex-DPC", "Approx-DPC", "hit rate", "1 fit(s) performed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

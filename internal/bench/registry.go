@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{"abl-joint", "Ablation: joint vs per-point range search", Config.AblJoint},
 		{"abl-sched", "Ablation: scheduling strategies", Config.AblSched},
 		{"abl-subsets", "Ablation: subset count s", Config.AblSubsets},
+		{"service", "Fit-once/assign-many serving latency and cache hit rate", Config.Service},
 	}
 }
 

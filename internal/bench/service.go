@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/service"
+)
+
+// Service measures the fit-once/assign-many serving layer behind dpcd:
+// cold fit latency vs cached fit latency vs batched assign latency per
+// algorithm, then a concurrent burst that reports the model cache hit
+// rate and single-flight dedup. This is the serving-side counterpart of
+// Table 6 — it shows how much of the per-request cost the model cache
+// removes once the density/dependency computation is paid once.
+func (c Config) Service() error {
+	w := c.w()
+	header(w, "Serving: fit-once vs assign-many (dpcd service layer)")
+
+	d := data.SSet(2, c.n(), c.Seed)
+	svc := service.New(service.Options{Workers: c.threads(), CacheSize: 8})
+	if _, err := svc.PutDataset(d.Name, d.Points); err != nil {
+		return err
+	}
+	p := core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Seed: c.Seed}
+
+	// Query batch: training points perturbed inside the d_cut ball, the
+	// stream-assign workload shape.
+	rng := rand.New(rand.NewSource(c.Seed + 77))
+	batch := make([][]float64, 10000)
+	for i := range batch {
+		base := d.Points.At(rng.Intn(d.Points.N))
+		q := make([]float64, len(base))
+		for j := range q {
+			q[j] = base[j] + rng.NormFloat64()*d.DCut/4
+		}
+		batch[i] = q
+	}
+
+	fmt.Fprintf(w, "dataset %s (n=%d, d=%d), workers=%d, assign batch=%d\n",
+		d.Name, d.Points.N, d.Points.Dim, c.threads(), len(batch))
+	fmt.Fprintf(w, "%-14s %12s %12s %14s %12s %10s\n",
+		"algorithm", "fit cold", "fit cached", "assign batch", "per point", "fit/assign")
+	for _, name := range []string{"Ex-DPC", "Approx-DPC", "S-Approx-DPC"} {
+		start := time.Now()
+		if _, err := svc.Fit(d.Name, name, p); err != nil {
+			return fmt.Errorf("service: %s: %w", name, err)
+		}
+		cold := time.Since(start)
+
+		start = time.Now()
+		fr, err := svc.Fit(d.Name, name, p)
+		if err != nil {
+			return err
+		}
+		cached := time.Since(start)
+		if !fr.CacheHit {
+			return fmt.Errorf("service: %s: second fit missed the cache", name)
+		}
+
+		start = time.Now()
+		if _, _, err := svc.Assign(d.Name, name, p, batch); err != nil {
+			return err
+		}
+		assign := time.Since(start)
+		fmt.Fprintf(w, "%-14s %11.3fs %11.6fs %13.4fs %11.2fus %9.0fx\n",
+			name, secs(cold), secs(cached), secs(assign),
+			float64(assign.Microseconds())/float64(len(batch)),
+			secs(cold)/secs(assign))
+	}
+
+	// Concurrent burst on one uncached key: single-flight must collapse
+	// the fits to one ClusterDataset pass.
+	before := svc.Stats()
+	pb := p
+	pb.DCut *= 1.25 // new key, not yet cached
+	const clients = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := svc.Assign(d.Name, "Approx-DPC", pb, batch[:1000]); err != nil {
+				panic(err) // harness bug, not a measurement
+			}
+		}()
+	}
+	wg.Wait()
+	burst := time.Since(start)
+	st := svc.Stats()
+	fmt.Fprintf(w, "burst: %d concurrent assign clients on one cold model in %.3fs: %d fit(s) performed, %d joined/cached\n",
+		clients, secs(burst), st.CacheMisses-before.CacheMisses, st.CacheHits-before.CacheHits)
+	fmt.Fprintf(w, "cache: %d hits / %d misses, hit rate %.2f, %d models resident\n",
+		st.CacheHits, st.CacheMisses, st.HitRate, st.ModelsCached)
+	return nil
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRegisteredCoversAllTen(t *testing.T) {
+	algs := Registered()
+	if len(algs) != 10 {
+		t.Fatalf("Registered() has %d algorithms, want 10", len(algs))
+	}
+	seen := map[string]bool{}
+	for _, a := range algs {
+		if seen[a.Name()] {
+			t.Errorf("duplicate algorithm name %q", a.Name())
+		}
+		seen[a.Name()] = true
+		got, ok := AlgorithmByName(a.Name())
+		if !ok || got.Name() != a.Name() {
+			t.Errorf("AlgorithmByName(%q) failed", a.Name())
+		}
+	}
+	if _, ok := AlgorithmByName("nope"); ok {
+		t.Error("AlgorithmByName accepted unknown name")
+	}
+}
+
+// TestModelAssignReproducesTrainingLabels is the fit-once/assign-many
+// equivalence guarantee: for every registered algorithm, assigning the
+// training points back through the fitted model's kd-tree reproduces the
+// fitted Labels exactly (each training point's nearest neighbor is
+// itself, at distance zero).
+func TestModelAssignReproducesTrainingLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows, _ := gaussianMix(rng, 5, 120, 30, 2, 200, 3)
+	ds := geom.MustFromRows(rows)
+	p := defaultParams()
+	for _, alg := range Registered() {
+		m, err := Fit(alg, ds, p)
+		if err != nil {
+			t.Fatalf("%s: fit: %v", alg.Name(), err)
+		}
+		if m.Algorithm() != alg.Name() || m.N() != ds.N || m.Dim() != ds.Dim {
+			t.Errorf("%s: model metadata wrong: %+v", alg.Name(), m.Stats())
+		}
+		labels, err := m.AssignDataset(ds, 3)
+		if err != nil {
+			t.Fatalf("%s: assign: %v", alg.Name(), err)
+		}
+		want := m.Result().Labels
+		for i := range labels {
+			if labels[i] != want[i] {
+				t.Fatalf("%s: Assign(training point %d) = %d, fitted label %d",
+					alg.Name(), i, labels[i], want[i])
+			}
+		}
+		// The row-slice batch path must agree with the dataset path.
+		batch, err := m.AssignAll(rows[:50], 2)
+		if err != nil {
+			t.Fatalf("%s: AssignAll: %v", alg.Name(), err)
+		}
+		for i := range batch {
+			if batch[i] != want[i] {
+				t.Fatalf("%s: AssignAll[%d] = %d, want %d", alg.Name(), i, batch[i], want[i])
+			}
+		}
+	}
+}
+
+func TestModelAssignDimensionChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rows, _ := gaussianMix(rng, 3, 80, 10, 2, 200, 3)
+	m, err := Fit(ApproxDPC{}, geom.MustFromRows(rows), defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Assign([]float64{1, 2, 3}); err == nil {
+		t.Error("Assign accepted wrong dimension")
+	}
+	if _, err := m.AssignAll([][]float64{{1, 2}, {1, 2, 3}}, 2); err == nil {
+		t.Error("AssignAll accepted mixed dimensions")
+	}
+	if _, err := m.AssignDataset(geom.MustFromRows([][]float64{{1, 2, 3}}), 2); err == nil {
+		t.Error("AssignDataset accepted wrong dimension")
+	}
+	if out, err := m.AssignAll(nil, 2); err != nil || out == nil || len(out) != 0 {
+		// Non-nil so the serving layer marshals [] rather than null.
+		t.Errorf("empty batch: got %v, %v", out, err)
+	}
+}
+
+func TestModelStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows, _ := gaussianMix(rng, 4, 100, 40, 2, 200, 3)
+	m, err := Fit(ExDPC{}, geom.MustFromRows(rows), defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Algorithm != "Ex-DPC" || s.N != len(rows) || s.Dim != 2 {
+		t.Errorf("stats metadata wrong: %+v", s)
+	}
+	if s.Clusters != m.NumClusters() || s.Clusters == 0 {
+		t.Errorf("stats clusters = %d, model says %d", s.Clusters, m.NumClusters())
+	}
+	if s.Noise == 0 {
+		t.Error("expected some noise points in the mixture fixture")
+	}
+	if s.FitSecs <= 0 {
+		t.Error("fit time not recorded")
+	}
+}
+
+func TestCanonicalParams(t *testing.T) {
+	p := Params{DCut: 8, RhoMin: 5, DeltaMin: 30, Workers: 4, Epsilon: 0.4, Seed: 9}
+	// Deterministic algorithm: Seed and Epsilon are not identity.
+	c := CanonicalParams("Ex-DPC", p)
+	if c.Seed != 0 || c.Epsilon != 0 {
+		t.Errorf("Ex-DPC canonical = %+v, want Seed/Epsilon zeroed", c)
+	}
+	if c.DCut != p.DCut || c.RhoMin != p.RhoMin || c.DeltaMin != p.DeltaMin || c.Workers != p.Workers {
+		t.Errorf("Ex-DPC canonical clobbered real params: %+v", c)
+	}
+	// Randomized substrate: Seed survives.
+	for _, name := range []string{"LSH-DDP", "CFSFDP-A", "CFSFDP-DE"} {
+		if c := CanonicalParams(name, p); c.Seed != 9 {
+			t.Errorf("%s canonical dropped Seed", name)
+		}
+	}
+	// Epsilon matters only to S-Approx-DPC, where <= 0 means 1.
+	if c := CanonicalParams("S-Approx-DPC", p); c.Epsilon != 0.4 {
+		t.Errorf("S-Approx-DPC canonical dropped Epsilon: %+v", c)
+	}
+	pz := p
+	pz.Epsilon = 0
+	if c := CanonicalParams("S-Approx-DPC", pz); c.Epsilon != 1 {
+		t.Errorf("S-Approx-DPC canonical of defaulted Epsilon = %v, want 1", c.Epsilon)
+	}
+	// Canonical params must fit to the same result as the originals.
+	rng := rand.New(rand.NewSource(12))
+	rows, _ := gaussianMix(rng, 3, 80, 10, 2, 200, 3)
+	ds := geom.MustFromRows(rows)
+	for _, alg := range []Algorithm{ExDPC{}, ApproxDPC{}} {
+		a, err := alg.ClusterDataset(ds, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := alg.ClusterDataset(ds, CanonicalParams(alg.Name(), p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				t.Fatalf("%s: canonical params changed label %d", alg.Name(), i)
+			}
+		}
+	}
+}
+
+// TestModelConcurrentFitAssignRace is the -race satellite: every
+// registered algorithm fits with Workers > 1 (exercising
+// partition.Dynamic everywhere and the LPT cost-greedy path in
+// Approx-DPC) while earlier models serve concurrent Assign traffic.
+func TestModelConcurrentFitAssignRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows, _ := gaussianMix(rng, 4, 90, 20, 2, 200, 3)
+	ds := geom.MustFromRows(rows)
+	p := defaultParams() // Workers: 4 > 1
+
+	queries := make([][]float64, 200)
+	for i := range queries {
+		queries[i] = []float64{rng.Float64() * 200, rng.Float64() * 200}
+	}
+
+	var wg sync.WaitGroup
+	for _, alg := range Registered() {
+		wg.Add(1)
+		go func(alg Algorithm) {
+			defer wg.Done()
+			m, err := Fit(alg, ds, p)
+			if err != nil {
+				t.Errorf("%s: fit: %v", alg.Name(), err)
+				return
+			}
+			// Hammer the fitted model from several goroutines while the
+			// other algorithms are still fitting on the shared dataset.
+			var ag sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				ag.Add(1)
+				go func() {
+					defer ag.Done()
+					if _, err := m.AssignAll(queries, 2); err != nil {
+						t.Errorf("%s: AssignAll: %v", alg.Name(), err)
+					}
+					for _, q := range queries[:32] {
+						if _, err := m.Assign(q); err != nil {
+							t.Errorf("%s: Assign: %v", alg.Name(), err)
+						}
+					}
+				}()
+			}
+			ag.Wait()
+		}(alg)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,159 @@
+package data
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV guards the dpcd upload path: arbitrary CSV bodies must
+// parse or error, never panic, and an accepted dataset must be
+// internally consistent and round-trip through SaveCSV losslessly.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add([]byte("1,2\n3,4\n"))
+	f.Add([]byte("# comment\n\n1.5 2.5\n-3e10\t4e-10\n"))
+	f.Add([]byte("1;2;3\n4;5;6\n"))
+	f.Add([]byte("1,2\n3\n"))               // ragged
+	f.Add([]byte("NaN,Inf\n"))              // parses; rejected later by Validate
+	f.Add([]byte("a,b\n"))                  // not numbers
+	f.Add([]byte(""))                       // empty
+	f.Add([]byte(",,,\n"))                  // separators only
+	f.Add([]byte("0x1p10,2\n"))             // hex float (ParseFloat accepts)
+	f.Add([]byte("1e999,0\n"))              // overflows float64
+	f.Add(bytes.Repeat([]byte("7,"), 4096)) // one very wide line
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ds, err := LoadCSV(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if ds.N*ds.Dim != len(ds.Coords) {
+			t.Fatalf("inconsistent dataset: N=%d Dim=%d coords=%d", ds.N, ds.Dim, len(ds.Coords))
+		}
+		if ds.N == 0 {
+			return
+		}
+		for _, x := range ds.Coords {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				// Loadable but not clusterable; Validate (which every
+				// serving path runs) must reject it without panicking.
+				if ds.Validate() == nil {
+					t.Fatal("Validate accepted NaN/Inf coordinates")
+				}
+				return
+			}
+		}
+		// Finite datasets round-trip exactly: 'g'/-1 formatting is
+		// lossless for float64.
+		var buf bytes.Buffer
+		if err := SaveCSV(&buf, ds); err != nil {
+			t.Fatalf("SaveCSV: %v", err)
+		}
+		ds2, err := LoadCSV(&buf)
+		if err != nil {
+			t.Fatalf("reload: %v", err)
+		}
+		if ds2.N != ds.N || ds2.Dim != ds.Dim {
+			t.Fatalf("round-trip shape changed: (%d,%d) -> (%d,%d)", ds.N, ds.Dim, ds2.N, ds2.Dim)
+		}
+		for i := range ds.Coords {
+			if ds2.Coords[i] != ds.Coords[i] {
+				t.Fatalf("round-trip coord %d: %v -> %v", i, ds.Coords[i], ds2.Coords[i])
+			}
+		}
+	})
+}
+
+// FuzzLoadBinary guards the DPC1 binary upload path: hostile headers
+// (huge n, huge d, n*d overflowing int) and truncated bodies must error
+// without panicking or allocating unboundedly.
+func FuzzLoadBinary(f *testing.F) {
+	valid := func(n, d uint32, vals []float64) []byte {
+		var buf bytes.Buffer
+		for _, h := range []uint32{0x44504331, n, d} {
+			binary.Write(&buf, binary.LittleEndian, h)
+		}
+		binary.Write(&buf, binary.LittleEndian, vals)
+		return buf.Bytes()
+	}
+	f.Add(valid(2, 2, []float64{1, 2, 3, 4}))
+	f.Add(valid(0, 3, nil))
+	f.Add(valid(5, 2, []float64{1, 2})) // truncated body
+	f.Add(valid(1, 0, nil))             // zero-dimensional
+	// Header claims ~2^32 rows x 2^32 dims: int(n)*int(d) would overflow.
+	f.Add(valid(4294967295, 4294967295, nil))
+	f.Add(valid(1, 4294967295, nil)) // implausible dimensionality
+	f.Add([]byte("not a DPC1 file"))
+	f.Add([]byte{0x31, 0x43, 0x50, 0x44}) // magic only, header truncated
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		ds, err := LoadBinary(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if ds.N*ds.Dim != len(ds.Coords) {
+			t.Fatalf("inconsistent dataset: N=%d Dim=%d coords=%d", ds.N, ds.Dim, len(ds.Coords))
+		}
+		if ds.N == 0 {
+			return // SaveBinary writes d=0 for empty datasets; Dim does not round-trip
+		}
+		// Accepted payloads round-trip byte-identically (bit patterns are
+		// preserved even for NaN).
+		var buf bytes.Buffer
+		if err := SaveBinary(&buf, ds); err != nil {
+			t.Fatalf("SaveBinary: %v", err)
+		}
+		ds2, err := LoadBinary(&buf)
+		if err != nil {
+			t.Fatalf("reload: %v", err)
+		}
+		if ds2.N != ds.N || ds2.Dim != ds.Dim || len(ds2.Coords) != len(ds.Coords) {
+			t.Fatalf("round-trip shape changed: (%d,%d) -> (%d,%d)", ds.N, ds.Dim, ds2.N, ds2.Dim)
+		}
+		for i := range ds.Coords {
+			if math.Float64bits(ds2.Coords[i]) != math.Float64bits(ds.Coords[i]) {
+				t.Fatalf("round-trip coord %d changed bits", i)
+			}
+		}
+	})
+}
+
+// TestLoadBinaryHostileHeaders pins the specific regressions the fuzz
+// targets exist for, so they are exercised on every plain `go test` run
+// too.
+func TestLoadBinaryHostileHeaders(t *testing.T) {
+	header := func(n, d uint32) []byte {
+		var buf bytes.Buffer
+		for _, h := range []uint32{0x44504331, n, d} {
+			binary.Write(&buf, binary.LittleEndian, h)
+		}
+		return buf.Bytes()
+	}
+	cases := map[string][]byte{
+		"overflowing n*d":   header(4294967295, 4294967295),
+		"huge row count":    header(4294967295, 2),
+		"implausible dim":   header(1, 1<<20+1),
+		"truncated body":    append(header(10, 2), 1, 2, 3),
+		"zero-dim nonempty": header(3, 0),
+		"bad magic":         []byte("XXXXYYYYZZZZ"),
+		"empty input":       {},
+	}
+	for name, raw := range cases {
+		if _, err := LoadBinary(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadCSVRaggedAndJunk(t *testing.T) {
+	for name, body := range map[string]string{
+		"ragged":        "1,2\n3\n",
+		"words":         "hello,world\n",
+		"overlong line": "1," + strings.Repeat("2,", 1<<20) + "3\n",
+	} {
+		if _, err := LoadCSV(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -105,7 +105,22 @@ func SaveBinary(w io.Writer, ds *geom.Dataset) error {
 	return bw.Flush()
 }
 
+// maxBinaryDim bounds the header dimensionality LoadBinary accepts: a
+// larger value is a corrupt or hostile header, not a dataset (the row
+// buffer alone would be gigabytes).
+const maxBinaryDim = 1 << 20
+
+// loadPrealloc caps the coordinate buffer reserved up front from the
+// header's (n, d) claim; the rest grows by append as rows actually
+// arrive, so a forged multi-billion-row header costs at most this much
+// memory before the truncated-input error fires.
+const loadPrealloc = 1 << 22 // 4M floats = 32 MiB
+
 // LoadBinary reads the SaveBinary format straight into one flat buffer.
+// The header's row count and dimensionality are untrusted — dpcd feeds
+// uploads directly into this — so allocation is bounded by the bytes
+// actually present, and truncated, oversized, or int-overflowing headers
+// return errors instead of panicking.
 func LoadBinary(r io.Reader) (*geom.Dataset, error) {
 	br := bufio.NewReader(r)
 	var magic, n, d uint32
@@ -120,17 +135,26 @@ func LoadBinary(r io.Reader) (*geom.Dataset, error) {
 	if d == 0 && n > 0 {
 		return nil, fmt.Errorf("data: zero-dimensional points")
 	}
+	if d > maxBinaryDim {
+		return nil, fmt.Errorf("data: implausible dimensionality %d (max %d)", d, maxBinaryDim)
+	}
 	if n == 0 {
 		return &geom.Dataset{Dim: int(d)}, nil
 	}
-	coords := make([]float64, int(n)*int(d))
+	// uint64(n)*uint64(d) cannot overflow (both < 2^32), unlike the int
+	// product a full up-front make would need.
+	prealloc := uint64(n) * uint64(d)
+	if prealloc > loadPrealloc {
+		prealloc = loadPrealloc
+	}
+	coords := make([]float64, 0, prealloc)
 	buf := make([]byte, 8*d)
 	for i := 0; i < int(n); i++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("data: truncated at row %d: %w", i, err)
 		}
 		for j := 0; j < int(d); j++ {
-			coords[i*int(d)+j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+			coords = append(coords, math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:])))
 		}
 	}
 	return geom.NewDataset(coords, int(d)), nil

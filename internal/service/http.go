@@ -1,0 +1,222 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geom"
+)
+
+// ParamsJSON is the wire form of core.Params. Workers is deliberately
+// absent: thread count is server policy, not model identity.
+type ParamsJSON struct {
+	DCut     float64 `json:"dcut"`
+	RhoMin   float64 `json:"rho_min"`
+	DeltaMin float64 `json:"delta_min"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+}
+
+func (p ParamsJSON) core() core.Params {
+	return core.Params{
+		DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin,
+		Epsilon: p.Epsilon, Seed: p.Seed,
+	}
+}
+
+// FitRequest is the body of POST /v1/fit and the model half of
+// POST /v1/assign.
+type FitRequest struct {
+	Dataset   string     `json:"dataset"`
+	Algorithm string     `json:"algorithm"`
+	Params    ParamsJSON `json:"params"`
+}
+
+// FitResponse reports the fitted (or cached) model.
+type FitResponse struct {
+	Dataset   string          `json:"dataset"`
+	CacheHit  bool            `json:"cache_hit"`
+	Model     core.ModelStats `json:"model"`
+	ParamsUse ParamsJSON      `json:"params"`
+}
+
+// AssignRequest is the body of POST /v1/assign.
+type AssignRequest struct {
+	FitRequest
+	Points [][]float64 `json:"points"`
+}
+
+// AssignResponse carries one label per submitted point.
+type AssignResponse struct {
+	Labels   []int32 `json:"labels"`
+	Clusters int     `json:"clusters"`
+	CacheHit bool    `json:"cache_hit"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// maxUploadBytes caps dataset upload bodies (per request).
+const maxUploadBytes = 256 << 20
+
+// maxAssignPoints caps one assign batch; larger workloads should be
+// split client-side so a single request cannot monopolize the pool.
+const maxAssignPoints = 1 << 20
+
+// maxAssignBytes caps the /v1/assign JSON body: enough for a full
+// maxAssignPoints batch at high dimensionality, small enough that a
+// handful of concurrent oversized bodies cannot exhaust memory before
+// the point-count check fires.
+const maxAssignBytes = 192 << 20
+
+// maxFitBytes caps the /v1/fit JSON body, whose legitimate size is a
+// few hundred bytes.
+const maxFitBytes = 1 << 20
+
+// NewHandler wires the dpcd JSON API onto a Service:
+//
+//	GET  /healthz              liveness probe
+//	GET  /v1/datasets          list registered datasets
+//	PUT  /v1/datasets/{name}   upload CSV (or ?format=binary DPC1) body
+//	GET  /v1/datasets/{name}   one dataset's info
+//	POST /v1/fit               fit (or fetch cached) model
+//	POST /v1/assign            fit if needed, then label a point batch
+//	GET  /v1/stats             cache and request counters
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		ds, ok := s.Dataset(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim})
+	})
+
+	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+		var (
+			ds  *geom.Dataset
+			err error
+		)
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "csv":
+			ds, err = data.LoadCSV(body)
+		case "binary":
+			ds, err = data.LoadBinary(body)
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want csv or binary)", format))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parse upload: %w", err))
+			return
+		}
+		info, err := s.PutDataset(name, ds)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	})
+
+	mux.HandleFunc("POST /v1/fit", func(w http.ResponseWriter, r *http.Request) {
+		var req FitRequest
+		if !decodeJSON(w, r, &req, maxFitBytes) {
+			return
+		}
+		fr, err := s.Fit(req.Dataset, req.Algorithm, req.Params.core())
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeFit(w, req, fr)
+	})
+
+	mux.HandleFunc("POST /v1/assign", func(w http.ResponseWriter, r *http.Request) {
+		var req AssignRequest
+		if !decodeJSON(w, r, &req, maxAssignBytes) {
+			return
+		}
+		if len(req.Points) > maxAssignPoints {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch of %d points exceeds the %d limit; split the request", len(req.Points), maxAssignPoints))
+			return
+		}
+		labels, fr, err := s.Assign(req.Dataset, req.Algorithm, req.Params.core(), req.Points)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AssignResponse{
+			Labels:   labels,
+			Clusters: fr.Model.NumClusters(),
+			CacheHit: fr.CacheHit,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}
+
+func writeFit(w http.ResponseWriter, req FitRequest, fr FitResult) {
+	p := fr.Model.Params()
+	writeJSON(w, http.StatusOK, FitResponse{
+		Dataset:  req.Dataset,
+		CacheHit: fr.CacheHit,
+		Model:    fr.Model.Stats(),
+		ParamsUse: ParamsJSON{
+			DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin,
+			Epsilon: p.Epsilon, Seed: p.Seed,
+		},
+	})
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusFor maps service errors onto HTTP statuses: missing names are
+// 404, everything else (bad params, dimension mismatches) is 400.
+func statusFor(err error) int {
+	msg := err.Error()
+	if strings.Contains(msg, "unknown dataset") || strings.Contains(msg, "unknown algorithm") {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+)
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body, out interface{}) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: unmarshal %q: %v", method, url, raw, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPRoundTrip is the acceptance-criteria test: upload a dataset
+// over HTTP, fit, batch-assign, and check the served labels match a
+// direct ClusterDataset run byte-for-byte; the second fit request for
+// the same (dataset, algorithm, params) must come from the model cache.
+func TestHTTPRoundTrip(t *testing.T) {
+	const workers = 2
+	svc := New(Options{Workers: workers, CacheSize: 4})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	// Health and empty registry.
+	var health map[string]string
+	if code := doJSON(t, client, "GET", ts.URL+"/healthz", nil, &health); code != 200 || health["status"] != "ok" {
+		t.Fatalf("healthz: code=%d body=%v", code, health)
+	}
+	var list []DatasetInfo
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets", nil, &list); code != 200 || len(list) != 0 {
+		t.Fatalf("empty registry: code=%d list=%v", code, list)
+	}
+
+	// Upload the training dataset as CSV (the dpcd wire format).
+	d := data.SSet(2, 1500, 1)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("PUT", ts.URL+"/v1/datasets/s2", bytes.NewReader(csv.Bytes()))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || info.N != d.Points.N || info.Dim != 2 {
+		t.Fatalf("upload: code=%d info=%+v", resp.StatusCode, info)
+	}
+
+	// Fit: first request is a miss, second a cache hit.
+	fitReq := FitRequest{
+		Dataset:   "s2",
+		Algorithm: "Approx-DPC",
+		Params:    ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Seed: 1},
+	}
+	var fit1, fit2 FitResponse
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", fitReq, &fit1); code != 200 {
+		t.Fatalf("fit 1: code=%d", code)
+	}
+	if fit1.CacheHit {
+		t.Error("first fit reported cache_hit")
+	}
+	if fit1.Model.N != d.Points.N || fit1.Model.Clusters == 0 {
+		t.Errorf("fit stats implausible: %+v", fit1.Model)
+	}
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", fitReq, &fit2); code != 200 {
+		t.Fatalf("fit 2: code=%d", code)
+	}
+	if !fit2.CacheHit {
+		t.Error("second fit for the same (dataset, algorithm, params) was not served from the model cache")
+	}
+
+	// Assign the training points back through HTTP and compare against a
+	// direct ClusterDataset run on the same data and params.
+	direct, err := core.ApproxDPC{}.ClusterDataset(d.Points, core.Params{
+		DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Workers: workers, Epsilon: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignReq := AssignRequest{FitRequest: fitReq, Points: d.Points.Rows()}
+	var ar AssignResponse
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/assign", assignReq, &ar); code != 200 {
+		t.Fatalf("assign: code=%d", code)
+	}
+	if !ar.CacheHit {
+		t.Error("assign refitted a cached model")
+	}
+	if ar.Clusters != direct.NumClusters() {
+		t.Errorf("served %d clusters, direct run found %d", ar.Clusters, direct.NumClusters())
+	}
+	if len(ar.Labels) != len(direct.Labels) {
+		t.Fatalf("got %d labels, want %d", len(ar.Labels), len(direct.Labels))
+	}
+	for i := range ar.Labels {
+		if ar.Labels[i] != direct.Labels[i] {
+			t.Fatalf("label %d = %d over HTTP, direct ClusterDataset says %d", i, ar.Labels[i], direct.Labels[i])
+		}
+	}
+
+	// Stats reflect the session.
+	var st Stats
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats: code=%d", code)
+	}
+	if st.Datasets != 1 || st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Errorf("stats = %+v, want 1 dataset, 1 miss, 2 hits", st)
+	}
+	if st.PointsAssigned != int64(d.Points.N) {
+		t.Errorf("points_assigned = %d, want %d", st.PointsAssigned, d.Points.N)
+	}
+}
+
+func TestHTTPDatasetEndpoints(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	put := func(name, body, query string) int {
+		req, _ := http.NewRequest("PUT", ts.URL+"/v1/datasets/"+name+query, strings.NewReader(body))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := put("ok", "1,2\n3,4\n5,6\n", ""); code != http.StatusCreated {
+		t.Errorf("csv upload: code=%d", code)
+	}
+	var info DatasetInfo
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets/ok", nil, &info); code != 200 || info.N != 3 {
+		t.Errorf("get dataset: code=%d info=%+v", code, info)
+	}
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets/nope", nil, nil); code != http.StatusNotFound {
+		t.Errorf("unknown dataset: code=%d", code)
+	}
+
+	// Malformed uploads must be clean 400s, never panics.
+	for name, body := range map[string]string{
+		"ragged": "1,2\n3\n",
+		"words":  "a,b\n",
+		"nan":    "1,NaN\n2,3\n",
+		"empty":  "",
+	} {
+		if code := put(name, body, ""); code != http.StatusBadRequest {
+			t.Errorf("upload %s: code=%d, want 400", name, code)
+		}
+	}
+	if code := put("fmt", "1,2\n", "?format=weird"); code != http.StatusBadRequest {
+		t.Errorf("unknown format: code=%d", code)
+	}
+	// Binary upload round-trip.
+	d := data.SSet(1, 100, 1)
+	var bin bytes.Buffer
+	if err := data.SaveBinary(&bin, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("PUT", ts.URL+"/v1/datasets/bin?format=binary", bytes.NewReader(bin.Bytes()))
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("binary upload: code=%d", resp.StatusCode)
+	}
+	if code := put("badbin", "not binary at all", "?format=binary"); code != http.StatusBadRequest {
+		t.Errorf("bad binary upload: code=%d", code)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	svc := New(Options{Workers: 2})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	d := data.SSet(2, 300, 1)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("PUT", ts.URL+"/v1/datasets/s2", bytes.NewReader(csv.Bytes()))
+	if resp, err := client.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	good := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
+	cases := []struct {
+		name string
+		req  FitRequest
+		code int
+	}{
+		{"unknown dataset", FitRequest{Dataset: "nope", Algorithm: "Ex-DPC", Params: good}, 404},
+		{"unknown algorithm", FitRequest{Dataset: "s2", Algorithm: "nope", Params: good}, 404},
+		{"bad params", FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: -1}}, 400},
+	}
+	for _, tc := range cases {
+		var er errorResponse
+		if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", tc.req, &er); code != tc.code {
+			t.Errorf("%s: code=%d want %d (%s)", tc.name, code, tc.code, er.Error)
+		}
+	}
+
+	// Bad JSON body.
+	resp, err := client.Post(ts.URL+"/v1/fit", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: code=%d", resp.StatusCode)
+	}
+
+	// Dimension-mismatched assign points.
+	bad := AssignRequest{
+		FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},
+		Points:     [][]float64{{1, 2, 3}},
+	}
+	var er errorResponse
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/assign", bad, &er); code != http.StatusBadRequest {
+		t.Errorf("mismatched assign: code=%d (%s)", code, er.Error)
+	}
+
+	// Empty assign batch responds with "labels":[] rather than null.
+	empty := AssignRequest{
+		FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},
+		Points:     [][]float64{},
+	}
+	b2, _ := json.Marshal(empty)
+	respEmpty, err := client.Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(b2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawEmpty, _ := io.ReadAll(respEmpty.Body)
+	respEmpty.Body.Close()
+	if respEmpty.StatusCode != 200 || !strings.Contains(string(rawEmpty), `"labels":[]`) {
+		t.Errorf("empty batch: code=%d body=%s, want labels []", respEmpty.StatusCode, rawEmpty)
+	}
+
+	// Oversized assign batch is rejected before any work happens.
+	huge := AssignRequest{FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good}}
+	huge.Points = make([][]float64, maxAssignPoints+1)
+	b, _ := json.Marshal(huge)
+	resp, err = client.Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized batch: code=%d", resp.StatusCode)
+	}
+
+	// Every registered algorithm is reachable by its paper name over HTTP.
+	for _, alg := range core.Registered() {
+		freq := FitRequest{Dataset: "s2", Algorithm: alg.Name(), Params: good}
+		var fr FitResponse
+		if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", freq, &fr); code != 200 {
+			t.Errorf("fit %s over HTTP: code=%d", alg.Name(), code)
+		} else if fr.Model.Algorithm != alg.Name() {
+			t.Errorf("fit %s returned stats for %s", alg.Name(), fr.Model.Algorithm)
+		}
+	}
+}

@@ -1,0 +1,381 @@
+// Package service is the fit-once/assign-many serving layer behind cmd/dpcd:
+// a named dataset registry, an LRU cache of fitted core.Model instances
+// keyed by (dataset, algorithm, params) with single-flight fit
+// deduplication, and request metrics. Heavy traffic for the same model
+// pays one ClusterDataset pass; everything after that is O(log n)
+// kd-tree assignment per point.
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Options configures a Service.
+type Options struct {
+	// CacheSize is the maximum number of fitted models kept; <= 0 means 8.
+	CacheSize int
+	// Workers is the worker count used for fits and batch assigns;
+	// <= 0 means all CPUs. Request parameters cannot override it, so the
+	// cache never holds duplicate models differing only in thread count.
+	Workers int
+}
+
+func (o Options) cacheSize() int {
+	if o.CacheSize > 0 {
+		return o.CacheSize
+	}
+	return 8
+}
+
+// Service owns the dataset registry and the model cache.
+type Service struct {
+	opts Options
+
+	mu       sync.RWMutex
+	datasets map[string]*datasetEntry
+
+	cache *modelCache
+
+	fitRequests    atomic.Int64
+	assignRequests atomic.Int64
+	pointsAssigned atomic.Int64
+}
+
+type datasetEntry struct {
+	points *geom.Dataset
+	// version increments on re-upload so cached models fitted on the old
+	// points can never serve the new name.
+	version uint64
+}
+
+// New creates an empty service.
+func New(opts Options) *Service {
+	return &Service{
+		opts:     opts,
+		datasets: make(map[string]*datasetEntry),
+		cache:    newModelCache(opts.cacheSize()),
+	}
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+}
+
+// PutDataset registers (or replaces) a named dataset. The dataset is
+// validated once here — NaN/Inf coordinates are rejected so a malformed
+// upload cannot reach the clustering kernels — and frozen: the service
+// keeps the pointer, so callers must not mutate it afterwards. Replacing
+// a name purges every cached model fitted on the old points.
+func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error) {
+	if name == "" {
+		return DatasetInfo{}, fmt.Errorf("service: empty dataset name")
+	}
+	if ds == nil || ds.N == 0 {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q is empty", name)
+	}
+	if err := ds.Validate(); err != nil {
+		return DatasetInfo{}, fmt.Errorf("service: dataset %q: %w", name, err)
+	}
+	s.mu.Lock()
+	version := uint64(1)
+	if old, ok := s.datasets[name]; ok {
+		version = old.version + 1
+	}
+	s.datasets[name] = &datasetEntry{points: ds, version: version}
+	s.mu.Unlock()
+	if version > 1 {
+		s.cache.purgeStale(name, version)
+	}
+	return DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
+}
+
+// Dataset returns a registered dataset.
+func (s *Service) Dataset(name string) (*geom.Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.datasets[name]
+	if !ok {
+		return nil, false
+	}
+	return e.points, true
+}
+
+// Datasets lists the registry sorted by name.
+func (s *Service) Datasets() []DatasetInfo {
+	s.mu.RLock()
+	out := make([]DatasetInfo, 0, len(s.datasets))
+	for name, e := range s.datasets {
+		out = append(out, DatasetInfo{Name: name, N: e.points.N, Dim: e.points.Dim})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// normalize canonicalizes request parameters for cache keying: the
+// worker count is service policy (not part of model identity), and
+// parameters the chosen algorithm ignores (Seed for the deterministic
+// ones, Epsilon for everything but S-Approx-DPC) are zeroed so
+// identical models are fitted and cached once.
+func (s *Service) normalize(algorithm string, p core.Params) core.Params {
+	p = core.CanonicalParams(algorithm, p)
+	p.Workers = s.opts.Workers
+	return p
+}
+
+// FitResult is the outcome of one fit request.
+type FitResult struct {
+	Model    *core.Model
+	CacheHit bool
+}
+
+// Fit returns the model for (dataset, algorithm, params), fitting it at
+// most once: concurrent requests for the same key share a single
+// ClusterDataset pass, later requests hit the LRU cache. algorithm is a
+// paper name resolved against the full ten-algorithm registry.
+func (s *Service) Fit(dataset, algorithm string, p core.Params) (FitResult, error) {
+	s.fitRequests.Add(1)
+	alg, ok := core.AlgorithmByName(algorithm)
+	if !ok {
+		return FitResult{}, fmt.Errorf("service: unknown algorithm %q", algorithm)
+	}
+	s.mu.RLock()
+	e, ok := s.datasets[dataset]
+	s.mu.RUnlock()
+	if !ok {
+		return FitResult{}, fmt.Errorf("service: unknown dataset %q", dataset)
+	}
+	p = s.normalize(algorithm, p)
+	if err := p.Validate(); err != nil {
+		return FitResult{}, err
+	}
+	key := modelKey{dataset: dataset, version: e.version, algorithm: algorithm, params: p}
+	model, hit, err := s.cache.getOrFit(key, func() (*core.Model, error) {
+		return core.Fit(alg, e.points, p)
+	})
+	if err != nil {
+		return FitResult{}, err
+	}
+	// A re-upload may have bumped the version between our registry read
+	// and the cache insert; the model is still correct for this caller,
+	// but its key is unreachable by future requests and would pin the
+	// replaced dataset in the LRU. Sweep stale versions when detected.
+	s.mu.RLock()
+	cur, still := s.datasets[dataset]
+	s.mu.RUnlock()
+	if !still || cur.version != e.version {
+		keep := uint64(0)
+		if still {
+			keep = cur.version
+		}
+		s.cache.purgeStale(dataset, keep)
+	}
+	return FitResult{Model: model, CacheHit: hit}, nil
+}
+
+// Assign labels a batch of points against the model for (dataset,
+// algorithm, params), fitting it first if needed. It returns the labels
+// and whether the model came from the cache.
+func (s *Service) Assign(dataset, algorithm string, p core.Params, pts [][]float64) ([]int32, FitResult, error) {
+	fr, err := s.Fit(dataset, algorithm, p)
+	if err != nil {
+		return nil, FitResult{}, err
+	}
+	s.assignRequests.Add(1)
+	labels, err := fr.Model.AssignAll(pts, s.opts.Workers)
+	if err != nil {
+		return nil, FitResult{}, err
+	}
+	s.pointsAssigned.Add(int64(len(pts)))
+	return labels, fr, nil
+}
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	Datasets       int     `json:"datasets"`
+	ModelsCached   int     `json:"models_cached"`
+	CacheCapacity  int     `json:"cache_capacity"`
+	FitRequests    int64   `json:"fit_requests"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	Evictions      int64   `json:"evictions"`
+	AssignRequests int64   `json:"assign_requests"`
+	PointsAssigned int64   `json:"points_assigned"`
+	HitRate        float64 `json:"hit_rate"`
+}
+
+// Stats returns current counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	nds := len(s.datasets)
+	s.mu.RUnlock()
+	hits, misses, evictions, cached := s.cache.counters()
+	st := Stats{
+		Datasets:       nds,
+		ModelsCached:   cached,
+		CacheCapacity:  s.cache.capacity,
+		FitRequests:    s.fitRequests.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		Evictions:      evictions,
+		AssignRequests: s.assignRequests.Load(),
+		PointsAssigned: s.pointsAssigned.Load(),
+	}
+	if total := hits + misses; total > 0 {
+		st.HitRate = float64(hits) / float64(total)
+	}
+	return st
+}
+
+// modelKey identifies one fitted model. core.Params is a flat struct of
+// scalars, so the whole key is comparable and works as a map key.
+type modelKey struct {
+	dataset   string
+	version   uint64
+	algorithm string
+	params    core.Params
+}
+
+// modelCache is an LRU of fitted models with single-flight fills: a miss
+// inserts an in-flight entry under the lock, then fits outside it, so
+// concurrent requests for the same key block on the entry instead of
+// fitting again. Failed fits are removed so the next request retries.
+type modelCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used; values are *cacheEntry
+	entries map[modelKey]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	key   modelKey
+	ready chan struct{} // closed once model/err are set
+	model *core.Model
+	err   error
+}
+
+func newModelCache(capacity int) *modelCache {
+	return &modelCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[modelKey]*list.Element),
+	}
+}
+
+// getOrFit returns the cached model for key, joining an in-flight fit or
+// performing the fit itself when absent. hit reports whether the caller
+// avoided a fresh fit (cached or joined).
+func (c *modelCache) getOrFit(key modelKey, fit func() (*core.Model, error)) (model *core.Model, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The fit this caller joined failed; surface its error without
+			// counting a hit. The owner already removed the entry, so a
+			// retry starts fresh.
+			return nil, false, e.err
+		}
+		c.hits.Add(1)
+		return e.model, true, nil
+	}
+	e := &cacheEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = c.ll.PushFront(e)
+	c.evictLocked()
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	e.model, e.err = fit()
+	if e.err != nil {
+		c.remove(key, e)
+	}
+	close(e.ready)
+	if e.err == nil {
+		// The insert-time sweep skips in-flight entries, so the cache can
+		// exceed capacity while fits run; settle it now that this entry is
+		// evictable.
+		c.mu.Lock()
+		c.evictLocked()
+		c.mu.Unlock()
+	}
+	return e.model, false, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the
+// cache fits its capacity. In-flight entries are never evicted (their
+// fitters and joiners hold references); if everything is in flight the
+// cache temporarily exceeds capacity.
+func (c *modelCache) evictLocked() {
+	for c.ll.Len() > c.capacity {
+		evicted := false
+		for el := c.ll.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			select {
+			case <-e.ready:
+			default:
+				continue // still fitting
+			}
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+			c.evictions.Add(1)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// remove deletes key if it still maps to entry e (a purge or eviction
+// may have raced ahead).
+func (c *modelCache) remove(key modelKey, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok && el.Value.(*cacheEntry) == e {
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// purgeStale drops every entry fitted on the named dataset whose
+// version differs from keepVersion (0 keeps nothing). In-flight fits
+// complete for their waiters but are no longer reachable through the
+// cache.
+func (c *modelCache) purgeStale(name string, keepVersion uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.dataset == name && e.key.version != keepVersion {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+		}
+	}
+}
+
+func (c *modelCache) counters() (hits, misses, evictions int64, cached int) {
+	c.mu.Lock()
+	cached = c.ll.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), cached
+}

@@ -1,0 +1,30 @@
+package dpc
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Model is a fitted clustering frozen for serving: dataset, result, and
+// the kd-tree Assign uses to label new points without re-clustering.
+// Fit once, then call Assign/AssignAll from any number of goroutines —
+// the contract cmd/dpcd serves over HTTP.
+type Model = core.Model
+
+// ModelStats summarizes a fitted model (size, clusters, fit timing).
+type ModelStats = core.ModelStats
+
+// Fit runs an algorithm over a flat Dataset and freezes the outcome into
+// a reusable Model. The dataset must not be mutated afterwards.
+func Fit(alg Algorithm, ds *Dataset, p Params) (*Model, error) {
+	return core.Fit(alg, ds, p)
+}
+
+// FitRows is Fit over row-slice points (one copy at the boundary).
+func FitRows(alg Algorithm, pts [][]float64, p Params) (*Model, error) {
+	ds, err := geom.FromRows(pts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Fit(alg, ds, p)
+}

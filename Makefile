@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: verify build vet test fmt bench bench-json serve ci
+# BENCHTIME is the per-benchmark budget; CI smoke-runs with 100ms so the
+# benchmarks are compiled and executed on every PR without burning
+# minutes.
+BENCHTIME ?= 2s
+# FUZZTIME is the per-target budget for fuzz-smoke.
+FUZZTIME ?= 10s
+
+.PHONY: verify build vet test fmt bench bench-json fuzz-smoke serve ci
 
 # verify is the tier-1 gate: everything must build, vet clean, and pass.
 verify: build vet test
@@ -19,20 +26,31 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # bench runs the memory-layout micro-benchmarks (flat Dataset vs row
-# slices) whose committed baseline lives in BENCH_flat_layout.json.
+# slices; committed baseline in BENCH_flat_layout.json) and the serving
+# layer benchmarks (cached fit, assign batch, snapshot cold start).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSqDist|ExDPC(Rows|Flat)' -benchmem -benchtime=2s .
+	$(GO) test -run '^$$' -bench 'BenchmarkSqDist|ExDPC(Rows|Flat)' -benchmem -benchtime=$(BENCHTIME) .
+	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime=$(BENCHTIME) ./internal/service
 
 # bench-json records a machine-readable harness run for before/after
 # comparisons.
 bench-json:
 	$(GO) run ./cmd/dpcbench -exp table3,table6 -n 10000 -json BENCH_dpcbench.json
 
-# serve runs the dpcd clustering daemon on a bundled dataset; see the
-# README "Serving: dpcd" section for the API and a curl session.
-serve:
-	$(GO) run ./cmd/dpcd -preload pamap2:20000,s2:5000 -addr :8080
+# fuzz-smoke runs each fuzz target briefly over its committed corpus —
+# the upload parsers and the snapshot decoder. `go test -fuzz` takes one
+# target per invocation, hence the three runs.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime $(FUZZTIME) ./internal/data
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime $(FUZZTIME) ./internal/data
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime $(FUZZTIME) ./internal/persist
 
-# ci mirrors the GitHub Actions workflow (.github/workflows/ci.yml).
-ci: build vet
+# serve runs the dpcd clustering daemon on a bundled dataset; see the
+# README "Serving: dpcd" section for the API and a curl session. Add
+# DATA_DIR=/path for a durable daemon that warm-loads on restart.
+serve:
+	$(GO) run ./cmd/dpcd -preload pamap2:20000,s2:5000 -addr :8080 $(if $(DATA_DIR),-data-dir $(DATA_DIR))
+
+# ci mirrors the GitHub Actions test job (.github/workflows/ci.yml).
+ci: fmt build vet
 	$(GO) test -race ./...

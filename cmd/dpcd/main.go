@@ -10,9 +10,12 @@
 //	dpcd                                  # empty registry on :8080
 //	dpcd -preload pamap2:20000,s2:5000    # serve bundled datasets
 //	dpcd -addr :9000 -workers 8 -cache 16
+//	dpcd -data-dir /var/lib/dpcd          # durable: snapshots + warm start
 //
-// See the README "Serving: dpcd" section for the JSON API and a curl
-// session.
+// With -data-dir, datasets are snapshotted on upload and models on fit
+// completion; a restart warm-loads both and serves previously fitted
+// models without re-clustering. See the README "Serving: dpcd" section
+// for the JSON API, the on-disk layout, and recovery semantics.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"repro/datasets"
+	"repro/internal/persist"
 	"repro/internal/service"
 )
 
@@ -39,10 +43,23 @@ func main() {
 		cache   = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
 		preload = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
 		seed    = flag.Int64("seed", 1, "generation seed for preloaded datasets")
+		dataDir = flag.String("data-dir", "", "directory for dataset and model snapshots; restarts warm-load it (empty = in-memory only)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers})
+	var store *persist.Store
+	if *dataDir != "" {
+		var err error
+		if store, err = persist.Open(*dataDir, log.Printf); err != nil {
+			log.Fatalf("dpcd: %v", err)
+		}
+	}
+	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers, Store: store})
+	if store != nil {
+		st := svc.Stats()
+		log.Printf("dpcd: restored %d dataset(s) and %d model(s) from %s",
+			st.DatasetsRestored, st.ModelsRestored, store.Dir())
+	}
 	specs, err := parsePreload(*preload)
 	if err != nil {
 		log.Fatalf("dpcd: %v", err)
@@ -52,6 +69,9 @@ func main() {
 		if !ok {
 			log.Fatalf("dpcd: unknown bundled dataset %q; have %s", sp.name, strings.Join(datasets.Names(), ", "))
 		}
+		// PutDataset treats a bit-identical re-upload as a no-op, so a
+		// preload matching a warm-loaded snapshot keeps the restored
+		// models instead of purging them.
 		info, err := svc.PutDataset(sp.name, d.Points)
 		if err != nil {
 			log.Fatalf("dpcd: preload %s: %v", sp.name, err)

@@ -3,11 +3,13 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/persist"
 	"repro/internal/service"
 )
 
@@ -97,5 +99,64 @@ func (c Config) Service() error {
 		clients, secs(burst), st.CacheMisses-before.CacheMisses, st.CacheHits-before.CacheHits)
 	fmt.Fprintf(w, "cache: %d hits / %d misses, hit rate %.2f, %d models resident\n",
 		st.CacheHits, st.CacheMisses, st.HitRate, st.ModelsCached)
+
+	// Cold start: a dpcd restart with -data-dir warm-loads snapshots and
+	// rebuilds only the kd-trees, versus refitting every model from the
+	// raw points. The ratio is what persistence buys on the restart path.
+	dir, err := os.MkdirTemp("", "dpcd-bench-snap-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	quiet := func(string, ...any) {}
+	store, err := persist.Open(dir, quiet)
+	if err != nil {
+		return err
+	}
+	algs := []string{"Ex-DPC", "Approx-DPC", "S-Approx-DPC"}
+	writer := service.New(service.Options{Workers: c.threads(), CacheSize: 8, Store: store})
+	if _, err := writer.PutDataset(d.Name, d.Points); err != nil {
+		return err
+	}
+	for _, name := range algs {
+		if _, err := writer.Fit(d.Name, name, p); err != nil {
+			return err
+		}
+	}
+
+	start = time.Now()
+	refit := service.New(service.Options{Workers: c.threads(), CacheSize: 8})
+	if _, err := refit.PutDataset(d.Name, d.Points); err != nil {
+		return err
+	}
+	for _, name := range algs {
+		if _, err := refit.Fit(d.Name, name, p); err != nil {
+			return err
+		}
+	}
+	coldRefit := time.Since(start)
+
+	start = time.Now()
+	store2, err := persist.Open(dir, quiet)
+	if err != nil {
+		return err
+	}
+	warm := service.New(service.Options{Workers: c.threads(), CacheSize: 8, Store: store2})
+	coldSnap := time.Since(start)
+	wst := warm.Stats()
+	if wst.ModelsRestored != len(algs) {
+		return fmt.Errorf("service: snapshot cold start restored %d models, want %d", wst.ModelsRestored, len(algs))
+	}
+	for _, name := range algs {
+		fr, err := warm.Fit(d.Name, name, p)
+		if err != nil {
+			return err
+		}
+		if !fr.CacheHit {
+			return fmt.Errorf("service: %s not served from restored cache", name)
+		}
+	}
+	fmt.Fprintf(w, "cold start (%d models on %s): refit %.3fs, snapshot restore %.3fs (%.0fx), 0 fits after restore\n",
+		len(algs), d.Name, secs(coldRefit), secs(coldSnap), secs(coldRefit)/secs(coldSnap))
 	return nil
 }

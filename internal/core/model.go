@@ -49,8 +49,51 @@ func Fit(alg Algorithm, ds *geom.Dataset, p Params) (*Model, error) {
 	}, nil
 }
 
+// Restore rebuilds a fitted Model from persisted state without re-running
+// the algorithm: the dataset and Result are taken as-is and only the
+// kd-tree assignment index — the one piece a snapshot does not serialize —
+// is re-derived from the points. fitTime is the original fit cost, kept so
+// restored models report honest ModelStats. The algorithm name must
+// resolve against the registry and the result must match the dataset.
+func Restore(algorithm string, ds *geom.Dataset, res *Result, p Params, fitTime time.Duration) (*Model, error) {
+	if _, ok := AlgorithmByName(algorithm); !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q", algorithm)
+	}
+	if len(res.Rho) != ds.N || len(res.Delta) != ds.N || len(res.Dep) != ds.N {
+		return nil, fmt.Errorf("core: result arrays sized %d/%d/%d for %d points",
+			len(res.Rho), len(res.Delta), len(res.Dep), ds.N)
+	}
+	for l, c := range res.Centers {
+		if c < 0 || int(c) >= ds.N {
+			return nil, fmt.Errorf("core: center %d is point %d, out of range [0,%d)", l, c, ds.N)
+		}
+	}
+	nc := int32(len(res.Centers))
+	for i, l := range res.Labels {
+		if l != NoCluster && (l < 0 || l >= nc) {
+			return nil, fmt.Errorf("core: point %d has label %d, out of range [0,%d)", i, l, nc)
+		}
+	}
+	assigner, err := NewAssignerDataset(ds, res, p.DCut)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		ds:       ds,
+		res:      res,
+		params:   p,
+		algo:     algorithm,
+		assigner: assigner,
+		fitTime:  fitTime,
+	}, nil
+}
+
 // Algorithm returns the name of the algorithm that fitted the model.
 func (m *Model) Algorithm() string { return m.algo }
+
+// FitTime returns the wall-clock cost of the original fit, preserved
+// across Restore.
+func (m *Model) FitTime() time.Duration { return m.fitTime }
 
 // Params returns the parameters the model was fitted with.
 func (m *Model) Params() Params { return m.params }

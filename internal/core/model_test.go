@@ -208,3 +208,55 @@ func TestModelConcurrentFitAssignRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestRestoreRebuildsModel checks Restore against Fit: given the fitted
+// Result and the training dataset, the rebuilt model must assign
+// identically to the original (the kd-tree re-derivation is exact), and
+// malformed persisted state must be rejected rather than served.
+func TestRestoreRebuildsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows, _ := gaussianMix(rng, 4, 100, 25, 2, 150, 3)
+	ds := geom.MustFromRows(rows)
+	p := defaultParams()
+	m, err := Fit(ExDPC{}, ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore("Ex-DPC", ds, m.Result(), p, m.FitTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm() != "Ex-DPC" || r.FitTime() != m.FitTime() || r.NumClusters() != m.NumClusters() {
+		t.Errorf("restored metadata: %s/%v/%d", r.Algorithm(), r.FitTime(), r.NumClusters())
+	}
+	got, err := r.AssignDataset(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Result().Labels
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("restored Assign(%d) = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	if _, err := Restore("nope", ds, m.Result(), p, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	bad := *m.Result()
+	bad.Rho = bad.Rho[:ds.N-1]
+	if _, err := Restore("Ex-DPC", ds, &bad, p, 0); err == nil {
+		t.Error("short rho array accepted")
+	}
+	bad = *m.Result()
+	bad.Centers = append(append([]int32(nil), bad.Centers...), int32(ds.N))
+	if _, err := Restore("Ex-DPC", ds, &bad, p, 0); err == nil {
+		t.Error("out-of-range center accepted")
+	}
+	bad = *m.Result()
+	bad.Labels = append([]int32(nil), bad.Labels...)
+	bad.Labels[0] = int32(len(bad.Centers))
+	if _, err := Restore("Ex-DPC", ds, &bad, p, 0); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}

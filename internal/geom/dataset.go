@@ -160,6 +160,31 @@ func (ds *Dataset) Bounds() Rect {
 	return r
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash over the dataset's shape and
+// the exact bit patterns of its coordinates. Two datasets fingerprint
+// equally iff they are bit-identical, so the persistence layer uses it
+// to pair a model snapshot with the dataset it was fitted on and to
+// detect a preloaded dataset that matches a restored one.
+func (ds *Dataset) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	mix(uint64(ds.N))
+	mix(uint64(ds.Dim))
+	for _, x := range ds.Coords {
+		mix(math.Float64bits(x))
+	}
+	return h
+}
+
 // SqDistIdx returns the squared Euclidean distance between points i and
 // j of the dataset — the flat-index twin of SqDist, and the innermost
 // kernel of every algorithm here.

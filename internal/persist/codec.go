@@ -1,0 +1,371 @@
+// Package persist is the durability layer behind dpcd: a versioned,
+// checksummed binary codec for dataset and fitted-model snapshots, plus a
+// manifest-driven Store (store.go) that writes them with atomic
+// write-rename and survives corrupt or truncated files by skipping them.
+//
+// On-disk container, little-endian:
+//
+//	magic      uint32  "DPS1"
+//	version    uint16  format version (currently 1)
+//	kind       uint8   1 = dataset, 2 = model
+//	reserved   uint8
+//	payloadLen uint64  must equal the bytes that follow the header
+//	crc        uint32  IEEE CRC-32 of the payload
+//	payload    ...
+//
+// Every length declared inside a snapshot — the payload length, string
+// lengths, array element counts — is validated against the bytes actually
+// present before anything is allocated, the same hostile-header hardening
+// LoadBinary applies to uploads. A model snapshot stores the fitted
+// Result, the identifying (dataset, version, algorithm, params) key, and
+// the training dataset's fingerprint; the kd-tree assignment index is
+// deliberately not serialized and is rebuilt on load by core.Restore.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+const (
+	snapMagic   = uint32(0x31535044) // "DPS1" on disk
+	snapVersion = uint16(1)
+
+	kindDataset = byte(1)
+	kindModel   = byte(2)
+
+	headerSize = 20
+
+	// maxNameLen bounds dataset and algorithm name strings; anything
+	// longer is a corrupt length field, not a name.
+	maxNameLen = 1 << 12
+	// maxSnapshotDim mirrors data.LoadBinary's dimensionality cap.
+	maxSnapshotDim = 1 << 20
+)
+
+// ModelKey identifies one persisted model: the cache-key tuple of the
+// serving layer with Workers zeroed, because thread count is host policy
+// and must not pin a snapshot to the machine that wrote it.
+type ModelKey struct {
+	Dataset   string
+	Version   uint64
+	Algorithm string
+	Params    core.Params
+}
+
+// DatasetSnapshot is the decoded form of one dataset snapshot.
+type DatasetSnapshot struct {
+	Name    string
+	Version uint64
+	Points  *geom.Dataset
+	// Fingerprint is Points.Fingerprint(), verified during decode and
+	// kept so restoring k models on one dataset doesn't recompute the
+	// O(n*dim) hash k times.
+	Fingerprint uint64
+}
+
+// ModelSnapshot is the decoded form of one model snapshot. The Result is
+// everything the fit computed; the Model proper is rebuilt against the
+// restored dataset with core.Restore.
+type ModelSnapshot struct {
+	Key ModelKey
+	// DatasetFingerprint is geom.Dataset.Fingerprint of the training
+	// points, so a model is never rebuilt against different data.
+	DatasetFingerprint uint64
+	FitTime            time.Duration
+	Result             *core.Result
+}
+
+// encoder accumulates a little-endian payload.
+type encoder struct{ buf []byte }
+
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) f64s(vs []float64) {
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+func (e *encoder) i32s(vs []int32) {
+	for _, v := range vs {
+		e.u32(uint32(v))
+	}
+}
+
+// decoder walks a payload with a sticky error; every read is
+// bounds-checked against the bytes remaining, and the element-count
+// readers reject counts whose total size exceeds what is present before
+// allocating anything.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) need(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b) < n {
+		d.fail("persist: truncated payload: need %d bytes, have %d", n, len(d.b))
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err == nil && n > maxNameLen {
+		d.fail("persist: string length %d exceeds limit %d", n, maxNameLen)
+	}
+	return string(d.need(int(n)))
+}
+
+func (d *decoder) f64s(n int) []float64 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *decoder) i32s(n int) []int32 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.u32())
+	}
+	return out
+}
+
+func (d *decoder) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("persist: %d trailing bytes after payload", len(d.b))
+	}
+	return nil
+}
+
+// encodeSnapshot wraps a payload in the checksummed container.
+func encodeSnapshot(kind byte, payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(out[0:], snapMagic)
+	binary.LittleEndian.PutUint16(out[4:], snapVersion)
+	out[6] = kind
+	out[7] = 0
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(out[16:], crc32.ChecksumIEEE(payload))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// decodeHeader validates the container and returns the kind and payload.
+// The declared payload length must match the bytes present exactly —
+// checked before the payload is touched, so a forged multi-gigabyte
+// length costs nothing — and the CRC must match.
+func decodeHeader(raw []byte) (kind byte, payload []byte, err error) {
+	if len(raw) < headerSize {
+		return 0, nil, fmt.Errorf("persist: %d-byte file is shorter than the %d-byte header", len(raw), headerSize)
+	}
+	if m := binary.LittleEndian.Uint32(raw[0:]); m != snapMagic {
+		return 0, nil, fmt.Errorf("persist: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(raw[4:]); v != snapVersion {
+		return 0, nil, fmt.Errorf("persist: unsupported format version %d (want %d)", v, snapVersion)
+	}
+	kind = raw[6]
+	if kind != kindDataset && kind != kindModel {
+		return 0, nil, fmt.Errorf("persist: unknown snapshot kind %d", kind)
+	}
+	if raw[7] != 0 {
+		return 0, nil, fmt.Errorf("persist: nonzero reserved header byte %d", raw[7])
+	}
+	declared := binary.LittleEndian.Uint64(raw[8:])
+	if declared != uint64(len(raw)-headerSize) {
+		return 0, nil, fmt.Errorf("persist: declared payload of %d bytes, file holds %d", declared, len(raw)-headerSize)
+	}
+	payload = raw[headerSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(raw[16:]); got != want {
+		return 0, nil, fmt.Errorf("persist: payload checksum %#x, want %#x", got, want)
+	}
+	return kind, payload, nil
+}
+
+// DecodeSnapshot decodes one snapshot file image into a *DatasetSnapshot
+// or *ModelSnapshot. It is total: corrupt, truncated, or hostile inputs
+// return an error without panicking or allocating beyond the input size.
+func DecodeSnapshot(raw []byte) (any, error) {
+	kind, payload, err := decodeHeader(raw)
+	if err != nil {
+		return nil, err
+	}
+	if kind == kindDataset {
+		return decodeDataset(payload)
+	}
+	return decodeModel(payload)
+}
+
+// EncodeDataset produces the canonical snapshot file image for one
+// dataset version; DecodeSnapshot inverts it exactly.
+func EncodeDataset(name string, version uint64, ds *geom.Dataset) []byte {
+	var e encoder
+	e.str(name)
+	e.u64(version)
+	e.u64(uint64(ds.N))
+	e.u32(uint32(ds.Dim))
+	e.u64(ds.Fingerprint())
+	e.f64s(ds.Coords)
+	return encodeSnapshot(kindDataset, e.buf)
+}
+
+func decodeDataset(payload []byte) (*DatasetSnapshot, error) {
+	d := &decoder{b: payload}
+	name := d.str()
+	version := d.u64()
+	n := d.u64()
+	dim := d.u32()
+	fp := d.u64()
+	if d.err == nil {
+		if name == "" {
+			d.fail("persist: empty dataset name")
+		}
+		if n == 0 || dim == 0 {
+			d.fail("persist: empty dataset snapshot (n=%d dim=%d)", n, dim)
+		}
+		if dim > maxSnapshotDim {
+			d.fail("persist: implausible dimensionality %d (max %d)", dim, maxSnapshotDim)
+		}
+		if d.err == nil && n > uint64(len(d.b))/8/uint64(dim) {
+			d.fail("persist: declared %dx%d coordinates exceed %d remaining bytes", n, dim, len(d.b))
+		}
+	}
+	coords := d.f64s(int(n) * int(dim))
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	ds := geom.NewDataset(coords, int(dim))
+	if got := ds.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("persist: dataset fingerprint %#x, snapshot claims %#x", got, fp)
+	}
+	return &DatasetSnapshot{Name: name, Version: version, Points: ds, Fingerprint: fp}, nil
+}
+
+// EncodeModel produces the canonical snapshot file image for one fitted
+// model: its identity key, the fingerprint of the dataset it was fitted
+// on, the original fit cost, and the full Result. The kd-tree is not
+// serialized; core.Restore rebuilds it on load.
+func EncodeModel(k ModelKey, datasetFingerprint uint64, fitTime time.Duration, res *core.Result) []byte {
+	var e encoder
+	e.str(k.Dataset)
+	e.u64(k.Version)
+	e.u64(datasetFingerprint)
+	e.str(k.Algorithm)
+	e.f64(k.Params.DCut)
+	e.f64(k.Params.RhoMin)
+	e.f64(k.Params.DeltaMin)
+	e.f64(k.Params.Epsilon)
+	e.i64(k.Params.Seed)
+	e.i64(int64(fitTime))
+	e.i64(int64(res.Timing.Build))
+	e.i64(int64(res.Timing.Rho))
+	e.i64(int64(res.Timing.Delta))
+	e.i64(int64(res.Timing.Label))
+	e.u64(uint64(len(res.Rho)))
+	e.u64(uint64(len(res.Centers)))
+	e.f64s(res.Rho)
+	e.f64s(res.Delta)
+	e.i32s(res.Dep)
+	e.i32s(res.Labels)
+	e.i32s(res.Centers)
+	return encodeSnapshot(kindModel, e.buf)
+}
+
+func decodeModel(payload []byte) (*ModelSnapshot, error) {
+	d := &decoder{b: payload}
+	snap := &ModelSnapshot{}
+	snap.Key.Dataset = d.str()
+	snap.Key.Version = d.u64()
+	snap.DatasetFingerprint = d.u64()
+	snap.Key.Algorithm = d.str()
+	snap.Key.Params.DCut = d.f64()
+	snap.Key.Params.RhoMin = d.f64()
+	snap.Key.Params.DeltaMin = d.f64()
+	snap.Key.Params.Epsilon = d.f64()
+	snap.Key.Params.Seed = d.i64()
+	snap.FitTime = time.Duration(d.i64())
+	res := &core.Result{}
+	res.Timing.Build = time.Duration(d.i64())
+	res.Timing.Rho = time.Duration(d.i64())
+	res.Timing.Delta = time.Duration(d.i64())
+	res.Timing.Label = time.Duration(d.i64())
+	n := d.u64()
+	nc := d.u64()
+	// Each point costs 8+8+4+4 bytes (rho, delta, dep, label) plus 4 per
+	// center; reject the declared counts against the bytes present before
+	// allocating any of the five arrays.
+	if d.err == nil && n > uint64(len(d.b))/24 {
+		d.fail("persist: declared %d points exceed %d remaining bytes", n, len(d.b))
+	}
+	if d.err == nil && (nc > n || nc > uint64(len(d.b))/4) {
+		d.fail("persist: declared %d centers for %d points in %d bytes", nc, n, len(d.b))
+	}
+	res.Rho = d.f64s(int(n))
+	res.Delta = d.f64s(int(n))
+	res.Dep = d.i32s(int(n))
+	res.Labels = d.i32s(int(n))
+	res.Centers = d.i32s(int(nc))
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	if snap.Key.Dataset == "" || snap.Key.Algorithm == "" {
+		return nil, fmt.Errorf("persist: model snapshot with empty dataset or algorithm name")
+	}
+	snap.Result = res
+	return snap, nil
+}

@@ -1,0 +1,75 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// FuzzDecodeSnapshot guards the snapshot restore path the same way
+// FuzzLoadCSV/FuzzLoadBinary guard uploads: arbitrary file images must
+// decode or error, never panic or allocate past the input size, and an
+// accepted snapshot must be internally consistent and re-encode to the
+// exact bytes it was decoded from (the codec is canonical).
+func FuzzDecodeSnapshot(f *testing.F) {
+	ds := geom.MustFromRows([][]float64{{1, 2}, {3, 4}, {5.5, -6.5}})
+	res := &core.Result{
+		Rho:     []float64{3.1, 2.2, 1.3},
+		Delta:   []float64{math.Inf(1), 0.5, 0.25},
+		Dep:     []int32{-1, 0, 0},
+		Labels:  []int32{0, 0, -1},
+		Centers: []int32{0},
+	}
+	key := ModelKey{Dataset: "s2", Version: 2, Algorithm: "Ex-DPC",
+		Params: core.Params{DCut: 0.5, RhoMin: 1, DeltaMin: 2, Seed: 7}}
+	goodDS := EncodeDataset("s2", 2, ds)
+	goodModel := EncodeModel(key, ds.Fingerprint(), time.Millisecond, res)
+
+	f.Add(goodDS)
+	f.Add(goodModel)
+	f.Add(goodDS[:len(goodDS)-4])                               // truncated payload
+	f.Add(goodDS[:headerSize])                                  // header only
+	f.Add(append([]byte(nil), goodModel[:len(goodModel)-1]...)) // short one byte
+	corrupt := append([]byte(nil), goodModel...)
+	corrupt[headerSize+8] ^= 0x80
+	f.Add(corrupt) // CRC mismatch
+	f.Add([]byte("DPS1 but not really a snapshot file"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v, err := DecodeSnapshot(raw)
+		if err != nil {
+			return
+		}
+		switch snap := v.(type) {
+		case *DatasetSnapshot:
+			p := snap.Points
+			if p.N*p.Dim != len(p.Coords) || p.N == 0 || p.Dim == 0 {
+				t.Fatalf("inconsistent dataset: N=%d Dim=%d coords=%d", p.N, p.Dim, len(p.Coords))
+			}
+			re := EncodeDataset(snap.Name, snap.Version, p)
+			if !bytes.Equal(re, raw) {
+				t.Fatal("accepted dataset snapshot did not re-encode canonically")
+			}
+		case *ModelSnapshot:
+			r := snap.Result
+			n := len(r.Rho)
+			if len(r.Delta) != n || len(r.Dep) != n || len(r.Labels) != n {
+				t.Fatalf("ragged result arrays: %d/%d/%d/%d", n, len(r.Delta), len(r.Dep), len(r.Labels))
+			}
+			if len(r.Centers) > n {
+				t.Fatalf("%d centers for %d points", len(r.Centers), n)
+			}
+			re := EncodeModel(snap.Key, snap.DatasetFingerprint, snap.FitTime, r)
+			if !bytes.Equal(re, raw) {
+				t.Fatal("accepted model snapshot did not re-encode canonically")
+			}
+		default:
+			t.Fatalf("DecodeSnapshot returned %T", v)
+		}
+	})
+}

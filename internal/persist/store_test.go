@@ -1,0 +1,406 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/geom"
+)
+
+// capture collects store log lines so tests can assert recovery was
+// reported, not silent.
+type capture struct{ lines []string }
+
+func (c *capture) logf(format string, args ...any) {
+	c.lines = append(c.lines, fmt.Sprintf(format, args...))
+}
+
+func (c *capture) contains(sub string) bool {
+	for _, l := range c.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func fitModel(t *testing.T, ds *geom.Dataset, algorithm string, p core.Params) *core.Model {
+	t.Helper()
+	alg, ok := core.AlgorithmByName(algorithm)
+	if !ok {
+		t.Fatalf("unknown algorithm %s", algorithm)
+	}
+	m, err := core.Fit(alg, ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	logs := &capture{}
+	st, err := Open(dir, logs.logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.SSet(2, 400, 1)
+	p := core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Workers: 2}
+	m := fitModel(t, d.Points, "Ex-DPC", p)
+
+	if err := st.SaveDataset("s2", 1, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Dataset: "s2", Version: 1, Algorithm: "Ex-DPC", Params: p}
+	if err := st.SaveModel(key, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// A brand-new store over the same directory must restore both.
+	st2, err := Open(dir, logs.logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dss, models := st2.Restore(4)
+	if len(dss) != 1 || len(models) != 1 {
+		t.Fatalf("restored %d datasets, %d models; want 1/1 (logs: %v)", len(dss), len(models), logs.lines)
+	}
+	if dss[0].Name != "s2" || dss[0].Version != 1 || dss[0].Points.Fingerprint() != d.Points.Fingerprint() {
+		t.Errorf("dataset identity drifted: %q v%d", dss[0].Name, dss[0].Version)
+	}
+	rm := models[0]
+	if rm.Key.Params.Workers != 0 {
+		t.Errorf("persisted key retains Workers=%d", rm.Key.Params.Workers)
+	}
+	if rm.Model.Params().Workers != 4 {
+		t.Errorf("restored model Workers = %d, want the value passed to Restore", rm.Model.Params().Workers)
+	}
+	// Restored assignments must be byte-identical to the original's.
+	queries := d.Points.Rows()[:64]
+	want, err := m.AssignAll(queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rm.Model.AssignAll(queries, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("restored assign %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if rm.Model.FitTime() != m.FitTime() {
+		t.Errorf("fit time not preserved: %v != %v", rm.Model.FitTime(), m.FitTime())
+	}
+}
+
+func TestStoreReplaceDatasetPrunesOldVersion(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, (&capture{}).logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := data.SSet(2, 300, 1)
+	d2 := data.SSet(2, 350, 2)
+	p := core.Params{DCut: d1.DCut, RhoMin: d1.RhoMin, DeltaMin: d1.DeltaMin, Workers: 1}
+	if err := st.SaveDataset("s2", 1, d1.Points); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveModel(ModelKey{Dataset: "s2", Version: 1, Algorithm: "Ex-DPC", Params: p},
+		fitModel(t, d1.Points, "Ex-DPC", p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveDataset("s2", 2, d2.Points); err != nil {
+		t.Fatal(err)
+	}
+
+	dss, models := st.Restore(1)
+	if len(dss) != 1 || dss[0].Version != 2 {
+		t.Fatalf("restore after replace: %d datasets (v%d)", len(dss), dss[0].Version)
+	}
+	if len(models) != 0 {
+		t.Fatalf("model fitted on replaced version survived: %+v", models[0].Key)
+	}
+	// A stale save arriving late (the upload race) must be a no-op.
+	if err := st.SaveDataset("s2", 1, d1.Points); err != nil {
+		t.Fatal(err)
+	}
+	if dss, _ := st.Restore(1); dss[0].Version != 2 {
+		t.Errorf("stale version-1 save replaced version 2")
+	}
+	// Only the live snapshots remain on disk.
+	files, err := filepath.Glob(filepath.Join(dir, "*", "*.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Errorf("%d snapshot files on disk, want 1: %v", len(files), files)
+	}
+}
+
+// TestStoreRecovery damages snapshots in every way the recovery contract
+// names — truncation, bit rot, deletion, a corrupt manifest — and checks
+// each costs exactly its own entry, with a log line, never a crash.
+func TestStoreRecovery(t *testing.T) {
+	build := func(t *testing.T) (string, *data.Dataset, core.Params) {
+		dir := t.TempDir()
+		st, err := Open(dir, (&capture{}).logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := data.SSet(2, 300, 1)
+		p := core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Workers: 1}
+		if err := st.SaveDataset("s2", 1, d.Points); err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []string{"Ex-DPC", "Approx-DPC"} {
+			if err := st.SaveModel(ModelKey{Dataset: "s2", Version: 1, Algorithm: alg, Params: p},
+				fitModel(t, d.Points, alg, p)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dir, d, p
+	}
+	one := func(t *testing.T, glob string, damage func(t *testing.T, path string)) (ds, models int, logs *capture) {
+		dir, _, _ := build(t)
+		paths, err := filepath.Glob(filepath.Join(dir, glob))
+		if err != nil || len(paths) == 0 {
+			t.Fatalf("glob %s: %v (%d hits)", glob, err, len(paths))
+		}
+		damage(t, paths[0])
+		logs = &capture{}
+		st, err := Open(dir, logs.logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, m := st.Restore(1)
+		return len(d), len(m), logs
+	}
+	truncate := func(t *testing.T, path string) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flip := func(t *testing.T, path string) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 0x40
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	remove := func(t *testing.T, path string) {
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("truncated model", func(t *testing.T) {
+		ds, models, logs := one(t, "models/*.snap", truncate)
+		if ds != 1 || models != 1 {
+			t.Errorf("restored %d/%d, want 1 dataset and the surviving model", ds, models)
+		}
+		if !logs.contains("skipping model") {
+			t.Errorf("silent recovery: %v", logs.lines)
+		}
+	})
+	t.Run("bit-rotted model", func(t *testing.T) {
+		if ds, models, _ := one(t, "models/*.snap", flip); ds != 1 || models != 1 {
+			t.Errorf("restored %d/%d, want 1/1", ds, models)
+		}
+	})
+	t.Run("deleted model file", func(t *testing.T) {
+		if ds, models, _ := one(t, "models/*.snap", remove); ds != 1 || models != 1 {
+			t.Errorf("restored %d/%d, want 1/1", ds, models)
+		}
+	})
+	t.Run("corrupt dataset drops its models too", func(t *testing.T) {
+		ds, models, logs := one(t, "datasets/*.snap", flip)
+		if ds != 0 || models != 0 {
+			t.Errorf("restored %d/%d from a corrupt dataset, want 0/0", ds, models)
+		}
+		if !logs.contains("skipping dataset") || !logs.contains("skipping model") {
+			t.Errorf("recovery not logged: %v", logs.lines)
+		}
+	})
+	t.Run("corrupt manifest starts empty", func(t *testing.T) {
+		ds, models, logs := one(t, "manifest.json", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if ds != 0 || models != 0 {
+			t.Errorf("restored %d/%d from corrupt manifest", ds, models)
+		}
+		if !logs.contains("corrupt manifest") {
+			t.Errorf("corrupt manifest not logged: %v", logs.lines)
+		}
+	})
+	t.Run("swapped model file is rejected", func(t *testing.T) {
+		dir, _, _ := build(t)
+		paths, err := filepath.Glob(filepath.Join(dir, "models", "*.snap"))
+		if err != nil || len(paths) != 2 {
+			t.Fatalf("want 2 model files, got %d (%v)", len(paths), err)
+		}
+		// Swap the two files: each now holds the other's key, which must
+		// fail the manifest cross-check.
+		a, err := os.ReadFile(paths[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(paths[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(paths[0], b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(paths[1], a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		logs := &capture{}
+		st, err := Open(dir, logs.logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, models := st.Restore(1); len(models) != 0 {
+			t.Errorf("swapped snapshots restored: %d models", len(models))
+		}
+	})
+}
+
+func TestOpenCreatesLayout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	st, err := Open(dir, (&capture{}).logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dir() != dir {
+		t.Errorf("Dir() = %q", st.Dir())
+	}
+	for _, sub := range []string{"datasets", "models"} {
+		if fi, err := os.Stat(filepath.Join(dir, sub)); err != nil || !fi.IsDir() {
+			t.Errorf("missing %s/: %v", sub, err)
+		}
+	}
+	if ds, models := st.Restore(1); len(ds) != 0 || len(models) != 0 {
+		t.Errorf("fresh store restored %d/%d", len(ds), len(models))
+	}
+}
+
+// TestSaveModelRequiresDatasetSnapshot: a model whose dataset snapshot
+// never landed (failed save) could never restore, so SaveModel must
+// refuse it rather than write dead weight that silently refits later.
+func TestSaveModelRequiresDatasetSnapshot(t *testing.T) {
+	st, err := Open(t.TempDir(), (&capture{}).logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.SSet(2, 300, 1)
+	p := core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Workers: 1}
+	m := fitModel(t, d.Points, "Ex-DPC", p)
+	key := ModelKey{Dataset: "s2", Version: 1, Algorithm: "Ex-DPC", Params: p}
+	if err := st.SaveModel(key, m); err == nil {
+		t.Fatal("model persisted without its dataset snapshot")
+	}
+	if files, _ := filepath.Glob(filepath.Join(st.Dir(), "models", "*.snap")); len(files) != 0 {
+		t.Errorf("orphan model file written: %v", files)
+	}
+	// Once the dataset snapshot exists the same save succeeds.
+	if err := st.SaveDataset("s2", 1, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveModel(key, m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnsureDatasetHeals: EnsureDataset is a no-op over a healthy
+// snapshot and a rewrite over a damaged or missing one.
+func TestEnsureDatasetHeals(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, (&capture{}).logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.SSet(2, 300, 1)
+	if err := st.SaveDataset("s2", 1, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "datasets", "*.snap"))
+	if len(paths) != 1 {
+		t.Fatal("want one dataset snapshot")
+	}
+	before, err := os.Stat(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.EnsureDataset("s2", 1, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("EnsureDataset rewrote a healthy snapshot")
+	}
+	if err := os.Truncate(paths[0], 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.EnsureDataset("s2", 1, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if dss, _ := st.Restore(1); len(dss) != 1 {
+		t.Error("EnsureDataset did not heal the damaged snapshot")
+	}
+}
+
+// TestSaveModelKeepsRecencyOrder: re-persisting an existing key (refit
+// after eviction) must move it to the manifest tail, because the warm
+// load trims to cache capacity from the tail.
+func TestSaveModelKeepsRecencyOrder(t *testing.T) {
+	st, err := Open(t.TempDir(), (&capture{}).logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := data.SSet(2, 300, 1)
+	p := core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Workers: 1}
+	if err := st.SaveDataset("s2", 1, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	algs := []string{"Scan", "Ex-DPC", "Approx-DPC"}
+	for _, alg := range algs {
+		if err := st.SaveModel(ModelKey{Dataset: "s2", Version: 1, Algorithm: alg, Params: p},
+			fitModel(t, d.Points, alg, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refit + re-persist the oldest key; it must become the most recent.
+	if err := st.SaveModel(ModelKey{Dataset: "s2", Version: 1, Algorithm: "Scan", Params: p},
+		fitModel(t, d.Points, "Scan", p)); err != nil {
+		t.Fatal(err)
+	}
+	_, models := st.Restore(1)
+	if len(models) != 3 {
+		t.Fatalf("restored %d models", len(models))
+	}
+	want := []string{"Ex-DPC", "Approx-DPC", "Scan"}
+	for i, rm := range models {
+		if rm.Key.Algorithm != want[i] {
+			t.Errorf("restore order[%d] = %s, want %s", i, rm.Key.Algorithm, want[i])
+		}
+	}
+}

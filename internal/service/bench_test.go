@@ -1,0 +1,80 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/persist"
+)
+
+func benchService(b *testing.B, opts Options) (*Service, *data.Dataset, core.Params) {
+	b.Helper()
+	d := data.SSet(2, 2000, 1)
+	p := core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Seed: 1}
+	s := New(opts)
+	if _, err := s.PutDataset("s2", d.Points); err != nil {
+		b.Fatal(err)
+	}
+	return s, d, p
+}
+
+// BenchmarkServiceFitCached measures the hot fit path: key
+// normalization, registry lookup, and an LRU hit — the per-request
+// overhead every cached model pays.
+func BenchmarkServiceFitCached(b *testing.B) {
+	s, _, p := benchService(b, Options{Workers: 2})
+	if _, err := s.Fit("s2", "Ex-DPC", p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := s.Fit("s2", "Ex-DPC", p)
+		if err != nil || !fr.CacheHit {
+			b.Fatalf("hit=%v err=%v", fr.CacheHit, err)
+		}
+	}
+}
+
+// BenchmarkServiceAssignBatch measures a 256-point assign batch against
+// a cached model — the steady-state serving workload.
+func BenchmarkServiceAssignBatch(b *testing.B) {
+	s, d, p := benchService(b, Options{Workers: 2})
+	pts := d.Points.Rows()[:256]
+	if _, _, err := s.Assign("s2", "Ex-DPC", p, pts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Assign("s2", "Ex-DPC", p, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceColdStartSnapshot measures New over a populated
+// snapshot directory — the restart path persistence optimizes: decode,
+// fingerprint check, and kd-tree rebuild, but no clustering.
+func BenchmarkServiceColdStartSnapshot(b *testing.B) {
+	dir := b.TempDir()
+	quiet := func(string, ...any) {}
+	store, err := persist.Open(dir, quiet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, _, p := benchService(b, Options{Workers: 2, Store: store})
+	if _, err := s.Fit("s2", "Ex-DPC", p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store, err := persist.Open(dir, quiet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := New(Options{Workers: 2, Store: store})
+		if warm.Stats().ModelsRestored != 1 {
+			b.Fatal("snapshot restore failed")
+		}
+	}
+}

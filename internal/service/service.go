@@ -9,12 +9,14 @@ package service
 import (
 	"container/list"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/persist"
 )
 
 // Options configures a Service.
@@ -25,6 +27,12 @@ type Options struct {
 	// <= 0 means all CPUs. Request parameters cannot override it, so the
 	// cache never holds duplicate models differing only in thread count.
 	Workers int
+	// Store, when non-nil, makes the service durable: datasets are
+	// snapshotted on upload, models on fit completion, and New warm-loads
+	// both so a restarted daemon serves previously fitted models with
+	// zero refits. Persistence failures are logged and counted in Stats
+	// but never fail the request — durability degrades, serving does not.
+	Store *persist.Store
 }
 
 func (o Options) cacheSize() int {
@@ -43,6 +51,11 @@ type Service struct {
 
 	cache *modelCache
 
+	store            *persist.Store
+	datasetsRestored int
+	modelsRestored   int
+	persistErrors    atomic.Int64
+
 	fitRequests    atomic.Int64
 	assignRequests atomic.Int64
 	pointsAssigned atomic.Int64
@@ -55,13 +68,44 @@ type datasetEntry struct {
 	version uint64
 }
 
-// New creates an empty service.
+// New creates a service. With Options.Store set it warm-loads the
+// dataset registry and repopulates the model cache from the snapshot
+// directory — the kd-trees are rebuilt, the clustering itself is not
+// re-run. Damaged snapshots are skipped (the store logs them); they cost
+// a refit on first request, nothing more.
 func New(opts Options) *Service {
-	return &Service{
+	s := &Service{
 		opts:     opts,
 		datasets: make(map[string]*datasetEntry),
 		cache:    newModelCache(opts.cacheSize()),
 	}
+	if opts.Store != nil {
+		s.store = opts.Store
+		dss, models := opts.Store.Restore(opts.Workers)
+		for _, d := range dss {
+			s.datasets[d.Name] = &datasetEntry{points: d.Points, version: d.Version}
+			s.datasetsRestored++
+		}
+		// More snapshots than cache slots: keep the most recently
+		// persisted (manifest order is persist order), so ModelsRestored
+		// counts what is actually resident and no phantom evictions show
+		// up in Stats before any traffic.
+		if cap := opts.cacheSize(); len(models) > cap {
+			models = models[len(models)-cap:]
+		}
+		for _, rm := range models {
+			key := modelKey{
+				dataset:   rm.Key.Dataset,
+				version:   rm.Key.Version,
+				algorithm: rm.Key.Algorithm,
+				params:    s.normalize(rm.Key.Algorithm, rm.Key.Params),
+			}
+			if s.cache.put(key, rm.Model) {
+				s.modelsRestored++
+			}
+		}
+	}
+	return s
 }
 
 // DatasetInfo describes one registered dataset.
@@ -75,7 +119,10 @@ type DatasetInfo struct {
 // validated once here — NaN/Inf coordinates are rejected so a malformed
 // upload cannot reach the clustering kernels — and frozen: the service
 // keeps the pointer, so callers must not mutate it afterwards. Replacing
-// a name purges every cached model fitted on the old points.
+// a name purges every cached model fitted on the old points; re-uploading
+// bit-identical points is a no-op that keeps the version, the cached
+// models, and the snapshots (an idempotent provisioning script must not
+// throw away the warm cache).
 func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error) {
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("service: empty dataset name")
@@ -89,12 +136,37 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error)
 	s.mu.Lock()
 	version := uint64(1)
 	if old, ok := s.datasets[name]; ok {
+		// Exact comparison, not a fingerprint: uploads are untrusted HTTP
+		// bodies, and a 64-bit hash collision here would silently keep
+		// serving the old points under the new upload.
+		if old.points.Dim == ds.Dim && slices.Equal(old.points.Coords, ds.Coords) {
+			points, ver := old.points, old.version
+			s.mu.Unlock()
+			if s.store != nil {
+				// Self-heal: if the snapshot for this version failed to
+				// write earlier (or was damaged on disk since), the
+				// idempotent re-upload is the retry opportunity.
+				if err := s.store.EnsureDataset(name, ver, points); err != nil {
+					s.persistErrors.Add(1)
+					s.store.Log("service: re-persisting dataset %q v%d: %v", name, ver, err)
+				}
+			}
+			return DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
+		}
 		version = old.version + 1
 	}
 	s.datasets[name] = &datasetEntry{points: ds, version: version}
 	s.mu.Unlock()
 	if version > 1 {
 		s.cache.purgeStale(name, version)
+	}
+	if s.store != nil {
+		// SaveDataset also drops the replaced version's snapshots — the
+		// disk mirror of the purge above.
+		if err := s.store.SaveDataset(name, version, ds); err != nil {
+			s.persistErrors.Add(1)
+			s.store.Log("service: persisting dataset %q v%d: %v", name, version, err)
+		}
 	}
 	return DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
 }
@@ -179,6 +251,15 @@ func (s *Service) Fit(dataset, algorithm string, p core.Params) (FitResult, erro
 			keep = cur.version
 		}
 		s.cache.purgeStale(dataset, keep)
+	} else if s.store != nil && !hit {
+		// A fresh fit on a still-current dataset version: snapshot it so
+		// the next process start skips this ClusterDataset pass. Workers
+		// is zeroed on disk — thread count is host policy, not identity.
+		pk := persist.ModelKey{Dataset: dataset, Version: e.version, Algorithm: algorithm, Params: p}
+		if err := s.store.SaveModel(pk, model); err != nil {
+			s.persistErrors.Add(1)
+			s.store.Log("service: persisting model %s/%s: %v", dataset, algorithm, err)
+		}
 	}
 	return FitResult{Model: model, CacheHit: hit}, nil
 }
@@ -212,6 +293,12 @@ type Stats struct {
 	AssignRequests int64   `json:"assign_requests"`
 	PointsAssigned int64   `json:"points_assigned"`
 	HitRate        float64 `json:"hit_rate"`
+	// DatasetsRestored and ModelsRestored count what New warm-loaded from
+	// the snapshot store; PersistErrors counts snapshot writes that
+	// failed (serving continued, durability did not).
+	DatasetsRestored int   `json:"datasets_restored"`
+	ModelsRestored   int   `json:"models_restored"`
+	PersistErrors    int64 `json:"persist_errors"`
 }
 
 // Stats returns current counters.
@@ -230,6 +317,10 @@ func (s *Service) Stats() Stats {
 		Evictions:      evictions,
 		AssignRequests: s.assignRequests.Load(),
 		PointsAssigned: s.pointsAssigned.Load(),
+
+		DatasetsRestored: s.datasetsRestored,
+		ModelsRestored:   s.modelsRestored,
+		PersistErrors:    s.persistErrors.Load(),
 	}
 	if total := hits + misses; total > 0 {
 		st.HitRate = float64(hits) / float64(total)
@@ -316,6 +407,23 @@ func (c *modelCache) getOrFit(key modelKey, fit func() (*core.Model, error)) (mo
 		c.mu.Unlock()
 	}
 	return e.model, false, e.err
+}
+
+// put inserts an already-fitted model — a snapshot restore — as a
+// completed entry at the front, evicting LRU overflow. It reports whether
+// the key was absent. Restores neither count as hits nor misses; the
+// counters keep meaning "requests served without / with a fit".
+func (c *modelCache) put(key modelKey, m *core.Model) bool {
+	ready := make(chan struct{})
+	close(ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, ready: ready, model: m})
+	c.evictLocked()
+	return true
 }
 
 // evictLocked drops least-recently-used completed entries until the

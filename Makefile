@@ -7,7 +7,12 @@ BENCHTIME ?= 2s
 # FUZZTIME is the per-target budget for fuzz-smoke.
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test fmt bench bench-json fuzz-smoke serve ci
+# Pinned static-analysis tool versions; `make lint` and the CI lint job
+# run exactly these via `go run`, so there is no drift between the two.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: verify build vet test fmt lint e2e bench bench-json fuzz-smoke serve ci
 
 # verify is the tier-1 gate: everything must build, vet clean, and pass.
 verify: build vet test
@@ -24,6 +29,19 @@ test:
 # fmt fails when any file is not gofmt-clean.
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# lint runs staticcheck and govulncheck at the pinned versions above.
+# Both are fetched through the module cache on first use (network needed
+# once); neither is added to go.mod.
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# e2e boots a real 3-shard dpcd ring plus a single-node reference and
+# proves forwarding parity, shard-death survival, and zero-refit
+# rebalancing against actual processes (scripts/e2e_ring.sh).
+e2e:
+	./scripts/e2e_ring.sh
 
 # bench runs the memory-layout micro-benchmarks (flat Dataset vs row
 # slices; committed baseline in BENCH_flat_layout.json) and the serving

@@ -11,11 +11,20 @@
 //	dpcd -preload pamap2:20000,s2:5000    # serve bundled datasets
 //	dpcd -addr :9000 -workers 8 -cache 16
 //	dpcd -data-dir /var/lib/dpcd          # durable: snapshots + warm start
+//	dpcd -addr :8081 -data-dir /var/lib/dpcd-1 \
+//	     -self http://10.0.0.1:8081 \
+//	     -peers http://10.0.0.1:8081,http://10.0.0.2:8081   # ring shard
 //
 // With -data-dir, datasets are snapshotted on upload and models on fit
 // completion; a restart warm-loads both and serves previously fitted
-// models without re-clustering. See the README "Serving: dpcd" section
-// for the JSON API, the on-disk layout, and recovery semantics.
+// models without re-clustering. With -peers, the instance joins a
+// consistent-hash ring: datasets (and every model fitted on them) are
+// owned by one shard each, any instance transparently forwards requests
+// it does not own, /v1/stats aggregates across the ring, and POST
+// /v1/ring rebalances membership with snapshot warm-loads instead of
+// refits. See the README "Serving: dpcd" section for the JSON API, the
+// on-disk layout, and recovery semantics, and "Multi-instance dpcd" for
+// ring deployment.
 package main
 
 import (
@@ -33,19 +42,37 @@ import (
 
 	"repro/datasets"
 	"repro/internal/persist"
+	"repro/internal/ring"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size for fits and batch assigns (0 = all CPUs)")
-		cache   = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
-		preload = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
-		seed    = flag.Int64("seed", 1, "generation seed for preloaded datasets")
-		dataDir = flag.String("data-dir", "", "directory for dataset and model snapshots; restarts warm-load it (empty = in-memory only)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "worker pool size for fits and batch assigns (0 = all CPUs)")
+		cache      = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
+		preload    = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
+		seed       = flag.Int64("seed", 1, "generation seed for preloaded datasets")
+		dataDir    = flag.String("data-dir", "", "directory for dataset and model snapshots; restarts warm-load it (empty = in-memory only)")
+		peers      = flag.String("peers", "", "comma list of ring shard base URLs (http://host:port); empty = single instance")
+		self       = flag.String("self", "", "this instance's base URL exactly as it appears in -peers (required with -peers)")
+		vnodes     = flag.Int("vnodes", ring.DefaultVnodes, "virtual nodes per shard on the consistent-hash ring")
+		fwdTimeout = flag.Duration("forward-timeout", 60*time.Second, "per-attempt timeout when forwarding a request to its owning shard; raise it if cold fits on your datasets run longer")
+		fwdRetries = flag.Int("forward-retries", 2, "additional attempts after a transport error when forwarding (0 disables retries)")
 	)
 	flag.Parse()
+
+	peerList := parsePeers(*peers)
+	var owns func(string) bool
+	if len(peerList) > 0 {
+		if *self == "" {
+			log.Fatalf("dpcd: -peers requires -self (this instance's entry in the peer list)")
+		}
+		var err error
+		if owns, err = service.OwnsFunc(*self, peerList, *vnodes); err != nil {
+			log.Fatalf("dpcd: %v", err)
+		}
+	}
 
 	var store *persist.Store
 	if *dataDir != "" {
@@ -54,17 +81,43 @@ func main() {
 			log.Fatalf("dpcd: %v", err)
 		}
 	}
-	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers, Store: store})
+	// In ring mode the warm load is filtered to owned keys; snapshots for
+	// keys owned elsewhere stay on disk, ready for a later rebalance.
+	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers, Store: store, Owns: owns})
 	if store != nil {
 		st := svc.Stats()
 		log.Printf("dpcd: restored %d dataset(s) and %d model(s) from %s",
 			st.DatasetsRestored, st.ModelsRestored, store.Dir())
 	}
+
+	handler := service.NewHandler(svc)
+	var router *service.Router
+	if len(peerList) > 0 {
+		retries := *fwdRetries
+		if retries == 0 {
+			retries = -1 // ClientOptions: 0 means default, < 0 means none
+		}
+		copts := service.ClientOptions{Timeout: *fwdTimeout, Retries: retries}
+		var err error
+		if router, err = service.NewRouter(svc, *self, peerList, *vnodes, copts); err != nil {
+			log.Fatalf("dpcd: %v", err)
+		}
+		handler = router.Handler()
+		log.Printf("dpcd: ring shard %s of %d peer(s), %d vnodes", router.Self(), len(peerList), *vnodes)
+	}
+
 	specs, err := parsePreload(*preload)
 	if err != nil {
 		log.Fatalf("dpcd: %v", err)
 	}
 	for _, sp := range specs {
+		// Every ring instance can be launched with the identical -preload
+		// list; each registers only the keys it owns, so the ring as a
+		// whole serves the full list exactly once.
+		if router != nil && !router.Owns(sp.name) {
+			log.Printf("dpcd: preload %s owned by another shard; skipping", sp.name)
+			continue
+		}
 		d, ok := datasets.Generate(sp.name, sp.n, *seed)
 		if !ok {
 			log.Fatalf("dpcd: unknown bundled dataset %q; have %s", sp.name, strings.Join(datasets.Names(), ", "))
@@ -82,7 +135,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewHandler(svc)),
+		Handler:           logRequests(handler),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
@@ -106,6 +159,18 @@ func main() {
 type preloadSpec struct {
 	name string
 	n    int
+}
+
+// parsePeers splits the -peers comma list, trimming blanks; URL
+// validation happens in the service layer, which normalizes entries.
+func parsePeers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // parsePreload parses "name[:n]" comma lists; n defaults to 20000.

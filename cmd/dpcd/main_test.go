@@ -47,3 +47,13 @@ func TestPreloadNamesGenerate(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePeers(t *testing.T) {
+	got := parsePeers(" http://a:1 , http://b:2 ,, ")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("parsePeers = %v", got)
+	}
+	if got := parsePeers(""); got != nil {
+		t.Errorf("parsePeers(\"\") = %v, want nil", got)
+	}
+}

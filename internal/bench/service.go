@@ -1,8 +1,12 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
@@ -158,5 +162,196 @@ func (c Config) Service() error {
 	}
 	fmt.Fprintf(w, "cold start (%d models on %s): refit %.3fs, snapshot restore %.3fs (%.0fx), 0 fits after restore\n",
 		len(algs), d.Name, secs(coldRefit), secs(coldSnap), secs(coldRefit)/secs(coldSnap))
+
+	return c.serviceSharded(w)
+}
+
+// inprocShard is one dpcd instance on a real localhost listener —
+// in-process, but reached through the same HTTP path as a deployed
+// shard, so forwarding costs are measured, not simulated.
+type inprocShard struct {
+	addr string
+	srv  *http.Server
+}
+
+func (s *inprocShard) close() { _ = s.srv.Close() }
+
+// startShards boots n instances. With n == 1 the instance runs the plain
+// single-node handler; otherwise the instances form a consistent-hash
+// ring and each request may be forwarded to its owner. workersTotal is
+// split across the shards — on one machine the comparison holds total
+// compute constant and measures what the routing layer costs (or buys).
+func startShards(n, workersTotal int) ([]*inprocShard, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	perShard := workersTotal / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	shards := make([]*inprocShard, n)
+	for i := range shards {
+		svc := service.New(service.Options{Workers: perShard, CacheSize: 16})
+		handler := service.NewHandler(svc)
+		if n > 1 {
+			rt, err := service.NewRouter(svc, addrs[i], addrs, 128, service.ClientOptions{})
+			if err != nil {
+				return nil, err
+			}
+			handler = rt.Handler()
+		}
+		srv := &http.Server{Handler: handler}
+		shards[i] = &inprocShard{addr: addrs[i], srv: srv}
+		go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(srv, listeners[i])
+	}
+	return shards, nil
+}
+
+// serviceSharded compares fit and assign throughput of one dpcd
+// instance against a 3-shard ring over the same total worker budget:
+// every request goes to a round-robin instance, so roughly two thirds of
+// the ring's traffic pays a forwarding hop. This is the serving-side
+// scale experiment behind the ROADMAP's sharding item.
+func (c Config) serviceSharded(w io.Writer) error {
+	const (
+		numShards   = 3
+		numDatasets = 6
+		clients     = 8
+		batchesPer  = 8
+		batchSize   = 2000
+	)
+	dn := c.n() / 4
+	if dn < 400 {
+		dn = 400
+	}
+
+	type entry struct {
+		name   string
+		csv    []byte
+		params core.Params
+		batch  [][]float64
+	}
+	rng := rand.New(rand.NewSource(c.Seed + 99))
+	entries := make([]entry, numDatasets)
+	for i := range entries {
+		d := data.SSet(2, dn, c.Seed+int64(i))
+		var buf bytes.Buffer
+		if err := data.SaveCSV(&buf, d.Points); err != nil {
+			return err
+		}
+		batch := make([][]float64, batchSize)
+		for j := range batch {
+			base := d.Points.At(rng.Intn(d.Points.N))
+			q := make([]float64, len(base))
+			for k := range q {
+				q[k] = base[k] + rng.NormFloat64()*d.DCut/4
+			}
+			batch[j] = q
+		}
+		entries[i] = entry{
+			name:   fmt.Sprintf("shard-ds-%02d", i),
+			csv:    buf.Bytes(),
+			params: core.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+			batch:  batch,
+		}
+	}
+
+	run := func(n int) (fit, assign time.Duration, err error) {
+		shards, err := startShards(n, c.threads())
+		if err != nil {
+			return 0, 0, err
+		}
+		defer func() {
+			for _, s := range shards {
+				s.close()
+			}
+		}()
+		cls := make([]*service.Client, len(shards))
+		for i, s := range shards {
+			cls[i] = service.NewClient(s.addr, service.ClientOptions{})
+		}
+		// Uploads all enter through instance 0; the ring forwards what it
+		// does not own.
+		for _, e := range entries {
+			if _, err := cls[0].PutDataset(e.name, "csv", e.csv); err != nil {
+				return 0, 0, err
+			}
+		}
+		toParams := func(p core.Params) service.ParamsJSON {
+			return service.ParamsJSON{DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin}
+		}
+		start := time.Now()
+		errs := make(chan error, numDatasets)
+		for i, e := range entries {
+			go func(i int, e entry) {
+				_, err := cls[i%len(cls)].Fit(service.FitRequest{
+					Dataset: e.name, Algorithm: "Ex-DPC", Params: toParams(e.params)})
+				errs <- err
+			}(i, e)
+		}
+		for range entries {
+			if err := <-errs; err != nil {
+				return 0, 0, err
+			}
+		}
+		fit = time.Since(start)
+
+		start = time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for cl := 0; cl < clients; cl++ {
+			wg.Add(1)
+			go func(cl int) {
+				defer wg.Done()
+				for b := 0; b < batchesPer; b++ {
+					e := entries[(cl+b)%len(entries)]
+					_, err := cls[(cl+b)%len(cls)].Assign(service.AssignRequest{
+						FitRequest: service.FitRequest{
+							Dataset: e.name, Algorithm: "Ex-DPC", Params: toParams(e.params)},
+						Points: e.batch,
+					})
+					if err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(cl)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return 0, 0, err
+		default:
+		}
+		assign = time.Since(start)
+		return fit, assign, nil
+	}
+
+	fit1, assign1, err := run(1)
+	if err != nil {
+		return fmt.Errorf("sharding (1 instance): %w", err)
+	}
+	fit3, assign3, err := run(numShards)
+	if err != nil {
+		return fmt.Errorf("sharding (%d shards): %w", numShards, err)
+	}
+	points := float64(clients * batchesPer * batchSize)
+	fmt.Fprintf(w, "sharding: %d datasets (n=%d each), %d total workers, requests round-robin across instances\n",
+		numDatasets, dn, c.threads())
+	fmt.Fprintf(w, "  fit all (Ex-DPC):    1 instance %8.3fs   %d shards %8.3fs  (%.2fx)\n",
+		secs(fit1), numShards, secs(fit3), secs(fit1)/secs(fit3))
+	fmt.Fprintf(w, "  assign %dx%d batches: 1 instance %7.0f pts/s  %d shards %7.0f pts/s  (%.2fx)\n",
+		clients, batchesPer, points/secs(assign1), numShards, points/secs(assign3),
+		secs(assign1)/secs(assign3))
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"hash/fnv"
 	"math"
 	"time"
 
@@ -57,6 +58,41 @@ type ModelKey struct {
 	Version   uint64
 	Algorithm string
 	Params    core.Params
+}
+
+// Hash derives the stable 64-bit identity used for snapshot filenames.
+// It must never change across releases: the sharding layer assumes a
+// shard that inherits a data directory (or re-inherits keys after a ring
+// membership change) finds the same filenames the original writer
+// produced. Golden values are pinned in store_test.go.
+//
+// Params fields are written individually, tagged, and only when nonzero
+// — never via %v of the whole struct — so a future Params field (zero
+// for every already-persisted model) extends the key space without
+// remapping a single existing snapshot. The manifest, not the name, is
+// authoritative, so a (practically impossible) collision would only
+// overwrite a reconstructible snapshot.
+func (k ModelKey) Hash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%s|", k.Dataset, k.Version, k.Algorithm)
+	f := func(tag string, v float64) {
+		if v != 0 {
+			fmt.Fprintf(h, "%s=%g|", tag, v)
+		}
+	}
+	f("dcut", k.Params.DCut)
+	f("rhomin", k.Params.RhoMin)
+	f("deltamin", k.Params.DeltaMin)
+	f("epsilon", k.Params.Epsilon)
+	if k.Params.Seed != 0 {
+		fmt.Fprintf(h, "seed=%d|", k.Params.Seed)
+	}
+	// Workers is zeroed by SaveModel before hashing; it is still written
+	// when set so the hash keys the full struct, like every other field.
+	if k.Params.Workers != 0 {
+		fmt.Fprintf(h, "workers=%d|", k.Params.Workers)
+	}
+	return h.Sum64()
 }
 
 // DatasetSnapshot is the decoded form of one dataset snapshot.

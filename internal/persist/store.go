@@ -181,7 +181,7 @@ func (s *Store) SaveModel(k ModelKey, m *core.Model) error {
 		return fmt.Errorf("persist: model key names exceed the %d-byte snapshot limit", maxNameLen)
 	}
 	k.Params.Workers = 0
-	rel := filepath.Join("models", fmt.Sprintf("%016x.snap", hashKey(k)))
+	rel := filepath.Join("models", fmt.Sprintf("%016x.snap", k.Hash()))
 	raw := EncodeModel(k, m.Dataset().Fingerprint(), m.FitTime(), m.Result())
 
 	s.mu.Lock()
@@ -266,6 +266,16 @@ type RestoredModel struct {
 // never a failed startup. workers is baked into the restored models'
 // Params so they are indistinguishable from freshly fitted ones.
 func (s *Store) Restore(workers int) (datasets []*DatasetSnapshot, models []RestoredModel) {
+	return s.RestoreOwned(workers, nil)
+}
+
+// RestoreOwned is Restore limited to datasets (and the models fitted on
+// them) whose name the owns filter accepts; nil accepts everything. It is
+// the ring-rebalance hook: a shard that stops owning a key skips its
+// snapshots — without decoding them — and a shard that starts owning one
+// warm-loads it with zero refits. Skipped snapshots stay on disk
+// untouched, so ownership can come back cheaply.
+func (s *Store) RestoreOwned(workers int, owns func(dataset string) bool) (datasets []*DatasetSnapshot, models []RestoredModel) {
 	s.mu.Lock()
 	m := manifestFile{
 		Datasets: append([]manifestDataset(nil), s.m.Datasets...),
@@ -275,6 +285,9 @@ func (s *Store) Restore(workers int) (datasets []*DatasetSnapshot, models []Rest
 
 	byName := make(map[string]*DatasetSnapshot, len(m.Datasets))
 	for _, e := range m.Datasets {
+		if owns != nil && !owns(e.Name) {
+			continue
+		}
 		snap, err := s.readDataset(e)
 		if err != nil {
 			s.logf("persist: skipping dataset %q: %v", e.Name, err)
@@ -284,6 +297,10 @@ func (s *Store) Restore(workers int) (datasets []*DatasetSnapshot, models []Rest
 		datasets = append(datasets, snap)
 	}
 	for _, e := range m.Models {
+		if owns != nil && !owns(e.Dataset) {
+			// Filtered out with its dataset — not damage, so no log line.
+			continue
+		}
 		snap, err := s.readModel(e)
 		if err != nil {
 			s.logf("persist: skipping model %s/%s: %v", e.Dataset, e.Algorithm, err)
@@ -390,14 +407,5 @@ func writeFileAtomic(path string, data []byte) error {
 func hashString(s string) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(s))
-	return h.Sum64()
-}
-
-// hashKey derives a stable snapshot filename from a model key; the
-// manifest, not the name, is authoritative, so a (practically impossible)
-// collision would only overwrite a reconstructible snapshot.
-func hashKey(k ModelKey) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%s|%v", k.Dataset, k.Version, k.Algorithm, k.Params)
 	return h.Sum64()
 }

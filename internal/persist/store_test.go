@@ -404,3 +404,84 @@ func TestSaveModelKeepsRecencyOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestModelKeyHashGolden pins ModelKey.Hash across releases. The sharding
+// layer assumes a shard that inherits keys after a ring membership change
+// computes the same snapshot filenames the original writer produced; a
+// changed hash would orphan every model snapshot on disk.
+func TestModelKeyHashGolden(t *testing.T) {
+	cases := []struct {
+		key  ModelKey
+		want uint64
+	}{
+		{ModelKey{Dataset: "s2", Version: 1, Algorithm: "Ex-DPC",
+			Params: core.Params{DCut: 0.05, RhoMin: 25, DeltaMin: 0.2}}, 0x04d2b7514748d56a},
+		{ModelKey{Dataset: "pamap2", Version: 3, Algorithm: "Approx-DPC",
+			Params: core.Params{DCut: 1.5, RhoMin: 10, DeltaMin: 6, Seed: 42}}, 0x251d4395288ae768},
+		{ModelKey{Dataset: "syn", Version: 2, Algorithm: "S-Approx-DPC",
+			Params: core.Params{DCut: 0.1, RhoMin: 5, DeltaMin: 0.5, Epsilon: 0.75}}, 0x82d9a601210ba165},
+		{ModelKey{Dataset: "household", Version: 7, Algorithm: "Scan",
+			Params: core.Params{DCut: 2, RhoMin: 1, DeltaMin: 9}}, 0xbc05d9fca259b00e},
+	}
+	for _, c := range cases {
+		if got := c.key.Hash(); got != c.want {
+			t.Errorf("ModelKey.Hash(%s/%s v%d) = %#016x, want %#016x — the hash must be stable across restarts",
+				c.key.Dataset, c.key.Algorithm, c.key.Version, got, c.want)
+		}
+	}
+	// Workers must already be zeroed by callers; the hash treats it as
+	// identity like every other Params field, so two keys differing only
+	// in Workers are different keys.
+	k := cases[0].key
+	k.Params.Workers = 8
+	if k.Hash() == cases[0].want {
+		t.Error("ModelKey.Hash ignored Params.Workers; SaveModel zeroes it, the hash must not")
+	}
+}
+
+// TestRestoreOwned: the filter restores exactly the accepted datasets and
+// their models, leaves everything else on disk untouched, and a later
+// unfiltered restore still sees the full store — the "evict, don't
+// delete" contract of ring rebalancing.
+func TestRestoreOwned(t *testing.T) {
+	logs := &capture{}
+	st, err := Open(t.TempDir(), logs.logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "gamma"}
+	p := core.Params{DCut: 0.06, RhoMin: 3, DeltaMin: 0.3, Workers: 1}
+	for i, name := range names {
+		d := data.SSet(2, 300, int64(i+1))
+		if err := st.SaveDataset(name, 1, d.Points); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SaveModel(ModelKey{Dataset: name, Version: 1, Algorithm: "Ex-DPC", Params: p},
+			fitModel(t, d.Points, "Ex-DPC", p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owned := map[string]bool{"alpha": true, "gamma": true}
+	dss, models := st.RestoreOwned(1, func(name string) bool { return owned[name] })
+	if len(dss) != 2 || len(models) != 2 {
+		t.Fatalf("RestoreOwned loaded %d datasets / %d models, want 2/2", len(dss), len(models))
+	}
+	for _, d := range dss {
+		if !owned[d.Name] {
+			t.Errorf("RestoreOwned loaded unowned dataset %q", d.Name)
+		}
+	}
+	for _, m := range models {
+		if !owned[m.Key.Dataset] {
+			t.Errorf("RestoreOwned loaded model for unowned dataset %q", m.Key.Dataset)
+		}
+	}
+	if logs.contains("skipping") {
+		t.Errorf("filtered snapshots were logged as damage: %v", logs.lines)
+	}
+	// Nothing was deleted: a full restore still sees all three.
+	dss, models = st.Restore(1)
+	if len(dss) != 3 || len(models) != 3 {
+		t.Fatalf("full Restore after RestoreOwned got %d datasets / %d models, want 3/3", len(dss), len(models))
+	}
+}

@@ -1,0 +1,144 @@
+// Package ring implements the consistent-hash ring that partitions dpcd
+// datasets across shard instances. Datasets own their fitted models, so
+// hashing the dataset name places a dataset and every model fitted on it
+// on one shard; the persisted model key embeds the same dataset name, so
+// ownership of the in-memory state and of the on-disk snapshots always
+// agrees.
+//
+// The hash is FNV-64a — deterministic, dependency-free, and stable
+// across processes and platforms, which the rebalancing protocol relies
+// on: a shard that picks up a key after a membership change computes the
+// same ownership as the shard that persisted it, and warm-loads the
+// snapshot instead of refitting. Virtual nodes smooth the partition;
+// with the default 128 vnodes per member a 3-shard ring stays within a
+// few percent of uniform. Removing a member only remaps that member's
+// arcs — the defining property that makes rebalancing proportional to
+// the departed shard's share, not the keyspace.
+//
+// A Ring is immutable after New; membership changes build a new Ring.
+// That keeps lookups lock-free and makes "the ring changed" an explicit
+// event the serving layer can reconcile against.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per member used when callers
+// pass vnodes <= 0.
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring.
+type Ring struct {
+	vnodes  int
+	members []string
+	points  []point // sorted by hash, ties broken by member
+}
+
+// point is one virtual node: the hash of "member#i" and the member it
+// routes to.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Hash is the ring's key hash: FNV-64a of the raw bytes pushed through
+// the splitmix64 finalizer. Raw FNV is not enough — two keys differing
+// only in a trailing digit ("ds-00" vs "ds-01") land within ~2^48 of
+// each other, closer than an average vnode arc (~2^55 on a 3×128-vnode
+// ring), so sequential dataset names would all map to one shard. The
+// finalizer is a fixed bijection, so the combined hash is exactly as
+// stable across processes and platforms as FNV itself. Exported so tests
+// can pin its values; changing it silently would remap every key on
+// upgrade.
+func Hash(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a constant, well-avalanched
+// bijection on 64-bit values.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// vnodeHash places virtual node i of a member whose name hashes to base.
+// The golden-ratio stride plus mix64 spreads a member's vnodes uniformly
+// regardless of how similar member names are.
+func vnodeHash(base uint64, i int) uint64 {
+	return mix64(base + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// New builds a ring over the given members with vnodes virtual nodes
+// each (<= 0 means DefaultVnodes). Members are deduplicated; order does
+// not matter — two rings over the same member set are identical.
+func New(vnodes int, members ...string) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("ring: no members")
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		vnodes:  vnodes,
+		members: uniq,
+		points:  make([]point, 0, len(uniq)*vnodes),
+	}
+	for _, m := range uniq {
+		base := Hash(m)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: vnodeHash(base, i), member: m})
+		}
+	}
+	// Ties broken by member name so the ring is a pure function of the
+	// member set, never of insertion order.
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r, nil
+}
+
+// Owner returns the member owning key: the first virtual node at or
+// after the key's hash, wrapping at the top of the hash space.
+func (r *Ring) Owner(key string) string {
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Members returns the member set in sorted order. The slice is shared;
+// callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Vnodes returns the virtual-node count per member.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Has reports whether member is on the ring.
+func (r *Ring) Has(member string) bool {
+	i := sort.SearchStrings(r.members, member)
+	return i < len(r.members) && r.members[i] == member
+}

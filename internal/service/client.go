@@ -1,0 +1,234 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// forwardedHeader marks a request as already routed by a peer. A
+// receiver serves such requests locally no matter what its own ring
+// says, so a transient membership disagreement degrades to one wrong
+// hop instead of a forwarding loop.
+const forwardedHeader = "X-Dpcd-Forwarded"
+
+// ClientOptions tunes a Client. The zero value is usable.
+type ClientOptions struct {
+	// Timeout bounds one HTTP attempt; <= 0 means 60s (an assign of a
+	// full batch against a cold model can legitimately take a while).
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a transport
+	// error; < 0 means 0, default 2. Every dpcd endpoint is idempotent —
+	// uploads are versioned, fits are single-flight, assigns are reads —
+	// so retrying POSTs is safe.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt;
+	// <= 0 means 50ms.
+	Backoff time.Duration
+}
+
+func (o ClientOptions) timeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return 60 * time.Second
+}
+
+func (o ClientOptions) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	if o.Retries == 0 {
+		return 2
+	}
+	return o.Retries
+}
+
+func (o ClientOptions) backoff() time.Duration {
+	if o.Backoff > 0 {
+		return o.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// Client is a typed HTTP client for one dpcd instance. The router uses
+// it to forward requests to the owning shard; the bench harness and
+// tests use it as a regular API client.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// NewClient returns a client for the instance at base (scheme://host:port,
+// no trailing slash required).
+func NewClient(base string, opts ClientOptions) *Client {
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: opts.timeout()},
+		retries: opts.retries(),
+		backoff: opts.backoff(),
+	}
+}
+
+// Base returns the instance URL this client targets.
+func (c *Client) Base() string { return c.base }
+
+// StatusError is a non-2xx response from a peer with the decoded error
+// message. A forwarding router relays the code instead of flattening
+// everything to 502.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%s (HTTP %d)", e.Msg, e.Code)
+}
+
+// do performs one request with transport-level retries. Bodies are
+// byte slices, never streams, so every retry replays identical bytes.
+// HTTP-level errors (any status) are returned to the caller untouched —
+// a 400 from the owner is the answer, not a reason to retry.
+func (c *Client) do(method, path string, contentType string, body []byte, forwarded bool) (status int, data []byte, ct string, err error) {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, rerr := http.NewRequest(method, c.base+path, rd)
+		if rerr != nil {
+			return 0, nil, "", rerr
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		if forwarded {
+			req.Header.Set(forwardedHeader, "1")
+		}
+		resp, derr := c.hc.Do(req)
+		if derr != nil {
+			err = derr
+			if attempt >= c.retries {
+				return 0, nil, "", fmt.Errorf("service: %s %s%s: %w (after %d attempts)", method, c.base, path, err, attempt+1)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		data, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			if attempt >= c.retries {
+				return 0, nil, "", fmt.Errorf("service: %s %s%s: reading response: %w", method, c.base, path, err)
+			}
+			time.Sleep(backoff)
+			backoff *= 2
+			continue
+		}
+		return resp.StatusCode, data, resp.Header.Get("Content-Type"), nil
+	}
+}
+
+// call is do plus JSON decoding and error mapping for the typed methods.
+func (c *Client) call(method, path string, contentType string, body []byte, forwarded bool, out any) error {
+	status, data, _, err := c.do(method, path, contentType, body, forwarded)
+	if err != nil {
+		return err
+	}
+	if status < 200 || status > 299 {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return &StatusError{Code: status, Msg: er.Error}
+		}
+		return &StatusError{Code: status, Msg: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service: %s %s%s: decoding response: %w", method, c.base, path, err)
+	}
+	return nil
+}
+
+func marshal(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// All request types are plain data structs; this cannot fail.
+		panic(fmt.Sprintf("service: marshaling %T: %v", v, err))
+	}
+	return raw
+}
+
+// Health reports whether the instance answers its liveness probe.
+func (c *Client) Health() error {
+	return c.call(http.MethodGet, "/healthz", "", nil, false, nil)
+}
+
+// PutDataset uploads a dataset body in the given format ("csv" or
+// "binary").
+func (c *Client) PutDataset(name, format string, body []byte) (DatasetInfo, error) {
+	path := "/v1/datasets/" + url.PathEscape(name)
+	if format != "" && format != "csv" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	var info DatasetInfo
+	err := c.call(http.MethodPut, path, "application/octet-stream", body, false, &info)
+	return info, err
+}
+
+// Fit requests (or fetches the cached) model for the triple in req.
+func (c *Client) Fit(req FitRequest) (FitResponse, error) {
+	var out FitResponse
+	err := c.call(http.MethodPost, "/v1/fit", "application/json", marshal(req), false, &out)
+	return out, err
+}
+
+// Assign labels req.Points against the model for the triple in req.
+func (c *Client) Assign(req AssignRequest) (AssignResponse, error) {
+	var out AssignResponse
+	err := c.call(http.MethodPost, "/v1/assign", "application/json", marshal(req), false, &out)
+	return out, err
+}
+
+// LocalStats fetches the instance's own counters, bypassing the ring
+// fan-out — the per-peer leg of the aggregate /v1/stats.
+func (c *Client) LocalStats() (Stats, error) {
+	var out Stats
+	err := c.call(http.MethodGet, "/v1/stats", "", nil, true, &out)
+	return out, err
+}
+
+// LocalDatasets lists the datasets resident on the instance itself,
+// bypassing the ring fan-out.
+func (c *Client) LocalDatasets() ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	err := c.call(http.MethodGet, "/v1/datasets", "", nil, true, &out)
+	return out, err
+}
+
+// RingStats fetches the ring-wide aggregated counters from a ring-mode
+// instance.
+func (c *Client) RingStats() (RingStatsResponse, error) {
+	var out RingStatsResponse
+	err := c.call(http.MethodGet, "/v1/stats", "", nil, false, &out)
+	return out, err
+}
+
+// SetRing replaces the instance's ring membership; the instance
+// reconciles its resident state (and snapshot directory) against the new
+// ring and reports what moved.
+func (c *Client) SetRing(peers []string) (RingUpdateResponse, error) {
+	var out RingUpdateResponse
+	err := c.call(http.MethodPost, "/v1/ring", "application/json",
+		marshal(RingUpdateRequest{Peers: peers}), false, &out)
+	return out, err
+}

@@ -1,0 +1,515 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ring"
+)
+
+// Router shards one dpcd ring instance: requests whose dataset key this
+// instance owns are served by the local Service, everything else is
+// transparently forwarded to the owning peer, so clients can talk to any
+// instance. Dataset names are the ring keys — a dataset and every model
+// fitted on it live on one shard, and the persisted model key embeds the
+// dataset name, so memory and disk ownership always agree.
+//
+// Membership changes arrive through SetMembers (POST /v1/ring): the
+// router swaps in a new ring and reconciles the local Service against
+// it, warm-loading snapshots it now owns and evicting — never deleting —
+// those it no longer does. Forwarded requests carry a marker header and
+// are always served locally, so a transient membership disagreement
+// between peers costs one misrouted hop, not a loop.
+type Router struct {
+	self   string
+	vnodes int
+	local  *Service
+	localH http.Handler
+	copts  ClientOptions
+
+	// setMu serializes SetMembers end to end (ring swap + reconcile):
+	// Service.Reconcile assumes one reconcile pass at a time, and two
+	// overlapping membership posts interleaving their evict and warm-load
+	// phases could leave datasets resident that the final ring does not
+	// assign here.
+	setMu sync.Mutex
+
+	mu      sync.RWMutex
+	ring    *ring.Ring
+	clients map[string]*Client
+
+	forwarded     atomic.Int64
+	forwardErrors atomic.Int64
+}
+
+// NewRouter wraps local in a ring router. self must appear in peers;
+// peer addresses are base URLs (http://host:port) and are normalized
+// before ring placement, so every instance must be given the identical
+// spelling of the peer list. The local service's resident state is
+// reconciled against the initial ring immediately.
+func NewRouter(local *Service, self string, peers []string, vnodes int, copts ClientOptions) (*Router, error) {
+	selfNorm, err := normalizePeer(self)
+	if err != nil {
+		return nil, fmt.Errorf("service: -self: %w", err)
+	}
+	rt := &Router{
+		self:   selfNorm,
+		vnodes: vnodes,
+		local:  local,
+		localH: NewHandler(local),
+		copts:  copts,
+	}
+	if _, err := rt.SetMembers(peers); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// buildRing is the one place peer lists become rings: it normalizes
+// self and every peer, constructs the ring, and verifies self is a
+// member. OwnsFunc and SetMembers both go through it, so warm-load
+// ownership and routing ownership can never disagree.
+func buildRing(self string, peers []string, vnodes int) (selfNorm string, rg *ring.Ring, err error) {
+	if selfNorm, err = normalizePeer(self); err != nil {
+		return "", nil, fmt.Errorf("service: -self: %w", err)
+	}
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		n, err := normalizePeer(p)
+		if err != nil {
+			return "", nil, fmt.Errorf("service: %w", err)
+		}
+		norm = append(norm, n)
+	}
+	if rg, err = ring.New(vnodes, norm...); err != nil {
+		return "", nil, fmt.Errorf("service: %w", err)
+	}
+	if !rg.Has(selfNorm) {
+		return "", nil, fmt.Errorf("service: self %q is not in the peer list %v", selfNorm, rg.Members())
+	}
+	return selfNorm, rg, nil
+}
+
+// OwnsFunc returns the ownership filter the instance at self has on a
+// ring of peers, without constructing a Router. cmd/dpcd uses it so the
+// Service's warm load can skip unowned snapshots before the router (which
+// needs the Service) exists; NewRouter with the same arguments builds the
+// identical ring, so the two never disagree.
+func OwnsFunc(self string, peers []string, vnodes int) (func(dataset string) bool, error) {
+	selfNorm, rg, err := buildRing(self, peers, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	return func(dataset string) bool { return rg.Owner(dataset) == selfNorm }, nil
+}
+
+// normalizePeer canonicalizes one peer base URL.
+func normalizePeer(p string) (string, error) {
+	p = strings.TrimRight(strings.TrimSpace(p), "/")
+	u, err := url.Parse(p)
+	if err != nil {
+		return "", fmt.Errorf("bad peer URL %q: %w", p, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("peer URL %q must be http:// or https://", p)
+	}
+	if u.Host == "" || u.Path != "" || u.RawQuery != "" {
+		return "", fmt.Errorf("peer URL %q must be scheme://host[:port] with no path", p)
+	}
+	return p, nil
+}
+
+// Self returns this instance's normalized peer address.
+func (rt *Router) Self() string { return rt.self }
+
+// Owns reports whether this instance owns the dataset key on the
+// current ring.
+func (rt *Router) Owns(dataset string) bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Owner(dataset) == rt.self
+}
+
+// owner returns the current owner of a key and the client to reach it
+// (nil when the owner is this instance).
+func (rt *Router) owner(dataset string) (string, *Client) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	o := rt.ring.Owner(dataset)
+	if o == rt.self {
+		return o, nil
+	}
+	return o, rt.clients[o]
+}
+
+// peerClients returns the current peer set as (address, client) pairs;
+// the self entry has a nil client.
+func (rt *Router) peerClients() (peers []string, clients map[string]*Client) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Members(), rt.clients
+}
+
+// SetMembers replaces the ring membership and reconciles the local
+// service against it. self must remain a member — an instance cannot
+// route itself out of existence. Calls are serialized: a membership post
+// that arrives mid-reconcile waits for the previous one to finish.
+func (rt *Router) SetMembers(peers []string) (ReconcileStats, error) {
+	rt.setMu.Lock()
+	defer rt.setMu.Unlock()
+	_, rg, err := buildRing(rt.self, peers, rt.vnodes)
+	if err != nil {
+		return ReconcileStats{}, err
+	}
+	clients := make(map[string]*Client, len(rg.Members()))
+	rt.mu.Lock()
+	for _, m := range rg.Members() {
+		if m == rt.self {
+			continue
+		}
+		if c, ok := rt.clients[m]; ok {
+			clients[m] = c // keep the peer's connection pool across changes
+		} else {
+			clients[m] = NewClient(m, rt.copts)
+		}
+	}
+	rt.ring = rg
+	rt.clients = clients
+	rt.mu.Unlock()
+	return rt.local.Reconcile(rt.Owns), nil
+}
+
+// RingUpdateRequest is the body of POST /v1/ring.
+type RingUpdateRequest struct {
+	Peers []string `json:"peers"`
+}
+
+// RingUpdateResponse reports the applied membership and what the
+// reconcile moved.
+type RingUpdateResponse struct {
+	Self      string         `json:"self"`
+	Peers     []string       `json:"peers"`
+	Reconcile ReconcileStats `json:"reconcile"`
+}
+
+// ringInfoResponse is the body of GET /v1/ring.
+type ringInfoResponse struct {
+	Self   string   `json:"self"`
+	Peers  []string `json:"peers"`
+	Vnodes int      `json:"vnodes"`
+	Owner  string   `json:"owner,omitempty"` // owner of ?key=, when asked
+}
+
+// PeerStats is one shard's leg of the aggregated /v1/stats.
+type PeerStats struct {
+	Peer  string `json:"peer"`
+	Error string `json:"error,omitempty"`
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// RingStatsResponse aggregates /v1/stats across the ring: summed
+// counters plus the per-peer breakdown. Forwarded/ForwardErrors are this
+// instance's routing counters (each instance counts its own hops).
+type RingStatsResponse struct {
+	Self          string      `json:"self"`
+	Peers         []string    `json:"peers"`
+	PeersUp       int         `json:"peers_up"`
+	Forwarded     int64       `json:"forwarded"`
+	ForwardErrors int64       `json:"forward_errors"`
+	Total         Stats       `json:"total"`
+	PerPeer       []PeerStats `json:"per_peer"`
+}
+
+// accumulate folds another shard's counters into s; HitRate is
+// recomputed by the caller once every peer is in.
+func (s *Stats) accumulate(o Stats) {
+	s.Datasets += o.Datasets
+	s.ModelsCached += o.ModelsCached
+	s.CacheCapacity += o.CacheCapacity
+	s.FitRequests += o.FitRequests
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.Evictions += o.Evictions
+	s.AssignRequests += o.AssignRequests
+	s.PointsAssigned += o.PointsAssigned
+	s.DatasetsRestored += o.DatasetsRestored
+	s.ModelsRestored += o.ModelsRestored
+	s.PersistErrors += o.PersistErrors
+}
+
+// Handler returns the ring-mode HTTP API: the single-instance routes
+// plus /v1/ring, with dataset-keyed routes forwarded to their owners and
+// /v1/stats (and /v1/datasets) fanned out across the ring.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "self": rt.self})
+	})
+
+	mux.HandleFunc("GET /v1/ring", func(w http.ResponseWriter, r *http.Request) {
+		rt.mu.RLock()
+		resp := ringInfoResponse{Self: rt.self, Peers: rt.ring.Members(), Vnodes: rt.ring.Vnodes()}
+		if key := r.URL.Query().Get("key"); key != "" {
+			resp.Owner = rt.ring.Owner(key)
+		}
+		rt.mu.RUnlock()
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/ring", func(w http.ResponseWriter, r *http.Request) {
+		var req RingUpdateRequest
+		if !decodeJSON(w, r, &req, maxFitBytes) {
+			return
+		}
+		rec, err := rt.SetMembers(req.Peers)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		rt.mu.RLock()
+		peers := rt.ring.Members()
+		rt.mu.RUnlock()
+		writeJSON(w, http.StatusOK, RingUpdateResponse{Self: rt.self, Peers: peers, Reconcile: rec})
+	})
+
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardedHeader) != "" {
+			writeJSON(w, http.StatusOK, rt.local.Datasets())
+			return
+		}
+		writeJSON(w, http.StatusOK, rt.allDatasets())
+	})
+
+	// Dataset-keyed routes: served locally when owned (or when already
+	// forwarded once), relayed to the owner otherwise.
+	routeByName := func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		owner, peer := rt.owner(name)
+		if peer == nil || r.Header.Get(forwardedHeader) != "" {
+			rt.localH.ServeHTTP(w, r)
+			return
+		}
+		// Uploads are buffered so the forward can retry; the same cap the
+		// local handler enforces bounds the buffer.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
+			return
+		}
+		path := "/v1/datasets/" + url.PathEscape(name)
+		if q := r.URL.RawQuery; q != "" {
+			path += "?" + q
+		}
+		rt.relay(w, peer, owner, r.Method, path, r.Header.Get("Content-Type"), body)
+	}
+	mux.HandleFunc("PUT /v1/datasets/{name}", routeByName)
+	mux.HandleFunc("GET /v1/datasets/{name}", routeByName)
+
+	// Fit and assign carry the dataset name inside the JSON body; peek at
+	// it, then either replay the exact bytes into the local handler or
+	// relay them to the owner.
+	routeByBody := func(limit int64, path string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+				return
+			}
+			name, err := peekDataset(body)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+				return
+			}
+			owner, peerC := rt.owner(name)
+			// An absent or empty dataset name is served locally so the
+			// local handler produces its usual validation error instead of
+			// a peer paying to say the same thing.
+			if name == "" || peerC == nil || r.Header.Get(forwardedHeader) != "" {
+				r.Body = io.NopCloser(bytes.NewReader(body))
+				r.ContentLength = int64(len(body))
+				rt.localH.ServeHTTP(w, r)
+				return
+			}
+			rt.relay(w, peerC, owner, http.MethodPost, path, "application/json", body)
+		}
+	}
+	mux.HandleFunc("POST /v1/fit", routeByBody(maxFitBytes, "/v1/fit"))
+	mux.HandleFunc("POST /v1/assign", routeByBody(maxAssignBytes, "/v1/assign"))
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(forwardedHeader) != "" {
+			writeJSON(w, http.StatusOK, rt.local.Stats())
+			return
+		}
+		writeJSON(w, http.StatusOK, rt.aggregateStats())
+	})
+
+	return mux
+}
+
+// peekDataset extracts the top-level "dataset" field from a fit/assign
+// body without building the rest of the document. It stops as soon as
+// the field is seen — our own client and the documented request shape
+// put "dataset" first, making the scan O(1) regardless of batch size —
+// and in the worst case token-skips a near-cap points array without
+// allocating it. Full strict validation (unknown fields, types) stays
+// with the owning shard's handler; routing only needs the name. An
+// object without the field returns "" and no error.
+func peekDataset(body []byte) (string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	t, err := dec.Token()
+	if err != nil {
+		return "", err
+	}
+	if d, ok := t.(json.Delim); !ok || d != '{' {
+		return "", fmt.Errorf("request body must be a JSON object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		key, _ := keyTok.(string)
+		if key == "dataset" {
+			var name string
+			if err := dec.Decode(&name); err != nil {
+				return "", fmt.Errorf("field %q must be a string: %w", key, err)
+			}
+			return name, nil
+		}
+		if err := skipValue(dec); err != nil {
+			return "", err
+		}
+	}
+	return "", nil
+}
+
+// skipValue consumes exactly one JSON value from the decoder without
+// materializing it.
+func skipValue(dec *json.Decoder) error {
+	t, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := t.(json.Delim); ok && (d == '{' || d == '[') {
+		for depth := 1; depth > 0; {
+			t, err := dec.Token()
+			if err != nil {
+				return err
+			}
+			if d, ok := t.(json.Delim); ok {
+				switch d {
+				case '{', '[':
+					depth++
+				case '}', ']':
+					depth--
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// relay forwards one buffered request to the owning peer and writes the
+// peer's exact status and bytes back — the response a client sees is
+// byte-identical whether it asked the owner or any other instance.
+func (rt *Router) relay(w http.ResponseWriter, peer *Client, owner, method, path, contentType string, body []byte) {
+	rt.forwarded.Add(1)
+	status, data, ct, err := peer.do(method, path, contentType, body, true)
+	if err != nil {
+		rt.forwardErrors.Add(1)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", owner, err))
+		return
+	}
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+// allDatasets fans the registry listing out across the ring and merges
+// it. Unreachable peers contribute nothing — the listing degrades to
+// what the live shards own, matching how their keys would serve.
+func (rt *Router) allDatasets() []DatasetInfo {
+	peers, clients := rt.peerClients()
+	var (
+		mu  sync.Mutex
+		out []DatasetInfo
+		wg  sync.WaitGroup
+	)
+	for _, p := range peers {
+		if p == rt.self {
+			out = append(out, rt.local.Datasets()...)
+			continue
+		}
+		wg.Add(1)
+		go func(c *Client) {
+			defer wg.Done()
+			infos, err := c.LocalDatasets()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, infos...)
+			mu.Unlock()
+		}(clients[p])
+	}
+	wg.Wait()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// aggregateStats fans /v1/stats out to every peer and sums the
+// counters; unreachable peers are reported per-peer instead of failing
+// the aggregate.
+func (rt *Router) aggregateStats() RingStatsResponse {
+	peers, clients := rt.peerClients()
+	resp := RingStatsResponse{
+		Self:          rt.self,
+		Peers:         peers,
+		Forwarded:     rt.forwarded.Load(),
+		ForwardErrors: rt.forwardErrors.Load(),
+		PerPeer:       make([]PeerStats, len(peers)),
+	}
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		if p == rt.self {
+			st := rt.local.Stats()
+			resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p string, c *Client) {
+			defer wg.Done()
+			st, err := c.LocalStats()
+			if err != nil {
+				resp.PerPeer[i] = PeerStats{Peer: p, Error: err.Error()}
+				return
+			}
+			resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
+		}(i, p, clients[p])
+	}
+	wg.Wait()
+	for _, ps := range resp.PerPeer {
+		if ps.Stats == nil {
+			continue
+		}
+		resp.PeersUp++
+		resp.Total.accumulate(*ps.Stats)
+	}
+	if total := resp.Total.CacheHits + resp.Total.CacheMisses; total > 0 {
+		resp.Total.HitRate = float64(resp.Total.CacheHits) / float64(total)
+	}
+	return resp
+}

@@ -1,0 +1,561 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/persist"
+	"repro/internal/ring"
+)
+
+// ringHarness is an in-process dpcd ring: one Service+Router per shard,
+// each behind a real HTTP listener, plus the datasets the test uploaded.
+type ringHarness struct {
+	t       *testing.T
+	addrs   []string
+	servers []*httptest.Server
+	routers []*Router
+	svcs    []*Service
+	clients []*Client
+}
+
+// testClientOptions keeps retries fast so a test against a killed shard
+// fails over in milliseconds, not seconds.
+func testClientOptions() ClientOptions {
+	return ClientOptions{Retries: 1, Backoff: time.Millisecond}
+}
+
+// startRing boots n shards. dirs[i], when non-empty, gives shard i a
+// snapshot store. Listeners are created first so every router can be
+// born knowing the full (real) peer list.
+func startRing(t *testing.T, n int, dirs []string) *ringHarness {
+	t.Helper()
+	h := &ringHarness{t: t}
+	for i := 0; i < n; i++ {
+		srv := httptest.NewUnstartedServer(nil)
+		h.servers = append(h.servers, srv)
+		h.addrs = append(h.addrs, "http://"+srv.Listener.Addr().String())
+	}
+	for i := 0; i < n; i++ {
+		var store *persist.Store
+		if dirs != nil && dirs[i] != "" {
+			var err error
+			store, err = persist.Open(dirs[i], t.Logf)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		svc := New(Options{Workers: 1, CacheSize: 16, Store: store})
+		rt, err := NewRouter(svc, h.addrs[i], h.addrs, 128, testClientOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.svcs = append(h.svcs, svc)
+		h.routers = append(h.routers, rt)
+		h.servers[i].Config.Handler = rt.Handler()
+		h.servers[i].Start()
+		h.clients = append(h.clients, NewClient(h.addrs[i], testClientOptions()))
+	}
+	t.Cleanup(func() {
+		for _, s := range h.servers {
+			s.Close()
+		}
+	})
+	return h
+}
+
+// uploadCSV uploads the same CSV bytes under name through the given
+// instance (routing forwards to the owner as needed).
+func (h *ringHarness) uploadCSV(via int, name string, csv []byte) {
+	h.t.Helper()
+	if _, err := h.clients[via].PutDataset(name, "csv", csv); err != nil {
+		h.t.Fatalf("upload %s via shard %d: %v", name, via, err)
+	}
+}
+
+// testCorpus builds k small named datasets with a shared probe batch per
+// dataset: CSV bytes for upload, fit params, and perturbed probe points.
+type corpusEntry struct {
+	name   string
+	csv    []byte
+	params ParamsJSON
+	probes [][]float64
+}
+
+func testCorpus(t *testing.T, k int) []corpusEntry {
+	t.Helper()
+	out := make([]corpusEntry, 0, k)
+	for i := 0; i < k; i++ {
+		d := data.SSet(2, 400, int64(i+1))
+		var buf bytes.Buffer
+		if err := data.SaveCSV(&buf, d.Points); err != nil {
+			t.Fatal(err)
+		}
+		probes := make([][]float64, 25)
+		for j := range probes {
+			base := d.Points.At((j * 13) % d.Points.N)
+			q := make([]float64, len(base))
+			for c := range q {
+				q[c] = base[c] + float64(j%5)*d.DCut/10
+			}
+			probes[j] = q
+		}
+		out = append(out, corpusEntry{
+			name:   fmt.Sprintf("ds-%02d", i),
+			csv:    buf.Bytes(),
+			params: ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+			probes: probes,
+		})
+	}
+	return out
+}
+
+// rawPost posts body and returns status plus the exact response bytes.
+func rawPost(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestRingByteIdenticalAnswers is the acceptance core: a 3-shard ring
+// answers /v1/fit and /v1/assign for any key sent to any instance with
+// responses byte-identical to a single-node dpcd over the same data.
+func TestRingByteIdenticalAnswers(t *testing.T) {
+	corpus := testCorpus(t, 6)
+
+	// Single-node reference.
+	single := New(Options{Workers: 1, CacheSize: 16})
+	singleSrv := httptest.NewServer(NewHandler(single))
+	defer singleSrv.Close()
+	singleC := NewClient(singleSrv.URL, testClientOptions())
+
+	h := startRing(t, 3, nil)
+	for _, e := range corpus {
+		if _, err := singleC.PutDataset(e.name, "csv", e.csv); err != nil {
+			t.Fatal(err)
+		}
+		// All ring uploads go through shard 0; non-owned names must be
+		// forwarded to their owners transparently.
+		h.uploadCSV(0, e.name, e.csv)
+	}
+
+	// Ownership must be spread: with 6 keys on 3 shards at 128 vnodes it
+	// is astronomically unlikely one shard owns everything, and the
+	// forwarding assertions below are vacuous if routing never happens.
+	owners := map[string]bool{}
+	for _, e := range corpus {
+		for _, rt := range h.routers {
+			if rt.Owns(e.name) {
+				owners[rt.Self()] = true
+			}
+		}
+	}
+	if len(owners) < 2 {
+		// ~0.4% per run with random listener ports; a skip, not a failure.
+		t.Skipf("all %d datasets landed on one shard; forwarding untested this run", len(corpus))
+	}
+
+	// Warm both deployments so cache_hit agrees in the compared bodies.
+	for _, e := range corpus {
+		req := marshal(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
+		if status, body := rawPost(t, singleSrv.URL+"/v1/fit", req); status != http.StatusOK {
+			t.Fatalf("single fit %s: HTTP %d: %s", e.name, status, body)
+		}
+		if status, body := rawPost(t, h.addrs[1]+"/v1/fit", req); status != http.StatusOK {
+			t.Fatalf("ring fit %s: HTTP %d: %s", e.name, status, body)
+		}
+	}
+
+	for _, e := range corpus {
+		req := marshal(AssignRequest{
+			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			Points:     e.probes,
+		})
+		wantStatus, want := rawPost(t, singleSrv.URL+"/v1/assign", req)
+		if wantStatus != http.StatusOK {
+			t.Fatalf("single assign %s: HTTP %d: %s", e.name, wantStatus, want)
+		}
+		// Every instance must give the same bytes, owner or not.
+		for i, addr := range h.addrs {
+			gotStatus, got := rawPost(t, addr+"/v1/assign", req)
+			if gotStatus != wantStatus || !bytes.Equal(got, want) {
+				t.Errorf("assign %s via shard %d: HTTP %d %q, single-node HTTP %d %q",
+					e.name, i, gotStatus, got, wantStatus, want)
+			}
+		}
+		// Fit responses carry wall-clock timings, so byte-identity is off
+		// the table; the model identity must still agree exactly.
+		wantFit, err := singleC.Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotFit, err := h.clients[2].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotFit.Model.Clusters != wantFit.Model.Clusters ||
+			gotFit.Model.Noise != wantFit.Model.Noise ||
+			gotFit.Model.N != wantFit.Model.N ||
+			!gotFit.CacheHit || !wantFit.CacheHit {
+			t.Errorf("fit %s: ring model %+v (hit=%v), single-node %+v (hit=%v)",
+				e.name, gotFit.Model, gotFit.CacheHit, wantFit.Model, wantFit.CacheHit)
+		}
+	}
+
+	// The aggregate view must account for every dataset and every fit
+	// exactly once across the ring — same totals as the single node.
+	agg, err := h.clients[0].RingStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := single.Stats()
+	if agg.PeersUp != 3 {
+		t.Errorf("peers_up = %d, want 3", agg.PeersUp)
+	}
+	if agg.Total.Datasets != ss.Datasets || agg.Total.CacheMisses != ss.CacheMisses {
+		t.Errorf("aggregate datasets/misses = %d/%d, single-node %d/%d",
+			agg.Total.Datasets, agg.Total.CacheMisses, ss.Datasets, ss.CacheMisses)
+	}
+	if agg.Forwarded == 0 {
+		t.Error("shard 0 never forwarded although it does not own every key")
+	}
+	listed := 0
+	for _, c := range h.clients {
+		infos, err := c.LocalDatasets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		listed += len(infos)
+	}
+	if listed != len(corpus) {
+		t.Errorf("shards hold %d datasets between them, want %d (each key on exactly one shard)", listed, len(corpus))
+	}
+}
+
+// TestRingShardDeath: killing one shard must leave the survivors serving
+// every key they own — before the membership change their forwards to the
+// dead peer fail loudly (502), after it the dead shard's keys are
+// remapped (and 404, since its data died with it) while the survivors'
+// keys keep answering from cache with zero refits.
+func TestRingShardDeath(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	h := startRing(t, 3, nil)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ownedBy := func(shard int) []corpusEntry {
+		var out []corpusEntry
+		for _, e := range corpus {
+			if h.routers[shard].Owns(e.name) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	// Kill the shard that owns the first dataset — guaranteed non-vacuous
+	// regardless of how this run's listener ports hashed.
+	dead := 0
+	for i := range h.routers {
+		if h.routers[i].Owns(corpus[0].name) {
+			dead = i
+		}
+	}
+	var alive []int
+	for i := range h.routers {
+		if i != dead {
+			alive = append(alive, i)
+		}
+	}
+	missesBefore := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses
+
+	// Capture the pre-change partition: after SetMembers the survivors'
+	// rings remap the dead shard's keys onto themselves, so ownedBy would
+	// no longer distinguish "always mine" from "inherited but dataless".
+	deadKeys := ownedBy(dead)
+	surviving := append(ownedBy(alive[0]), ownedBy(alive[1])...)
+
+	h.servers[dead].Close()
+	for _, e := range deadKeys {
+		_, err := h.clients[alive[0]].Assign(AssignRequest{
+			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			Points:     e.probes,
+		})
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
+			t.Fatalf("assign %s with dead owner: err = %v, want StatusError 502", e.name, err)
+		}
+	}
+
+	// Tell the survivors the shard is gone.
+	survivors := []string{h.addrs[alive[0]], h.addrs[alive[1]]}
+	for _, i := range alive {
+		resp, err := h.clients[i].SetRing(survivors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Peers) != 2 {
+			t.Fatalf("shard %d ring = %v after update", i, resp.Peers)
+		}
+	}
+
+	// Survivors' keys: still served, from cache, via either survivor.
+	for _, e := range surviving {
+		for _, i := range alive {
+			resp, err := h.clients[i].Assign(AssignRequest{
+				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+				Points:     e.probes,
+			})
+			if err != nil {
+				t.Fatalf("assign %s via survivor %d: %v", e.name, i, err)
+			}
+			if !resp.CacheHit {
+				t.Errorf("assign %s via survivor %d refit instead of using the warm model", e.name, i)
+			}
+		}
+	}
+	// The dead shard's keys remapped to survivors that never saw the
+	// data: a clean 404, not a hang, a loop, or a silent wrong answer.
+	for _, e := range deadKeys {
+		_, err := h.clients[alive[0]].Assign(AssignRequest{
+			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			Points:     e.probes,
+		})
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+			t.Fatalf("assign %s after remap: err = %v, want StatusError 404", e.name, err)
+		}
+	}
+	if misses := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses; misses != missesBefore {
+		t.Errorf("survivors refit %d models during rebalance; want zero", misses-missesBefore)
+	}
+	// Aggregate stats still answer, reporting only the live membership.
+	agg, err := h.clients[alive[0]].RingStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.PeersUp != 2 || len(agg.Peers) != 2 {
+		t.Errorf("aggregate sees %d/%d peers up, want 2/2", agg.PeersUp, len(agg.Peers))
+	}
+}
+
+// TestRingRebalanceZeroRefit is the snapshot-aware rebalancing contract:
+// ownership leaving a shard evicts from memory but never deletes from
+// disk, so when ownership returns the shard warm-loads its snapshots and
+// serves them again without a single refit. The round-trip is driven by
+// a "ghost" member — an address no process listens on — joining and then
+// leaving the ring, which steals keys from the real shards and gives
+// them back.
+func TestRingRebalanceZeroRefit(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	dirs := []string{t.TempDir(), t.TempDir()}
+	h := startRing(t, 2, dirs)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses0 := h.svcs[0].Stats().CacheMisses
+	misses1 := h.svcs[1].Stats().CacheMisses
+	residentBefore := h.svcs[0].Stats().Datasets + h.svcs[1].Stats().Datasets
+	if residentBefore != len(corpus) {
+		t.Fatalf("ring holds %d datasets, want %d", residentBefore, len(corpus))
+	}
+
+	// Pick a ghost address that actually steals at least one test key;
+	// listener ports vary per run, so probe candidates against a local
+	// ring instead of hoping.
+	ghost := ""
+	for port := 2; port < 60 && ghost == ""; port++ {
+		cand := fmt.Sprintf("http://127.0.0.1:%d", port)
+		rg, err := ring.New(128, h.addrs[0], h.addrs[1], cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range corpus {
+			if rg.Owner(e.name) == cand {
+				ghost = cand
+				break
+			}
+		}
+	}
+	if ghost == "" {
+		t.Skip("no candidate ghost stole a key; statistically (2/3)^(6*58) — something else is wrong")
+	}
+	grown := []string{h.addrs[0], h.addrs[1], ghost}
+
+	// Ghost joins: both real shards evict the stolen keys from memory.
+	evicted := 0
+	for i := 0; i < 2; i++ {
+		resp, err := h.clients[i].SetRing(grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Reconcile.DatasetsLoaded != 0 {
+			t.Errorf("shard %d loaded %d datasets while losing keys", i, resp.Reconcile.DatasetsLoaded)
+		}
+		evicted += resp.Reconcile.DatasetsEvicted
+	}
+	if evicted == 0 {
+		t.Fatal("ghost joined but no shard evicted anything")
+	}
+	if got := h.svcs[0].Stats().Datasets + h.svcs[1].Stats().Datasets; got != residentBefore-evicted {
+		t.Fatalf("resident datasets = %d after eviction, want %d", got, residentBefore-evicted)
+	}
+
+	// Ghost leaves: the stolen keys come back and must be warm-loaded
+	// from each shard's own snapshot directory.
+	loadedDS, loadedM := 0, 0
+	for i := 0; i < 2; i++ {
+		resp, err := h.clients[i].SetRing(h.addrs[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		loadedDS += resp.Reconcile.DatasetsLoaded
+		loadedM += resp.Reconcile.ModelsLoaded
+	}
+	if loadedDS != evicted {
+		t.Errorf("reconcile warm-loaded %d datasets, want the %d evicted earlier", loadedDS, evicted)
+	}
+	if loadedM != evicted {
+		t.Errorf("reconcile warm-loaded %d models, want %d (one Ex-DPC model per dataset)", loadedM, evicted)
+	}
+
+	// Every key serves again, from cache, through either instance.
+	for _, e := range corpus {
+		for i := 0; i < 2; i++ {
+			resp, err := h.clients[i].Assign(AssignRequest{
+				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+				Points:     e.probes,
+			})
+			if err != nil {
+				t.Fatalf("assign %s via shard %d after rebalance: %v", e.name, i, err)
+			}
+			if !resp.CacheHit {
+				t.Errorf("assign %s via shard %d refit after rebalance", e.name, i)
+			}
+		}
+	}
+	if got := h.svcs[0].Stats().CacheMisses; got != misses0 {
+		t.Errorf("shard 0 refit %d models across the rebalance round-trip; want zero", got-misses0)
+	}
+	if got := h.svcs[1].Stats().CacheMisses; got != misses1 {
+		t.Errorf("shard 1 refit %d models across the rebalance round-trip; want zero", got-misses1)
+	}
+}
+
+// TestRingRestartWarmLoad: a ring shard restarted over its data dir with
+// an ownership filter loads exactly its own keys and serves them with
+// zero refits — the multi-instance extension of the single-node warm
+// start.
+func TestRingRestartWarmLoad(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	h := startRing(t, 3, dirs)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restart whichever shard owns the first dataset, so the test is
+	// never vacuous.
+	target := 0
+	for i := range h.routers {
+		if h.routers[i].Owns(corpus[0].name) {
+			target = i
+		}
+	}
+	owned := 0
+	for _, e := range corpus {
+		if h.routers[target].Owns(e.name) {
+			owned++
+		}
+	}
+
+	// "Restart" the shard: fresh Service over the same dir, warm-load
+	// filtered by ring ownership exactly as cmd/dpcd wires it.
+	store, err := persist.Open(dirs[target], t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := New(Options{Workers: 1, CacheSize: 16, Store: store,
+		Owns: h.routers[target].Owns})
+	st := restarted.Stats()
+	if st.DatasetsRestored != owned || st.Datasets != owned {
+		t.Fatalf("restart restored %d datasets (holds %d), want exactly the %d owned keys",
+			st.DatasetsRestored, st.Datasets, owned)
+	}
+	if st.ModelsRestored != owned {
+		t.Fatalf("restart restored %d models, want %d", st.ModelsRestored, owned)
+	}
+	for _, e := range corpus {
+		if !h.routers[target].Owns(e.name) {
+			continue
+		}
+		fr, err := restarted.Fit(e.name, "Ex-DPC", e.params.core())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fr.CacheHit {
+			t.Errorf("fit %s after restart was not served from the restored cache", e.name)
+		}
+	}
+	if got := restarted.Stats().CacheMisses; got != 0 {
+		t.Errorf("restarted shard performed %d fits; want zero", got)
+	}
+}
+
+func TestNormalizePeer(t *testing.T) {
+	for _, bad := range []string{"", "localhost:8080", "http://", "http://h:1/path", "ftp://h:1", "http://h:1?x=1"} {
+		if _, err := normalizePeer(bad); err == nil {
+			t.Errorf("normalizePeer(%q) accepted", bad)
+		}
+	}
+	got, err := normalizePeer(" http://127.0.0.1:9000/ ")
+	if err != nil || got != "http://127.0.0.1:9000" {
+		t.Errorf("normalizePeer trimmed to %q, %v", got, err)
+	}
+}
+
+func TestPeekDataset(t *testing.T) {
+	cases := []struct {
+		body, want string
+		wantErr    bool
+	}{
+		{`{"dataset":"a","algorithm":"Ex-DPC"}`, "a", false},
+		// Canonical order is dataset-first, but clients are free to put it
+		// after a large points array; the token skip must find it.
+		{`{"points":[[1,2],[3,4]],"params":{"dcut":1},"dataset":"tail"}`, "tail", false},
+		{`{"algorithm":"Ex-DPC"}`, "", false}, // absent: local handler rejects
+		{`{"dataset":42}`, "", true},
+		{`[1,2,3]`, "", true},
+		{`{"dataset":"a"`, "a", false}, // truncated after the field: name already found
+		{`{"points":[[1,2]`, "", true}, // truncated before the field
+		{`not json`, "", true},
+	}
+	for _, c := range cases {
+		got, err := peekDataset([]byte(c.body))
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("peekDataset(%q) = %q, %v; want %q, err=%v", c.body, got, err, c.want, c.wantErr)
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Options struct {
 	// zero refits. Persistence failures are logged and counted in Stats
 	// but never fail the request — durability degrades, serving does not.
 	Store *persist.Store
+	// Owns, when non-nil, restricts the warm load to datasets the filter
+	// accepts. Ring mode sets it to "this shard owns the key": snapshots
+	// for keys owned elsewhere stay on disk, unloaded, so a later
+	// membership change can Reconcile them back in with zero refits.
+	Owns func(dataset string) bool
 }
 
 func (o Options) cacheSize() int {
@@ -51,9 +56,12 @@ type Service struct {
 
 	cache *modelCache
 
-	store            *persist.Store
-	datasetsRestored int
-	modelsRestored   int
+	store *persist.Store
+	// The restored counters are atomic, not plain ints guarded by mu:
+	// ring reconciles bump them at runtime while fan-out /stats reads
+	// them from another goroutine.
+	datasetsRestored atomic.Int64
+	modelsRestored   atomic.Int64
 	persistErrors    atomic.Int64
 
 	fitRequests    atomic.Int64
@@ -81,10 +89,10 @@ func New(opts Options) *Service {
 	}
 	if opts.Store != nil {
 		s.store = opts.Store
-		dss, models := opts.Store.Restore(opts.Workers)
+		dss, models := opts.Store.RestoreOwned(opts.Workers, opts.Owns)
 		for _, d := range dss {
 			s.datasets[d.Name] = &datasetEntry{points: d.Points, version: d.Version}
-			s.datasetsRestored++
+			s.datasetsRestored.Add(1)
 		}
 		// More snapshots than cache slots: keep the most recently
 		// persisted (manifest order is persist order), so ModelsRestored
@@ -94,18 +102,96 @@ func New(opts Options) *Service {
 			models = models[len(models)-cap:]
 		}
 		for _, rm := range models {
-			key := modelKey{
-				dataset:   rm.Key.Dataset,
-				version:   rm.Key.Version,
-				algorithm: rm.Key.Algorithm,
-				params:    s.normalize(rm.Key.Algorithm, rm.Key.Params),
-			}
-			if s.cache.put(key, rm.Model) {
-				s.modelsRestored++
+			if s.cache.put(s.restoredKey(rm.Key), rm.Model) {
+				s.modelsRestored.Add(1)
 			}
 		}
 	}
 	return s
+}
+
+// restoredKey maps a persisted model key (Workers zeroed on disk) onto
+// the in-memory cache key (Workers is this host's policy).
+func (s *Service) restoredKey(k persist.ModelKey) modelKey {
+	return modelKey{
+		dataset:   k.Dataset,
+		version:   k.Version,
+		algorithm: k.Algorithm,
+		params:    s.normalize(k.Algorithm, k.Params),
+	}
+}
+
+// ReconcileStats reports one ring-rebalance pass over resident state.
+type ReconcileStats struct {
+	DatasetsLoaded  int `json:"datasets_loaded"`
+	ModelsLoaded    int `json:"models_loaded"`
+	DatasetsEvicted int `json:"datasets_evicted"`
+}
+
+// Reconcile aligns resident state with ring ownership after a membership
+// change: datasets (and their cached models) this shard no longer owns
+// are evicted from memory — their snapshots stay on disk untouched, for
+// the shard that owns them now or for this one if ownership returns —
+// and snapshots it now owns are warm-loaded, so a rebalance costs zero
+// refits. A nil filter owns everything (single-instance mode) and
+// reconciling is a no-op.
+func (s *Service) Reconcile(owns func(dataset string) bool) ReconcileStats {
+	var st ReconcileStats
+	if owns == nil {
+		return st
+	}
+	s.mu.Lock()
+	var gone []string
+	resident := make(map[string]bool, len(s.datasets))
+	for name := range s.datasets {
+		if !owns(name) {
+			delete(s.datasets, name)
+			gone = append(gone, name)
+			continue
+		}
+		resident[name] = true
+	}
+	s.mu.Unlock()
+	for _, name := range gone {
+		s.cache.purgeStale(name, 0)
+	}
+	st.DatasetsEvicted = len(gone)
+	if s.store == nil {
+		return st
+	}
+	// The snapshot decode is slow, so it runs outside the lock; the
+	// resident set cannot lose entries meanwhile (evictions only happen
+	// here), so the skip condition stays valid. An upload racing the
+	// reconcile is resolved at insert time below — the upload wins.
+	dss, models := s.store.RestoreOwned(s.opts.Workers, func(name string) bool {
+		return owns(name) && !resident[name]
+	})
+	restored := make(map[string]uint64, len(dss))
+	for _, d := range dss {
+		s.mu.Lock()
+		if _, ok := s.datasets[d.Name]; ok {
+			s.mu.Unlock()
+			continue
+		}
+		s.datasets[d.Name] = &datasetEntry{points: d.Points, version: d.Version}
+		s.mu.Unlock()
+		restored[d.Name] = d.Version
+		st.DatasetsLoaded++
+		s.datasetsRestored.Add(1)
+	}
+	for _, rm := range models {
+		// Only attach models to the dataset snapshot that actually landed;
+		// if a concurrent upload won the insert race, its version differs
+		// and the snapshot model must not serve it.
+		if v, ok := restored[rm.Key.Dataset]; !ok || v != rm.Key.Version {
+			continue
+		}
+		if s.cache.put(s.restoredKey(rm.Key), rm.Model) {
+			st.ModelsLoaded++
+			s.modelsRestored.Add(1)
+		}
+	}
+	return st
 }
 
 // DatasetInfo describes one registered dataset.
@@ -318,8 +404,8 @@ func (s *Service) Stats() Stats {
 		AssignRequests: s.assignRequests.Load(),
 		PointsAssigned: s.pointsAssigned.Load(),
 
-		DatasetsRestored: s.datasetsRestored,
-		ModelsRestored:   s.modelsRestored,
+		DatasetsRestored: int(s.datasetsRestored.Load()),
+		ModelsRestored:   int(s.modelsRestored.Load()),
 		PersistErrors:    s.persistErrors.Load(),
 	}
 	if total := hits + misses; total > 0 {

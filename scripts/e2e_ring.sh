@@ -1,0 +1,198 @@
+#!/usr/bin/env bash
+# e2e_ring.sh — end-to-end proof of the dpcd consistent-hash ring against
+# real processes:
+#
+#   1. boots a single-node dpcd (the reference) and a 3-shard ring on
+#      localhost ports, each shard with its own -data-dir;
+#   2. uploads the same dataset under several names through ONE shard, so
+#      non-owned names must be forwarded to their owners;
+#   3. fits Ex-DPC everywhere and asserts /v1/assign answers from every
+#      ring instance are byte-identical to the single node's;
+#   4. kills one shard, posts the shrunk membership to the survivors, and
+#      asserts they still serve every key they own — from cache, with
+#      zero refits — while the dead shard's keys fail cleanly.
+#
+# Requirements: go, curl, jq. Run from anywhere; `make e2e` wraps it.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d /tmp/dpcd-e2e.XXXXXX)"
+declare -a PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "e2e_ring: FAIL: $*" >&2; exit 1; }
+log()  { echo "e2e_ring: $*"; }
+
+cd "$ROOT"
+log "building dpcd and datagen"
+go build -o "$TMP/dpcd" ./cmd/dpcd
+go build -o "$TMP/datagen" ./cmd/datagen
+
+"$TMP/datagen" -dataset s2 -n 2000 -seed 7 -out "$TMP/points.csv"
+# Default parameters for the bundled S-set generators (internal/data).
+PARAMS='{"dcut":2500,"rho_min":5,"delta_min":12000}'
+NAMES=(e2e-00 e2e-01 e2e-02 e2e-03 e2e-04 e2e-05)
+
+SINGLE_PORT=18080
+SHARD_PORTS=(18081 18082 18083)
+PEERS="http://127.0.0.1:${SHARD_PORTS[0]},http://127.0.0.1:${SHARD_PORTS[1]},http://127.0.0.1:${SHARD_PORTS[2]}"
+
+declare -A SHARD_PID=()
+"$TMP/dpcd" -addr "127.0.0.1:$SINGLE_PORT" -workers 2 >"$TMP/single.log" 2>&1 &
+PIDS+=($!)
+for i in 0 1 2; do
+    port="${SHARD_PORTS[$i]}"
+    "$TMP/dpcd" -addr "127.0.0.1:$port" -workers 2 \
+        -self "http://127.0.0.1:$port" -peers "$PEERS" \
+        -data-dir "$TMP/shard-$i" >"$TMP/shard-$i.log" 2>&1 &
+    PIDS+=($!)
+    SHARD_PID[$port]=$!
+done
+
+wait_ready() {
+    for _ in $(seq 1 100); do
+        curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    cat "$TMP"/*.log >&2 || true
+    fail "instance on port $1 never became healthy"
+}
+for port in "$SINGLE_PORT" "${SHARD_PORTS[@]}"; do wait_ready "$port"; done
+log "single node on :$SINGLE_PORT, ring on :${SHARD_PORTS[*]}"
+
+# --- upload + fit ---------------------------------------------------------
+for name in "${NAMES[@]}"; do
+    curl -fsS -X PUT --data-binary "@$TMP/points.csv" \
+        "http://127.0.0.1:$SINGLE_PORT/v1/datasets/$name" >/dev/null
+    # All ring uploads enter through shard 0: non-owned names are forwarded.
+    curl -fsS -X PUT --data-binary "@$TMP/points.csv" \
+        "http://127.0.0.1:${SHARD_PORTS[0]}/v1/datasets/$name" >/dev/null
+done
+
+fit() { # host:port, name
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "{\"dataset\":\"$2\",\"algorithm\":\"Ex-DPC\",\"params\":$PARAMS}" \
+        "http://127.0.0.1:$1/v1/fit" >/dev/null
+}
+for i in "${!NAMES[@]}"; do
+    fit "$SINGLE_PORT" "${NAMES[$i]}"
+    # Round-robin the fitting instance; forwarding must land each fit on
+    # the owner regardless of the entry point.
+    fit "${SHARD_PORTS[$((i % 3))]}" "${NAMES[$i]}"
+done
+
+# Probe batch: the first 40 uploaded points, as a JSON array of arrays.
+PROBES="$(head -40 "$TMP/points.csv" \
+    | jq -R -s 'split("\n") | map(select(length > 0) | split(",") | map(tonumber))')"
+
+assign_body() { # name
+    jq -cn --arg name "$1" --argjson params "$PARAMS" --argjson probes "$PROBES" \
+        '{dataset: $name, algorithm: "Ex-DPC", params: $params, points: $probes}'
+}
+assign() { # host:port, name -> raw response body
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "$(assign_body "$2")" "http://127.0.0.1:$1/v1/assign"
+}
+
+# --- byte-identical answers through every instance ------------------------
+declare -A WANT=()
+for name in "${NAMES[@]}"; do
+    # Second call so cache_hit=true on both deployments being compared.
+    assign "$SINGLE_PORT" "$name" >/dev/null
+    WANT[$name]="$(assign "$SINGLE_PORT" "$name")"
+    [ -n "${WANT[$name]}" ] || fail "single node returned nothing for $name"
+    for port in "${SHARD_PORTS[@]}"; do
+        got="$(assign "$port" "$name")"
+        [ "$got" = "${WANT[$name]}" ] || \
+            fail "assign $name via :$port differs from single node: $got vs ${WANT[$name]}"
+    done
+done
+log "assign answers byte-identical across all 3 instances for ${#NAMES[@]} keys"
+
+# Forwarding must actually have happened (shard 0 took every upload but
+# owns only some keys), and the aggregate must see the whole ring.
+FWD=0
+for port in "${SHARD_PORTS[@]}"; do
+    f="$(curl -fsS "http://127.0.0.1:$port/v1/stats" | jq '.forwarded')"
+    FWD=$((FWD + f))
+done
+[ "$FWD" -gt 0 ] || fail "no instance ever forwarded a request"
+AGG="$(curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/stats")"
+[ "$(jq '.peers_up' <<<"$AGG")" -eq 3 ] || fail "aggregate stats: peers_up != 3: $AGG"
+[ "$(jq '.total.datasets' <<<"$AGG")" -eq "${#NAMES[@]}" ] || \
+    fail "aggregate stats: total.datasets != ${#NAMES[@]}: $AGG"
+log "forwarding exercised ($FWD forwards), aggregate stats see 3 peers and ${#NAMES[@]} datasets"
+
+# --- kill a shard, rebalance, survivors keep serving their keys -----------
+ring_owner() { # host:port, key
+    curl -fsS "http://127.0.0.1:$1/v1/ring?key=$2" | jq -r '.owner'
+}
+declare -A OWNER_OF=()
+for name in "${NAMES[@]}"; do
+    OWNER_OF[$name]="$(ring_owner "${SHARD_PORTS[0]}" "$name")"
+done
+VICTIM_ADDR="${OWNER_OF[${NAMES[0]}]}"
+VICTIM_PORT="${VICTIM_ADDR##*:}"
+SURVIVOR_PORTS=()
+SURVIVOR_ADDRS=()
+for port in "${SHARD_PORTS[@]}"; do
+    if [ "$port" != "$VICTIM_PORT" ]; then
+        SURVIVOR_PORTS+=("$port")
+        SURVIVOR_ADDRS+=("http://127.0.0.1:$port")
+    fi
+done
+[ "${#SURVIVOR_PORTS[@]}" -eq 2 ] || fail "victim $VICTIM_ADDR not among the shard ports"
+
+declare -A MISSES_BEFORE=()
+for port in "${SURVIVOR_PORTS[@]}"; do
+    MISSES_BEFORE[$port]="$(curl -fsS -H 'X-Dpcd-Forwarded: 1' \
+        "http://127.0.0.1:$port/v1/stats" | jq '.cache_misses')"
+done
+
+log "killing shard $VICTIM_ADDR (owner of ${NAMES[0]})"
+kill "${SHARD_PID[$VICTIM_PORT]}"
+wait "${SHARD_PID[$VICTIM_PORT]}" 2>/dev/null || true
+
+NEW_PEERS="$(printf '%s\n' "${SURVIVOR_ADDRS[@]}" | jq -R . | jq -cs '{peers: .}')"
+for port in "${SURVIVOR_PORTS[@]}"; do
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$NEW_PEERS" \
+        "http://127.0.0.1:$port/v1/ring" >/dev/null
+done
+
+dead_keys=0
+for name in "${NAMES[@]}"; do
+    if [ "${OWNER_OF[$name]}" = "$VICTIM_ADDR" ]; then
+        # Remapped to a survivor that never held the data: clean 404.
+        dead_keys=$((dead_keys + 1))
+        status="$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
+            -H 'Content-Type: application/json' -d "$(assign_body "$name")" \
+            "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/assign")"
+        [ "$status" = "404" ] || fail "dead key $name returned HTTP $status, want 404"
+        continue
+    fi
+    # A survivor's key: every surviving instance still answers, and the
+    # answer is still byte-identical to the single node's.
+    for port in "${SURVIVOR_PORTS[@]}"; do
+        got="$(assign "$port" "$name")"
+        [ "$got" = "${WANT[$name]}" ] || \
+            fail "post-kill assign $name via :$port differs from single node"
+        hit="$(jq '.cache_hit' <<<"$got")"
+        [ "$hit" = "true" ] || fail "post-kill assign $name via :$port was not a cache hit"
+    done
+done
+[ "$dead_keys" -ge 1 ] || fail "victim owned no keys; the kill test was vacuous"
+
+for port in "${SURVIVOR_PORTS[@]}"; do
+    after="$(curl -fsS -H 'X-Dpcd-Forwarded: 1' \
+        "http://127.0.0.1:$port/v1/stats" | jq '.cache_misses')"
+    [ "$after" -eq "${MISSES_BEFORE[$port]}" ] || \
+        fail "survivor :$port refit models after the kill ($after vs ${MISSES_BEFORE[$port]} misses)"
+done
+AGG="$(curl -fsS "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/stats")"
+[ "$(jq '.peers_up' <<<"$AGG")" -eq 2 ] || fail "aggregate after kill: peers_up != 2: $AGG"
+
+log "PASS: survivors serve $(( ${#NAMES[@]} - dead_keys )) keys with zero refits; $dead_keys dead keys fail cleanly"

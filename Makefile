@@ -12,7 +12,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: verify build vet test fmt lint e2e bench bench-json fuzz-smoke serve ci
+.PHONY: verify build vet test fmt lint e2e e2e-stream bench bench-json fuzz-smoke serve ci
 
 # verify is the tier-1 gate: everything must build, vet clean, and pass.
 verify: build vet test
@@ -42,6 +42,13 @@ lint:
 # rebalancing against actual processes (scripts/e2e_ring.sh).
 e2e:
 	./scripts/e2e_ring.sh
+
+# e2e-stream streams 4x the per-request batch cap through a non-owner
+# ring shard and proves the labels are byte-identical to the capped
+# batch path, with zero refits (scripts/e2e_stream.sh). STREAM_N=40000
+# makes a quick local run.
+e2e-stream:
+	$(if $(STREAM_N),STREAM_N=$(STREAM_N)) ./scripts/e2e_stream.sh
 
 # bench runs the memory-layout micro-benchmarks (flat Dataset vs row
 # slices; committed baseline in BENCH_flat_layout.json) and the serving

@@ -48,17 +48,18 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "worker pool size for fits and batch assigns (0 = all CPUs)")
-		cache      = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
-		preload    = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
-		seed       = flag.Int64("seed", 1, "generation seed for preloaded datasets")
-		dataDir    = flag.String("data-dir", "", "directory for dataset and model snapshots; restarts warm-load it (empty = in-memory only)")
-		peers      = flag.String("peers", "", "comma list of ring shard base URLs (http://host:port); empty = single instance")
-		self       = flag.String("self", "", "this instance's base URL exactly as it appears in -peers (required with -peers)")
-		vnodes     = flag.Int("vnodes", ring.DefaultVnodes, "virtual nodes per shard on the consistent-hash ring")
-		fwdTimeout = flag.Duration("forward-timeout", 60*time.Second, "per-attempt timeout when forwarding a request to its owning shard; raise it if cold fits on your datasets run longer")
-		fwdRetries = flag.Int("forward-retries", 2, "additional attempts after a transport error when forwarding (0 disables retries)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size for fits and batch assigns (0 = all CPUs)")
+		cache       = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
+		streamChunk = flag.Int("stream-chunk", 0, "points labeled per /v1/assign/stream response record (0 = scale to -workers)")
+		preload     = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
+		seed        = flag.Int64("seed", 1, "generation seed for preloaded datasets")
+		dataDir     = flag.String("data-dir", "", "directory for dataset and model snapshots; restarts warm-load it (empty = in-memory only)")
+		peers       = flag.String("peers", "", "comma list of ring shard base URLs (http://host:port); empty = single instance")
+		self        = flag.String("self", "", "this instance's base URL exactly as it appears in -peers (required with -peers)")
+		vnodes      = flag.Int("vnodes", ring.DefaultVnodes, "virtual nodes per shard on the consistent-hash ring")
+		fwdTimeout  = flag.Duration("forward-timeout", 60*time.Second, "per-attempt timeout when forwarding a request to its owning shard; raise it if cold fits on your datasets run longer")
+		fwdRetries  = flag.Int("forward-retries", 2, "additional attempts after a transport error when forwarding (0 disables retries)")
 	)
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 	}
 	// In ring mode the warm load is filtered to owned keys; snapshots for
 	// keys owned elsewhere stay on disk, ready for a later rebalance.
-	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers, Store: store, Owns: owns})
+	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers, Store: store, Owns: owns, StreamChunk: *streamChunk})
 	if store != nil {
 		st := svc.Stats()
 		log.Printf("dpcd: restored %d dataset(s) and %d model(s) from %s",

@@ -1,0 +1,229 @@
+// Command dpcstream labels a CSV point stream against a running dpcd
+// daemon — the client side of fit-once/assign-many at any scale. By
+// default it uses the chunked NDJSON endpoint (POST /v1/assign/stream),
+// so the stream can be arbitrarily longer than dpcd's per-request batch
+// cap while both ends stay at O(chunk) memory; -mode batch sends the
+// same points as capped /v1/assign calls instead, which is also how the
+// e2e suite proves the two paths label identically.
+//
+// Usage:
+//
+//	dpcstream -addr http://127.0.0.1:8080 -dataset s2 \
+//	    -dcut 2500 -rhomin 5 -deltamin 12000 \
+//	    -in points.csv -out labels.txt
+//
+// Input is one comma-separated point per line (the dpcd upload format);
+// "-" means stdin. Output is one integer label per input line, in input
+// order; -1 is noise; "-" means stdout. A summary goes to stderr.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dpcstream: ")
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "dpcd base URL (any ring instance)")
+		dataset   = flag.String("dataset", "", "dataset the model was (or will be) fitted on")
+		algorithm = flag.String("algorithm", "Ex-DPC", "clustering algorithm by paper name")
+		dcut      = flag.Float64("dcut", 0, "d_cut density radius")
+		rhomin    = flag.Float64("rhomin", 0, "rho_min center density threshold")
+		deltamin  = flag.Float64("deltamin", 0, "delta_min center separation threshold")
+		epsilon   = flag.Float64("epsilon", 0, "epsilon (S-Approx-DPC only)")
+		seed      = flag.Int64("seed", 0, "seed (randomized algorithms only)")
+		in        = flag.String("in", "-", "input CSV of points, one per line (- = stdin)")
+		out       = flag.String("out", "-", "output labels, one per line (- = stdout)")
+		mode      = flag.String("mode", "stream", "transport: stream (/v1/assign/stream) or batch (/v1/assign)")
+		batchSize = flag.Int("batch-size", 1<<20, "points per request in -mode batch (server caps at 1<<20)")
+	)
+	flag.Parse()
+	if *dataset == "" {
+		log.Fatal("-dataset is required")
+	}
+	if *batchSize <= 0 {
+		log.Fatal("-batch-size must be positive")
+	}
+
+	input := os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+	output := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		output = f
+	}
+
+	req := service.FitRequest{
+		Dataset:   *dataset,
+		Algorithm: *algorithm,
+		Params: service.ParamsJSON{
+			DCut: *dcut, RhoMin: *rhomin, DeltaMin: *deltamin,
+			Epsilon: *epsilon, Seed: *seed,
+		},
+	}
+	client := service.NewClient(*addr, service.ClientOptions{})
+	points := bufio.NewScanner(input)
+	points.Buffer(make([]byte, 64<<10), 1<<20)
+	w := bufio.NewWriterSize(output, 1<<16)
+
+	start := time.Now()
+	var (
+		labeled int64
+		err     error
+	)
+	switch *mode {
+	case "stream":
+		labeled, err = runStream(client, req, points, w)
+	case "batch":
+		labeled, err = runBatch(client, req, points, w, *batchSize)
+	default:
+		log.Fatalf("unknown -mode %q (want stream or batch)", *mode)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "dpcstream: labeled %d points in %.3fs (%.0f pts/s, mode %s)\n",
+		labeled, elapsed.Seconds(), float64(labeled)/elapsed.Seconds(), *mode)
+}
+
+// runStream pipes the CSV through /v1/assign/stream: a goroutine
+// converts lines to NDJSON as the response labels flow back, so memory
+// stays bounded no matter how long the input is.
+func runStream(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer) (int64, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		next := func() ([]float64, error) {
+			for points.Scan() {
+				pt, err := parsePoint(points.Text())
+				if err != nil || pt != nil {
+					return pt, err
+				}
+			}
+			if err := points.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		pw.CloseWithError(service.EncodePoints(pw, next))
+	}()
+	sr, err := client.AssignStream(req, pr)
+	if err != nil {
+		return 0, err
+	}
+	defer sr.Close()
+	var labeled int64
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			return labeled, nil
+		}
+		if err != nil {
+			return labeled, err
+		}
+		labeled += int64(len(chunk))
+		if err := writeLabels(w, chunk); err != nil {
+			return labeled, err
+		}
+	}
+}
+
+// runBatch sends the same points as consecutive capped /v1/assign calls
+// — the pre-streaming workaround, kept as the parity reference.
+func runBatch(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer, batchSize int) (int64, error) {
+	var labeled int64
+	batch := make([][]float64, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		resp, err := client.Assign(service.AssignRequest{FitRequest: req, Points: batch})
+		if err != nil {
+			return err
+		}
+		labeled += int64(len(resp.Labels))
+		batch = batch[:0]
+		return writeLabels(w, resp.Labels)
+	}
+	for points.Scan() {
+		pt, err := parsePoint(points.Text())
+		if err != nil {
+			return labeled, err
+		}
+		if pt == nil {
+			continue
+		}
+		batch = append(batch, pt)
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return labeled, err
+			}
+		}
+	}
+	if err := points.Err(); err != nil {
+		return labeled, err
+	}
+	return labeled, flush()
+}
+
+// parsePoint parses one CSV line into coordinates; blank lines return
+// (nil, nil) and are skipped.
+func parsePoint(line string) ([]float64, error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil, nil
+	}
+	cols := strings.Split(line, ",")
+	pt := make([]float64, len(cols))
+	for i, c := range cols {
+		v, err := strconv.ParseFloat(strings.TrimSpace(c), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q: %w", c, err)
+		}
+		// JSON cannot carry NaN/Inf; reject here with the offending text
+		// instead of failing mid-stream with a marshal error.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("coordinate %q is not finite", c)
+		}
+		pt[i] = v
+	}
+	return pt, nil
+}
+
+func writeLabels(w *bufio.Writer, labels []int32) error {
+	var buf []byte
+	for _, l := range labels {
+		buf = strconv.AppendInt(buf[:0], int64(l), 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParsePoint(t *testing.T) {
+	pt, err := parsePoint(" 1.5, -2, 3e2 ")
+	if err != nil || len(pt) != 3 || pt[0] != 1.5 || pt[1] != -2 || pt[2] != 300 {
+		t.Errorf("parsePoint = %v, %v", pt, err)
+	}
+	if pt, err := parsePoint("   "); err != nil || pt != nil {
+		t.Errorf("blank line: %v, %v", pt, err)
+	}
+	// NaN/Inf cannot ride JSON; they must fail at parse time with the
+	// offending text, not mid-stream with a marshal error.
+	for _, bad := range []string{"a,b", "1,,2", "1;2", "NaN,1", "1,+Inf"} {
+		if _, err := parsePoint(bad); err == nil {
+			t.Errorf("parsePoint(%q) accepted", bad)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -163,7 +164,155 @@ func (c Config) Service() error {
 	fmt.Fprintf(w, "cold start (%d models on %s): refit %.3fs, snapshot restore %.3fs (%.0fx), 0 fits after restore\n",
 		len(algs), d.Name, secs(coldRefit), secs(coldSnap), secs(coldRefit)/secs(coldSnap))
 
+	if err := c.serviceStream(w); err != nil {
+		return err
+	}
 	return c.serviceSharded(w)
+}
+
+// heapPeak samples HeapInuse until stop closes and reports the maximum —
+// a peak-RSS proxy for comparing how much resident memory a workload
+// forces, which cumulative alloc counters hide.
+func heapPeak(stop <-chan struct{}) <-chan uint64 {
+	out := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		peak := uint64(0)
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapInuse > peak {
+				peak = ms.HeapInuse
+			}
+			select {
+			case <-stop:
+				out <- peak
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+	return out
+}
+
+// serviceStream compares the batch /v1/assign path against the chunked
+// /v1/assign/stream path over the same HTTP hop at 4x the batch cap —
+// the workload the cap forces clients to split today. Throughput should
+// be comparable; the peak-heap proxy is where streaming wins, because
+// neither side ever materializes the full body.
+func (c Config) serviceStream(w io.Writer) error {
+	total := 4 << 20 // 4x the 1<<20 per-request batch cap
+	batchSize := 1 << 20
+	if n := c.n(); n < 20000 {
+		// Smoke-scale invocations shrink the stream with the run.
+		total, batchSize = 4*n, n
+	}
+
+	d := data.SSet(2, c.n(), c.Seed)
+	shards, err := startShards(1, c.threads())
+	if err != nil {
+		return err
+	}
+	defer shards[0].close()
+	cl := service.NewClient(shards[0].addr, service.ClientOptions{})
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		return err
+	}
+	if _, err := cl.PutDataset("stream", "csv", csv.Bytes()); err != nil {
+		return err
+	}
+	req := service.FitRequest{
+		Dataset:   "stream",
+		Algorithm: "Ex-DPC",
+		Params:    service.ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+	}
+	if _, err := cl.Fit(req); err != nil {
+		return err
+	}
+
+	// One deterministic query point per index, generated on demand so the
+	// streaming side never holds more than a chunk of them.
+	point := func(rng *rand.Rand) []float64 {
+		base := d.Points.At(rng.Intn(d.Points.N))
+		q := make([]float64, len(base))
+		for j := range q {
+			q[j] = base[j] + rng.NormFloat64()*d.DCut/4
+		}
+		return q
+	}
+
+	runtime.GC()
+	stop := make(chan struct{})
+	peakC := heapPeak(stop)
+	start := time.Now()
+	rng := rand.New(rand.NewSource(c.Seed + 55))
+	labeledBatch := 0
+	for off := 0; off < total; off += batchSize {
+		pts := make([][]float64, batchSize)
+		for i := range pts {
+			pts[i] = point(rng)
+		}
+		resp, err := cl.Assign(service.AssignRequest{FitRequest: req, Points: pts})
+		if err != nil {
+			return fmt.Errorf("stream bench: batch assign: %w", err)
+		}
+		labeledBatch += len(resp.Labels)
+	}
+	batchTime := time.Since(start)
+	close(stop)
+	batchPeak := <-peakC
+
+	runtime.GC()
+	stop = make(chan struct{})
+	peakC = heapPeak(stop)
+	start = time.Now()
+	rng = rand.New(rand.NewSource(c.Seed + 55))
+	pr, pw := io.Pipe()
+	go func() {
+		sent := 0
+		pw.CloseWithError(service.EncodePoints(pw, func() ([]float64, error) {
+			if sent == total {
+				return nil, io.EOF
+			}
+			sent++
+			return point(rng), nil
+		}))
+	}()
+	sr, err := cl.AssignStream(req, pr)
+	if err != nil {
+		return fmt.Errorf("stream bench: open stream: %w", err)
+	}
+	labeledStream := 0
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("stream bench: %w", err)
+		}
+		labeledStream += len(chunk)
+	}
+	sum, _ := sr.Summary()
+	sr.Close()
+	streamTime := time.Since(start)
+	close(stop)
+	streamPeak := <-peakC
+	if labeledStream != total || labeledBatch != total {
+		return fmt.Errorf("stream bench: labeled %d streamed / %d batched, want %d", labeledStream, labeledBatch, total)
+	}
+	if !sum.CacheHit {
+		return fmt.Errorf("stream bench: stream refit the model")
+	}
+
+	fmt.Fprintf(w, "streaming: %d points through one HTTP instance (batch size %d, %d stream chunks)\n",
+		total, batchSize, sum.Chunks)
+	fmt.Fprintf(w, "  batch  /v1/assign:        %8.3fs  %9.0f pts/s  peak heap %4d MiB\n",
+		secs(batchTime), float64(total)/secs(batchTime), batchPeak>>20)
+	fmt.Fprintf(w, "  stream /v1/assign/stream: %8.3fs  %9.0f pts/s  peak heap %4d MiB (%.1fx less)\n",
+		secs(streamTime), float64(total)/secs(streamTime), streamPeak>>20,
+		float64(batchPeak)/float64(streamPeak))
+	return nil
 }
 
 // inprocShard is one dpcd instance on a real localhost listener —

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"io"
 	"testing"
 
 	"repro/internal/core"
@@ -47,6 +48,31 @@ func BenchmarkServiceAssignBatch(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := s.Assign("s2", "Ex-DPC", p, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceAssignStream measures the chunked streaming path over
+// the same 256 points as the batch benchmark — the per-chunk overhead
+// (line parse, label record, flush) on top of the shared assign core.
+func BenchmarkServiceAssignStream(b *testing.B) {
+	s, d, p := benchService(b, Options{Workers: 2, StreamChunk: 64})
+	pts := d.Points.Rows()[:256]
+	if _, err := s.Fit("s2", "Ex-DPC", p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := 0
+		next := func() ([]float64, error) {
+			if j == len(pts) {
+				return nil, io.EOF
+			}
+			j++
+			return pts[j-1], nil
+		}
+		if _, err := s.AssignStream("s2", "Ex-DPC", p, next, func([]int32) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -60,8 +61,12 @@ func (o ClientOptions) backoff() time.Duration {
 // it to forward requests to the owning shard; the bench harness and
 // tests use it as a regular API client.
 type Client struct {
-	base    string
-	hc      *http.Client
+	base string
+	hc   *http.Client
+	// sc is the streaming client: no overall timeout, because a label
+	// stream legitimately outlives any fixed deadline — progress, not
+	// wall-clock, is the health signal. It shares hc's connection pool.
+	sc      *http.Client
 	retries int
 	backoff time.Duration
 }
@@ -69,9 +74,20 @@ type Client struct {
 // NewClient returns a client for the instance at base (scheme://host:port,
 // no trailing slash required).
 func NewClient(base string, opts ClientOptions) *Client {
+	// The stream client must not bound the whole exchange, but a server
+	// that accepts the connection and never sends response headers would
+	// otherwise hang a stream forever; Timeout covers the header wait on
+	// the transport instead.
+	streamTransport := http.DefaultTransport
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		tc := t.Clone()
+		tc.ResponseHeaderTimeout = opts.timeout()
+		streamTransport = tc
+	}
 	return &Client{
 		base:    strings.TrimRight(base, "/"),
 		hc:      &http.Client{Timeout: opts.timeout()},
+		sc:      &http.Client{Transport: streamTransport},
 		retries: opts.retries(),
 		backoff: opts.backoff(),
 	}
@@ -198,6 +214,129 @@ func (c *Client) Assign(req AssignRequest) (AssignResponse, error) {
 	err := c.call(http.MethodPost, "/v1/assign", "application/json", marshal(req), false, &out)
 	return out, err
 }
+
+// stream performs one request whose body is a live stream. No retries:
+// the body cannot be replayed, and a half-consumed stream must fail
+// loudly rather than resend silently. ctx cancels the exchange at any
+// point (a relay hop passes its inbound request context, so a client
+// hanging up tears down the upstream leg too). The caller owns the
+// response body.
+func (c *Client) stream(ctx context.Context, method, path, contentType string, body io.Reader, forwarded bool) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if forwarded {
+		req.Header.Set(forwardedHeader, "1")
+	}
+	resp, err := c.sc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s %s%s: %w", method, c.base, path, err)
+	}
+	return resp, nil
+}
+
+// AssignStream labels an unbounded point stream against the model for
+// the triple in req via POST /v1/assign/stream. points is NDJSON — one
+// JSON coordinate array per line; the header line is prepended here. The
+// returned StreamReader yields label chunks as the server emits them, so
+// neither side ever holds more than one chunk in memory.
+func (c *Client) AssignStream(req FitRequest, points io.Reader) (*StreamReader, error) {
+	return c.AssignStreamContext(context.Background(), req, points)
+}
+
+// AssignStreamContext is AssignStream with caller-owned cancellation.
+func (c *Client) AssignStreamContext(ctx context.Context, req FitRequest, points io.Reader) (*StreamReader, error) {
+	body := io.MultiReader(bytes.NewReader(append(marshal(req), '\n')), points)
+	resp, err := c.stream(ctx, http.MethodPost, "/v1/assign/stream", ndjsonContentType, body, false)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// Pre-stream failure: a plain JSON error body, same as batch.
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxStreamLineBytes))
+		resp.Body.Close()
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return nil, &StatusError{Code: resp.StatusCode, Msg: er.Error}
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	return &StreamReader{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// StreamReader iterates the label chunks of one streaming assign.
+type StreamReader struct {
+	body    io.ReadCloser
+	dec     *json.Decoder
+	summary *StreamSummary
+	err     error
+}
+
+// Next returns the next chunk of labels in input order. It returns
+// io.EOF after the terminal summary record; any other error — including
+// a server-side error record or a stream truncated without a summary —
+// is the stream's failure.
+func (sr *StreamReader) Next() ([]int32, error) {
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if sr.summary != nil {
+		return nil, io.EOF
+	}
+	var rec StreamRecord
+	switch err := sr.dec.Decode(&rec); {
+	case err == io.EOF:
+		// The summary is the success marker; EOF before it means the
+		// server (or a relay hop) died mid-stream.
+		sr.err = fmt.Errorf("service: label stream truncated before its summary record")
+	case err != nil:
+		sr.err = fmt.Errorf("service: decoding label stream: %w", err)
+	case rec.Error != "":
+		sr.err = fmt.Errorf("service: %s", rec.Error)
+	case rec.Summary != nil:
+		sr.summary = rec.Summary
+		return nil, io.EOF
+	default:
+		return rec.Labels, nil
+	}
+	return nil, sr.err
+}
+
+// Summary returns the terminal summary record; ok is false until Next
+// has returned io.EOF.
+func (sr *StreamReader) Summary() (StreamSummary, bool) {
+	if sr.summary == nil {
+		return StreamSummary{}, false
+	}
+	return *sr.summary, true
+}
+
+// Collect drains the stream into one label slice plus the summary —
+// convenience for callers that want streaming transport without
+// incremental consumption.
+func (sr *StreamReader) Collect() ([]int32, StreamSummary, error) {
+	defer sr.Close()
+	var labels []int32
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			sum, _ := sr.Summary()
+			return labels, sum, nil
+		}
+		if err != nil {
+			return labels, StreamSummary{}, err
+		}
+		labels = append(labels, chunk...)
+	}
+}
+
+// Close releases the underlying response body; abandoning a stream
+// without Close leaks the connection.
+func (sr *StreamReader) Close() error { return sr.body.Close() }
 
 // LocalStats fetches the instance's own counters, bypassing the ring
 // fan-out — the per-peer leg of the aggregate /v1/stats.

@@ -2,7 +2,9 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
@@ -71,8 +73,9 @@ const maxAssignPoints = 1 << 20
 // maxAssignBytes caps the /v1/assign JSON body: enough for a full
 // maxAssignPoints batch at high dimensionality, small enough that a
 // handful of concurrent oversized bodies cannot exhaust memory before
-// the point-count check fires.
-const maxAssignBytes = 192 << 20
+// the point-count check fires. A variable only so tests can lower it
+// without allocating a 192 MiB request.
+var maxAssignBytes int64 = 192 << 20
 
 // maxFitBytes caps the /v1/fit JSON body, whose legitimate size is a
 // few hundred bytes.
@@ -86,6 +89,7 @@ const maxFitBytes = 1 << 20
 //	GET  /v1/datasets/{name}   one dataset's info
 //	POST /v1/fit               fit (or fetch cached) model
 //	POST /v1/assign            fit if needed, then label a point batch
+//	POST /v1/assign/stream     chunked NDJSON: label an unbounded stream
 //	GET  /v1/stats             cache and request counters
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -171,6 +175,8 @@ func NewHandler(s *Service) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("POST /v1/assign/stream", handleAssignStream(s))
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -195,10 +201,30 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}, limit int
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		writeError(w, bodyErrStatus(err), fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	// One JSON object is the whole body: trailing non-whitespace (a second
+	// object, stray text) means the client built the request wrong, and
+	// silently ignoring it would mask the bug. dec.More() alone misses a
+	// trailing close-delimiter, so read one more token: io.EOF is the only
+	// clean outcome.
+	if _, err := dec.Token(); err != io.EOF {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: trailing data after JSON object"))
 		return false
 	}
 	return true
+}
+
+// bodyErrStatus distinguishes "your body is malformed" (400) from "your
+// body is too big" (413): MaxBytesReader surfaces the latter as a typed
+// error mid-read, and conflating the two hides the actionable fix.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // statusFor maps service errors onto HTTP statuses: missing names are

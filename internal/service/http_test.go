@@ -256,6 +256,33 @@ func TestHTTPErrorPaths(t *testing.T) {
 		t.Errorf("bad json: code=%d", resp.StatusCode)
 	}
 
+	// Trailing garbage after a valid JSON object is a client bug the
+	// server must reject, not silently ignore; trailing whitespace is not
+	// garbage (curl and editors add newlines).
+	goodFit := string(marshal(FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good}))
+	for name, body := range map[string]string{
+		"text":          goodFit + "garbage",
+		"second object": goodFit + goodFit,
+		"stray brace":   goodFit + "}",
+	} {
+		resp, err := client.Post(ts.URL+"/v1/fit", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("trailing %s: code=%d, want 400", name, resp.StatusCode)
+		}
+	}
+	resp, err = client.Post(ts.URL+"/v1/fit", "application/json", strings.NewReader(goodFit+"\n  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("trailing whitespace: code=%d, want 200", resp.StatusCode)
+	}
+
 	// Dimension-mismatched assign points.
 	bad := AssignRequest{
 		FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -302,7 +303,7 @@ func (rt *Router) Handler() http.Handler {
 		// local handler enforces bounds the buffer.
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("reading upload: %w", err))
+			writeError(w, bodyErrStatus(err), fmt.Errorf("reading upload: %w", err))
 			return
 		}
 		path := "/v1/datasets/" + url.PathEscape(name)
@@ -319,9 +320,12 @@ func (rt *Router) Handler() http.Handler {
 	// relay them to the owner.
 	routeByBody := func(limit int64, path string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
+			// An over-limit body must surface as the same JSON 413 the owner
+			// itself would send, not a generic 400 or a torn connection —
+			// the relay hop is supposed to be invisible.
 			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+				writeError(w, bodyErrStatus(err), fmt.Errorf("reading request: %w", err))
 				return
 			}
 			name, err := peekDataset(body)
@@ -344,6 +348,39 @@ func (rt *Router) Handler() http.Handler {
 	}
 	mux.HandleFunc("POST /v1/fit", routeByBody(maxFitBytes, "/v1/fit"))
 	mux.HandleFunc("POST /v1/assign", routeByBody(maxAssignBytes, "/v1/assign"))
+
+	// The streaming assign is the one route that must NOT buffer: only
+	// the header line is read here (for the ring key); the rest of the
+	// chunked body is piped straight into the owner's request, and the
+	// owner's NDJSON response is piped straight back, so a relay hop adds
+	// O(chunk) memory, not O(stream).
+	mux.HandleFunc("POST /v1/assign/stream", func(w http.ResponseWriter, r *http.Request) {
+		// The relay keeps reading the request stream while label records
+		// flow back — the same duplex opt-in the serving handler needs.
+		_ = http.NewResponseController(w).EnableFullDuplex()
+		br := bufio.NewReaderSize(r.Body, 64<<10)
+		header, err := readStreamLine(br)
+		if err != nil {
+			writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
+			return
+		}
+		name, err := peekDataset(header)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+			return
+		}
+		// Reassemble exactly what was consumed: the header line plus the
+		// unread remainder (br still holds its buffered prefix).
+		body := io.MultiReader(bytes.NewReader(append(header, '\n')), br)
+		owner, peerC := rt.owner(name)
+		if name == "" || peerC == nil || r.Header.Get(forwardedHeader) != "" {
+			r.Body = io.NopCloser(body)
+			r.ContentLength = -1
+			rt.localH.ServeHTTP(w, r)
+			return
+		}
+		rt.relayStream(w, r, peerC, owner, body)
+	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get(forwardedHeader) != "" {
@@ -437,6 +474,64 @@ func (rt *Router) relay(w http.ResponseWriter, peer *Client, owner, method, path
 	w.WriteHeader(status)
 	_, _ = w.Write(data)
 }
+
+// relayStream pipes a streaming assign to the owning shard: the request
+// body flows through without buffering, and the owner's NDJSON response
+// is copied back chunk by chunk with a flush per write. If the owner dies
+// mid-stream the 200 header is already gone, so the failure is delivered
+// the only way left — as the terminal NDJSON error record the client's
+// StreamReader already understands.
+func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Client, owner string, body io.Reader) {
+	rt.forwarded.Add(1)
+	// The inbound request context cancels the upstream leg when the
+	// client hangs up, so an abandoned stream cannot pin two connections.
+	resp, err := peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream", ndjsonContentType, body, true)
+	if err != nil {
+		rt.forwardErrors.Add(1)
+		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+	ct := resp.Header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(resp.StatusCode)
+	fw := &flushWriter{w: w}
+	if _, err := io.Copy(fw, resp.Body); err != nil {
+		rt.forwardErrors.Add(1)
+		// The owner may have died mid-record; start a fresh line so the
+		// terminal error record stays parseable instead of being welded
+		// onto the torn bytes.
+		if !fw.atLineStart() {
+			_, _ = w.Write([]byte("\n"))
+		}
+		writeStreamError(w, fmt.Errorf("shard %s failed mid-stream: %v", owner, err))
+	}
+}
+
+// flushWriter flushes after every write so relayed label chunks reach
+// the client as the owner emits them instead of pooling in this hop. It
+// remembers the last byte so an error record can be placed on a fresh
+// line after a torn copy.
+type flushWriter struct {
+	w    http.ResponseWriter
+	last byte
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if n > 0 {
+		fw.last = p[n-1]
+	}
+	if f, ok := fw.w.(http.Flusher); ok {
+		f.Flush()
+	}
+	return n, err
+}
+
+func (fw *flushWriter) atLineStart() bool { return fw.last == 0 || fw.last == '\n' }
 
 // allDatasets fans the registry listing out across the ring and merges
 // it. Unreachable peers contribute nothing — the listing degrades to

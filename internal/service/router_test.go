@@ -2,11 +2,13 @@ package service
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -521,6 +523,115 @@ func TestRingRestartWarmLoad(t *testing.T) {
 	}
 	if got := restarted.Stats().CacheMisses; got != 0 {
 		t.Errorf("restarted shard performed %d fits; want zero", got)
+	}
+}
+
+// TestRingStreamForwarding: the streaming assign must answer with the
+// same labels through every instance — owner or not — with the relay
+// piping the chunked body instead of buffering it, and a mid-stream
+// client error must come back as a terminal error record through the
+// forwarded hop.
+func TestRingStreamForwarding(t *testing.T) {
+	corpus := testCorpus(t, 3)
+	h := startRing(t, 3, nil)
+	e := corpus[0]
+	h.uploadCSV(0, e.name, e.csv)
+	req := FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+	if _, err := h.clients[0].Fit(req); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := h.clients[0].Assign(AssignRequest{FitRequest: req, Points: e.probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := int64(0)
+	for _, s := range h.svcs {
+		missesBefore += s.Stats().CacheMisses
+	}
+	nonOwner := -1
+	for i := range h.routers {
+		forwardedBefore := h.routers[i].forwarded.Load()
+		sr, err := h.clients[i].AssignStream(req, bytes.NewReader(ndjsonPoints(t, e.probes)))
+		if err != nil {
+			t.Fatalf("stream via shard %d: %v", i, err)
+		}
+		labels, sum, err := sr.Collect()
+		if err != nil {
+			t.Fatalf("stream via shard %d: %v", i, err)
+		}
+		if len(labels) != len(want.Labels) {
+			t.Fatalf("shard %d: %d labels, want %d", i, len(labels), len(want.Labels))
+		}
+		for j := range labels {
+			if labels[j] != want.Labels[j] {
+				t.Fatalf("shard %d label %d: stream %d, batch %d", i, j, labels[j], want.Labels[j])
+			}
+		}
+		if !sum.CacheHit || sum.Clusters != want.Clusters || sum.Points != int64(len(e.probes)) {
+			t.Errorf("shard %d summary = %+v", i, sum)
+		}
+		if !h.routers[i].Owns(e.name) {
+			nonOwner = i
+			if h.routers[i].forwarded.Load() != forwardedBefore+1 {
+				t.Errorf("non-owner shard %d did not count the stream forward", i)
+			}
+		}
+	}
+	if nonOwner < 0 {
+		t.Skip("one shard owned the key from every entry point; forwarding untested this run")
+	}
+	var misses int64
+	for _, s := range h.svcs {
+		misses += s.Stats().CacheMisses
+	}
+	if misses != missesBefore {
+		t.Errorf("streaming through the ring refit %d models; want zero", misses-missesBefore)
+	}
+
+	// Mid-stream garbage through the forwarded hop: label chunks for the
+	// points before the bad line, then a terminal error record.
+	body := append(ndjsonPoints(t, e.probes), []byte("not json\n")...)
+	sr, err := h.clients[nonOwner].AssignStream(req, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = sr.Collect()
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("stream point %d", len(e.probes))) {
+		t.Errorf("mid-stream garbage through relay: err = %v, want terminal error record", err)
+	}
+}
+
+// TestRelayOversizedAssignIs413: an /v1/assign body over the relay
+// buffer cap must come back as the same JSON 413 from any entry point —
+// the non-owner hop included — never a generic 400 or a torn connection.
+func TestRelayOversizedAssignIs413(t *testing.T) {
+	saved := maxAssignBytes
+	maxAssignBytes = 64 << 10 // keep the oversized request test-sized
+	t.Cleanup(func() { maxAssignBytes = saved })
+
+	corpus := testCorpus(t, 1)
+	h := startRing(t, 2, nil)
+	e := corpus[0]
+	h.uploadCSV(0, e.name, e.csv)
+
+	big := AssignRequest{FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}}
+	for len(marshal(big)) <= int(maxAssignBytes) {
+		big.Points = append(big.Points, make([][]float64, 4096)...)
+		for i := len(big.Points) - 4096; i < len(big.Points); i++ {
+			big.Points[i] = []float64{1, 2}
+		}
+	}
+	body := marshal(big)
+	for i := range h.addrs {
+		status, raw := rawPost(t, h.addrs[i]+"/v1/assign", body)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Errorf("shard %d: status %d, want 413", i, status)
+		}
+		var er errorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			t.Errorf("shard %d: body %q is not a JSON error", i, raw)
+		}
 	}
 }
 

@@ -38,6 +38,10 @@ type Options struct {
 	// for keys owned elsewhere stay on disk, unloaded, so a later
 	// membership change can Reconcile them back in with zero refits.
 	Owns func(dataset string) bool
+	// StreamChunk is the number of points labeled (and answered) per
+	// response record on /v1/assign/stream; <= 0 scales it to Workers.
+	// Memory per in-flight stream is O(StreamChunk), never O(stream).
+	StreamChunk int
 }
 
 func (o Options) cacheSize() int {
@@ -359,12 +363,23 @@ func (s *Service) Assign(dataset, algorithm string, p core.Params, pts [][]float
 		return nil, FitResult{}, err
 	}
 	s.assignRequests.Add(1)
-	labels, err := fr.Model.AssignAll(pts, s.opts.Workers)
+	labels, err := s.assignChunk(fr.Model, pts)
 	if err != nil {
 		return nil, FitResult{}, err
 	}
-	s.pointsAssigned.Add(int64(len(pts)))
 	return labels, fr, nil
+}
+
+// assignChunk is the labeling core shared by the batch path (one chunk =
+// the whole batch) and the streaming path (one chunk per response
+// record): a parallel AssignAll plus the points counter.
+func (s *Service) assignChunk(m *core.Model, pts [][]float64) ([]int32, error) {
+	labels, err := m.AssignAll(pts, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.pointsAssigned.Add(int64(len(pts)))
+	return labels, nil
 }
 
 // Stats is a point-in-time snapshot of service counters.

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+
+	"repro/internal/core"
+)
+
+// The streaming assign wire format (POST /v1/assign/stream) is NDJSON in
+// both directions. The request is one header line — a FitRequest object —
+// followed by one point per line, each a JSON array of coordinates:
+//
+//	{"dataset":"s2","algorithm":"Ex-DPC","params":{"dcut":2500,...}}
+//	[12034.1,38840.2]
+//	[61300.0,20018.7]
+//	...
+//
+// The response is a sequence of StreamRecord lines: one {"labels":[...]}
+// record per labeled chunk, in input order, terminated by exactly one of
+// {"summary":{...}} (success) or {"error":"..."} (failure after the
+// stream began; failures before any labeling use plain JSON statuses like
+// the batch endpoint). Memory on both sides stays O(chunk), never O(body),
+// so one fitted model can label arbitrarily long query streams through
+// any shard.
+
+// ndjsonContentType is the media type of both stream directions.
+const ndjsonContentType = "application/x-ndjson"
+
+// maxStreamLineBytes caps one NDJSON line (header or point). A point line
+// is a single coordinate array, so 1 MiB allows ~65k dimensions — far
+// beyond any real dataset — while bounding what a hostile stream can make
+// the server buffer per line.
+const maxStreamLineBytes = 1 << 20
+
+// StreamSummary is the trailing record of a successful label stream.
+type StreamSummary struct {
+	Points   int64 `json:"points"`
+	Chunks   int64 `json:"chunks"`
+	Clusters int   `json:"clusters"`
+	CacheHit bool  `json:"cache_hit"`
+}
+
+// StreamRecord is one NDJSON line of the response stream: exactly one of
+// Labels, Summary, or Error is set.
+type StreamRecord struct {
+	Labels  []int32        `json:"labels,omitempty"`
+	Summary *StreamSummary `json:"summary,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// streamChunk resolves the chunk size: Options.StreamChunk when set,
+// otherwise scaled to the worker pool so every chunk can spread across
+// all assign workers with work to spare, clamped so chunks stay small
+// enough that label records flush frequently and large enough that
+// per-chunk overhead (JSON record, flush, dispatch) amortizes. Explicit
+// values are capped at the batch-endpoint limit: every stream allocates
+// its chunk buffer up front, and a misconfigured huge -stream-chunk must
+// not turn each request into an OOM.
+func (o Options) streamChunk() int {
+	if o.StreamChunk > 0 {
+		return min(o.StreamChunk, maxAssignPoints)
+	}
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	c := 2048 * w
+	if c > 65536 {
+		c = 65536
+	}
+	return c
+}
+
+// AssignStream labels an unbounded point stream against the model for
+// (dataset, algorithm, params), fitting it at most once. next returns one
+// point per call and io.EOF at end of stream; emit receives each chunk's
+// labels in input order and may abort the stream by returning an error.
+// Memory is bounded by the chunk size regardless of stream length.
+func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next func() ([]float64, error), emit func([]int32) error) (StreamSummary, error) {
+	fr, err := s.Fit(dataset, algorithm, p)
+	if err != nil {
+		return StreamSummary{}, err
+	}
+	return s.assignStream(fr, next, emit)
+}
+
+// assignStream is the chunked labeling loop shared by AssignStream and
+// the HTTP handler (which performs the Fit itself so pre-stream errors
+// keep their HTTP statuses).
+func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emit func([]int32) error) (StreamSummary, error) {
+	s.assignRequests.Add(1)
+	sum := StreamSummary{Clusters: fr.Model.NumClusters(), CacheHit: fr.CacheHit}
+	dim := fr.Model.Dim()
+	chunk := make([][]float64, 0, s.opts.streamChunk())
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		labels, err := s.assignChunk(fr.Model, chunk)
+		if err != nil {
+			return err
+		}
+		sum.Chunks++
+		chunk = chunk[:0]
+		return emit(labels)
+	}
+	for {
+		pt, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return sum, err
+		}
+		if len(pt) != dim {
+			return sum, fmt.Errorf("service: stream point %d has dimension %d, want %d", sum.Points, len(pt), dim)
+		}
+		chunk = append(chunk, pt)
+		sum.Points++
+		if len(chunk) == cap(chunk) {
+			if err := flush(); err != nil {
+				return sum, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return sum, err
+	}
+	return sum, nil
+}
+
+// handleAssignStream is POST /v1/assign/stream. Errors before the first
+// byte of the response stream (bad header, unknown dataset, failed fit)
+// are plain JSON with the same statuses as the batch endpoint; once
+// streaming has begun the only channel left is a terminal error record.
+func handleAssignStream(s *Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// An HTTP/1.x server normally closes the request body at the first
+		// response write; this handler interleaves reading points with
+		// writing labels for the stream's whole life, so it must opt in to
+		// full duplex. (HTTP/2 is duplex natively and reports unsupported.)
+		_ = http.NewResponseController(w).EnableFullDuplex()
+		br := bufio.NewReaderSize(r.Body, 64<<10)
+		header, err := readStreamLine(br)
+		if err != nil {
+			writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
+			return
+		}
+		var req FitRequest
+		if err := decodeStrict(header, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+			return
+		}
+		fr, err := s.Fit(req.Dataset, req.Algorithm, req.Params.core())
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+
+		w.Header().Set("Content-Type", ndjsonContentType)
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+
+		lineNo := int64(0)
+		next := func() ([]float64, error) {
+			for {
+				line, err := readStreamLine(br)
+				if err != nil {
+					if err == io.EOF {
+						return nil, io.EOF
+					}
+					return nil, fmt.Errorf("stream point %d: %w", lineNo, err)
+				}
+				if len(line) == 0 {
+					continue // tolerate blank lines and the trailing newline
+				}
+				var pt []float64
+				if err := json.Unmarshal(line, &pt); err != nil {
+					return nil, fmt.Errorf("stream point %d: %w", lineNo, err)
+				}
+				lineNo++
+				return pt, nil
+			}
+		}
+		emit := func(labels []int32) error {
+			if err := enc.Encode(StreamRecord{Labels: labels}); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		}
+		sum, err := s.assignStream(fr, next, emit)
+		if err != nil {
+			writeStreamError(w, err)
+			return
+		}
+		_ = enc.Encode(StreamRecord{Summary: &sum})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// writeStreamError emits the terminal NDJSON error record — the failure
+// channel once the 200 header and some labels are already on the wire.
+func writeStreamError(w http.ResponseWriter, err error) {
+	_ = json.NewEncoder(w).Encode(StreamRecord{Error: err.Error()})
+	if flusher, ok := w.(http.Flusher); ok {
+		flusher.Flush()
+	}
+}
+
+// errStreamLineTooLong rejects a single NDJSON line over
+// maxStreamLineBytes; as a request-size violation it maps to 413 when it
+// can still influence the status.
+var errStreamLineTooLong = fmt.Errorf("line exceeds %d bytes", maxStreamLineBytes)
+
+func streamLineStatus(err error) int {
+	if errors.Is(err, errStreamLineTooLong) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// readStreamLine reads one newline-terminated line (the final line may be
+// unterminated), stripped of its \r?\n, enforcing maxStreamLineBytes. It
+// returns io.EOF only at a clean end of stream with no pending bytes.
+func readStreamLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		// ReadSlice's buffer is invalidated by the next read; append copies.
+		line = append(line, frag...)
+		if len(line) > maxStreamLineBytes {
+			return nil, errStreamLineTooLong
+		}
+		switch err {
+		case nil:
+			return trimEOL(line), nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(line) == 0 {
+				return nil, io.EOF
+			}
+			return trimEOL(line), nil
+		default:
+			return nil, err
+		}
+	}
+}
+
+func trimEOL(line []byte) []byte {
+	line = bytes.TrimSuffix(line, []byte("\n"))
+	return bytes.TrimSuffix(line, []byte("\r"))
+}
+
+// EncodePoints writes points as NDJSON lines — the producer half of the
+// stream wire format — until next returns io.EOF. Callers feed it to one
+// end of an io.Pipe whose other end is Client.AssignStream, so encoding
+// lives here next to the format definition instead of being re-derived
+// at every call site.
+func EncodePoints(w io.Writer, next func() ([]float64, error)) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for {
+		pt, err := next()
+		if err == io.EOF {
+			return bw.Flush()
+		}
+		if err != nil {
+			return err
+		}
+		raw, err := json.Marshal(pt)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+}
+
+// decodeStrict unmarshals one JSON object with unknown fields and
+// trailing data rejected — the per-line analogue of decodeJSON.
+func decodeStrict(raw []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON object")
+	}
+	return nil
+}

@@ -13,6 +13,8 @@
 #      zero refits — while the dead shard's keys fail cleanly.
 #
 # Requirements: go, curl, jq. Run from anywhere; `make e2e` wraps it.
+# Setting E2E_LOG_DIR preserves the daemon logs there (CI uploads them as
+# artifacts when the job fails).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,6 +22,10 @@ TMP="$(mktemp -d /tmp/dpcd-e2e.XXXXXX)"
 declare -a PIDS=()
 cleanup() {
     for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    if [ -n "${E2E_LOG_DIR:-}" ]; then
+        mkdir -p "$E2E_LOG_DIR"
+        cp "$TMP"/*.log "$E2E_LOG_DIR"/ 2>/dev/null || true
+    fi
     rm -rf "$TMP"
 }
 trap cleanup EXIT

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# e2e_stream.sh — end-to-end proof of the chunked streaming assign path
+# against real processes:
+#
+#   1. boots a 3-shard dpcd ring on localhost ports;
+#   2. uploads a training dataset and fits Ex-DPC exactly once;
+#   3. streams 4x the per-request batch cap (4,194,304 points by default)
+#      through a shard that does NOT own the dataset, so the chunked body
+#      is relayed to the owner without buffering;
+#   4. sends the same points as four capped batch /v1/assign calls and
+#      asserts the two label files are byte-identical;
+#   5. asserts the whole run performed zero refits and that the non-owner
+#      shard actually forwarded the stream.
+#
+# Requirements: go, curl, jq. Run from anywhere; `make e2e-stream` wraps
+# it. STREAM_N overrides the point count for quick local runs; setting
+# E2E_LOG_DIR preserves the daemon logs there (CI uploads them as
+# artifacts when the job fails).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+TMP="$(mktemp -d /tmp/dpcd-e2e-stream.XXXXXX)"
+declare -a PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    if [ -n "${E2E_LOG_DIR:-}" ]; then
+        mkdir -p "$E2E_LOG_DIR"
+        cp "$TMP"/*.log "$E2E_LOG_DIR"/ 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "e2e_stream: FAIL: $*" >&2; exit 1; }
+log()  { echo "e2e_stream: $*"; }
+
+# 4x the server's 1<<20 per-request batch cap: the workload the batch
+# endpoint refuses in one request.
+STREAM_N="${STREAM_N:-4194304}"
+BATCH_SIZE=1048576
+if [ "$STREAM_N" -lt $((4 * BATCH_SIZE)) ]; then
+    # Scaled-down local runs still compare stream vs. batch over 4 calls.
+    BATCH_SIZE=$(( (STREAM_N + 3) / 4 ))
+fi
+
+cd "$ROOT"
+log "building dpcd, datagen, and dpcstream"
+go build -o "$TMP/dpcd" ./cmd/dpcd
+go build -o "$TMP/datagen" ./cmd/datagen
+go build -o "$TMP/dpcstream" ./cmd/dpcstream
+
+"$TMP/datagen" -dataset s2 -n 4000 -seed 7 -out "$TMP/train.csv"
+log "generating $STREAM_N query points"
+"$TMP/datagen" -dataset s2 -n "$STREAM_N" -seed 8 -out "$TMP/query.csv"
+PARAMS='{"dcut":2500,"rho_min":5,"delta_min":12000}'
+NAME=stream-e2e
+
+SHARD_PORTS=(18084 18085 18086)
+PEERS="http://127.0.0.1:${SHARD_PORTS[0]},http://127.0.0.1:${SHARD_PORTS[1]},http://127.0.0.1:${SHARD_PORTS[2]}"
+for i in 0 1 2; do
+    port="${SHARD_PORTS[$i]}"
+    "$TMP/dpcd" -addr "127.0.0.1:$port" -workers 2 \
+        -self "http://127.0.0.1:$port" -peers "$PEERS" \
+        >"$TMP/stream-shard-$i.log" 2>&1 &
+    PIDS+=($!)
+done
+
+wait_ready() {
+    for _ in $(seq 1 100); do
+        curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    cat "$TMP"/*.log >&2 || true
+    fail "instance on port $1 never became healthy"
+}
+for port in "${SHARD_PORTS[@]}"; do wait_ready "$port"; done
+log "ring on :${SHARD_PORTS[*]}"
+
+# --- upload once, fit once --------------------------------------------------
+curl -fsS -X PUT --data-binary "@$TMP/train.csv" \
+    "http://127.0.0.1:${SHARD_PORTS[0]}/v1/datasets/$NAME" >/dev/null
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "{\"dataset\":\"$NAME\",\"algorithm\":\"Ex-DPC\",\"params\":$PARAMS}" \
+    "http://127.0.0.1:${SHARD_PORTS[1]}/v1/fit" >/dev/null
+
+OWNER="$(curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/ring?key=$NAME" | jq -r '.owner')"
+NON_OWNER_PORT=""
+for port in "${SHARD_PORTS[@]}"; do
+    [ "http://127.0.0.1:$port" != "$OWNER" ] && { NON_OWNER_PORT="$port"; break; }
+done
+[ -n "$NON_OWNER_PORT" ] || fail "could not find a non-owner shard for $NAME"
+log "$NAME owned by $OWNER; streaming through non-owner :$NON_OWNER_PORT"
+
+agg_misses() {
+    curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/stats" | jq '.total.cache_misses'
+}
+MISSES_BEFORE="$(agg_misses)"
+[ "$MISSES_BEFORE" -eq 1 ] || fail "expected exactly 1 fit before assigning, saw $MISSES_BEFORE"
+# .forwarded in the aggregate response is this instance's own hop count.
+FWD_BEFORE="$(curl -fsS "http://127.0.0.1:$NON_OWNER_PORT/v1/stats" | jq '.forwarded')"
+
+# --- stream 4x the batch cap through the non-owner --------------------------
+log "streaming $STREAM_N points (cap is $BATCH_SIZE per batch request)"
+"$TMP/dpcstream" -addr "http://127.0.0.1:$NON_OWNER_PORT" -dataset "$NAME" \
+    -dcut 2500 -rhomin 5 -deltamin 12000 \
+    -in "$TMP/query.csv" -out "$TMP/labels.stream" -mode stream \
+    || fail "streaming assign failed"
+
+# --- same points as four capped batch calls ---------------------------------
+"$TMP/dpcstream" -addr "http://127.0.0.1:$NON_OWNER_PORT" -dataset "$NAME" \
+    -dcut 2500 -rhomin 5 -deltamin 12000 \
+    -in "$TMP/query.csv" -out "$TMP/labels.batch" -mode batch -batch-size "$BATCH_SIZE" \
+    || fail "batched assign failed"
+
+# --- labels byte-identical, every point answered, zero refits ---------------
+cmp "$TMP/labels.stream" "$TMP/labels.batch" \
+    || fail "streamed labels differ from batched labels"
+GOT_N="$(wc -l < "$TMP/labels.stream")"
+[ "$GOT_N" -eq "$STREAM_N" ] || fail "stream returned $GOT_N labels, want $STREAM_N"
+
+MISSES_AFTER="$(agg_misses)"
+[ "$MISSES_AFTER" -eq "$MISSES_BEFORE" ] || \
+    fail "labeling refit models: $MISSES_AFTER misses vs $MISSES_BEFORE before"
+FWD_AFTER="$(curl -fsS "http://127.0.0.1:$NON_OWNER_PORT/v1/stats" | jq '.forwarded')"
+[ "$FWD_AFTER" -gt "$FWD_BEFORE" ] || \
+    fail "non-owner shard never forwarded (forwarded $FWD_BEFORE -> $FWD_AFTER)"
+
+log "PASS: $STREAM_N points streamed through a non-owner shard, labels byte-identical to $((STREAM_N / BATCH_SIZE)) batched calls, zero refits"

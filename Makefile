@@ -63,12 +63,13 @@ bench-json:
 	$(GO) run ./cmd/dpcbench -exp table3,table6 -n 10000 -json BENCH_dpcbench.json
 
 # fuzz-smoke runs each fuzz target briefly over its committed corpus —
-# the upload parsers and the snapshot decoder. `go test -fuzz` takes one
-# target per invocation, hence the three runs.
+# the upload parsers, the snapshot decoder, and the wire frame decoder.
+# `go test -fuzz` takes one target per invocation, hence the four runs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime $(FUZZTIME) ./internal/persist
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 # serve runs the dpcd clustering daemon on a bundled dataset; see the
 # README "Serving: dpcd" section for the API and a curl session. Add

@@ -33,10 +33,11 @@ func main() {
 		seed     = flag.Int64("seed", 1, "dataset generation seed")
 		outdir   = flag.String("outdir", "", "directory for figure images (empty: skip rendering)")
 		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json record of the run here")
+		wireJSON = flag.String("wire-json", "", "write the wire experiment's codec comparison record here (BENCH_wire_protocol.json)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{N: *n, Threads: *threads, Seed: *seed, OutDir: *outdir}
+	cfg := bench.Config{N: *n, Threads: *threads, Seed: *seed, OutDir: *outdir, WireJSON: *wireJSON}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "dpcbench:", err)

@@ -52,6 +52,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker pool size for fits and batch assigns (0 = all CPUs)")
 		cache       = flag.Int("cache", 8, "maximum fitted models kept in the LRU cache")
 		streamChunk = flag.Int("stream-chunk", 0, "points labeled per /v1/assign/stream response record (0 = scale to -workers)")
+		maxStreams  = flag.Int("max-streams", 0, "concurrent /v1/assign/stream cap; extra streams get HTTP 429 (0 = 64)")
+		maxStreamPt = flag.Int64("max-stream-points", 0, "points accepted per stream before a terminal error record (0 = 1<<30)")
 		preload     = flag.String("preload", "", "comma list of bundled datasets to serve, each name[:n] from "+strings.Join(datasets.Names(), ","))
 		seed        = flag.Int64("seed", 1, "generation seed for preloaded datasets")
 		dataDir     = flag.String("data-dir", "", "directory for dataset and model snapshots; restarts warm-load it (empty = in-memory only)")
@@ -84,7 +86,10 @@ func main() {
 	}
 	// In ring mode the warm load is filtered to owned keys; snapshots for
 	// keys owned elsewhere stay on disk, ready for a later rebalance.
-	svc := service.New(service.Options{CacheSize: *cache, Workers: *workers, Store: store, Owns: owns, StreamChunk: *streamChunk})
+	svc := service.New(service.Options{
+		CacheSize: *cache, Workers: *workers, Store: store, Owns: owns,
+		StreamChunk: *streamChunk, MaxStreams: *maxStreams, MaxStreamPoints: *maxStreamPt,
+	})
 	if store != nil {
 		st := svc.Stats()
 		log.Printf("dpcd: restored %d dataset(s) and %d model(s) from %s",

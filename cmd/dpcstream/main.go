@@ -4,7 +4,10 @@
 // so the stream can be arbitrarily longer than dpcd's per-request batch
 // cap while both ends stay at O(chunk) memory; -mode batch sends the
 // same points as capped /v1/assign calls instead, which is also how the
-// e2e suite proves the two paths label identically.
+// e2e suite proves the two paths label identically. -wire binary switches
+// either mode onto the binary frame codec (application/x-dpc-frame),
+// skipping JSON float encoding on the hot path; -float32 additionally
+// halves the coordinate bytes.
 //
 // Usage:
 //
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -48,6 +52,8 @@ func main() {
 		out       = flag.String("out", "-", "output labels, one per line (- = stdout)")
 		mode      = flag.String("mode", "stream", "transport: stream (/v1/assign/stream) or batch (/v1/assign)")
 		batchSize = flag.Int("batch-size", 1<<20, "points per request in -mode batch (server caps at 1<<20)")
+		wireFmt   = flag.String("wire", "json", "wire codec: json (NDJSON/JSON) or binary (application/x-dpc-frame)")
+		f32       = flag.Bool("float32", false, "with -wire binary, send coordinates as float32 (half the bytes; lossy unless values round-trip)")
 	)
 	flag.Parse()
 	if *dataset == "" {
@@ -55,6 +61,17 @@ func main() {
 	}
 	if *batchSize <= 0 {
 		log.Fatal("-batch-size must be positive")
+	}
+	binary := false
+	switch *wireFmt {
+	case "json":
+	case "binary":
+		binary = true
+	default:
+		log.Fatalf("unknown -wire %q (want json or binary)", *wireFmt)
+	}
+	if *f32 && !binary {
+		log.Fatal("-float32 requires -wire binary")
 	}
 
 	input := os.Stdin
@@ -96,9 +113,9 @@ func main() {
 	)
 	switch *mode {
 	case "stream":
-		labeled, err = runStream(client, req, points, w)
+		labeled, err = runStream(client, req, points, w, binary, *f32)
 	case "batch":
-		labeled, err = runBatch(client, req, points, w, *batchSize)
+		labeled, err = runBatch(client, req, points, w, *batchSize, binary, *f32)
 	default:
 		log.Fatalf("unknown -mode %q (want stream or batch)", *mode)
 	}
@@ -109,14 +126,15 @@ func main() {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(os.Stderr, "dpcstream: labeled %d points in %.3fs (%.0f pts/s, mode %s)\n",
-		labeled, elapsed.Seconds(), float64(labeled)/elapsed.Seconds(), *mode)
+	fmt.Fprintf(os.Stderr, "dpcstream: labeled %d points in %.3fs (%.0f pts/s, mode %s, wire %s)\n",
+		labeled, elapsed.Seconds(), float64(labeled)/elapsed.Seconds(), *mode, *wireFmt)
 }
 
 // runStream pipes the CSV through /v1/assign/stream: a goroutine
-// converts lines to NDJSON as the response labels flow back, so memory
-// stays bounded no matter how long the input is.
-func runStream(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer) (int64, error) {
+// converts lines to NDJSON lines — or binary points frames with -wire
+// binary — as the response labels flow back, so memory stays bounded no
+// matter how long the input is.
+func runStream(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer, binary, f32 bool) (int64, error) {
 	pr, pw := io.Pipe()
 	go func() {
 		next := func() ([]float64, error) {
@@ -131,9 +149,21 @@ func runStream(client *service.Client, req service.FitRequest, points *bufio.Sca
 			}
 			return nil, io.EOF
 		}
-		pw.CloseWithError(service.EncodePoints(pw, next))
+		if binary {
+			pw.CloseWithError(wire.EncodePoints(pw, next, 0, f32))
+		} else {
+			pw.CloseWithError(service.EncodePoints(pw, next))
+		}
 	}()
-	sr, err := client.AssignStream(req, pr)
+	var (
+		sr  *service.StreamReader
+		err error
+	)
+	if binary {
+		sr, err = client.AssignStreamFrames(req, pr)
+	} else {
+		sr, err = client.AssignStream(req, pr)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -156,14 +186,22 @@ func runStream(client *service.Client, req service.FitRequest, points *bufio.Sca
 
 // runBatch sends the same points as consecutive capped /v1/assign calls
 // — the pre-streaming workaround, kept as the parity reference.
-func runBatch(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer, batchSize int) (int64, error) {
+func runBatch(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer, batchSize int, binary, f32 bool) (int64, error) {
 	var labeled int64
 	batch := make([][]float64, 0, batchSize)
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		resp, err := client.Assign(service.AssignRequest{FitRequest: req, Points: batch})
+		var (
+			resp service.AssignResponse
+			err  error
+		)
+		if binary {
+			resp, err = client.AssignFrames(req, batch, f32)
+		} else {
+			resp, err = client.Assign(service.AssignRequest{FitRequest: req, Points: batch})
+		}
 		if err != nil {
 			return err
 		}

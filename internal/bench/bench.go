@@ -35,6 +35,9 @@ type Config struct {
 	Seed int64
 	// OutDir receives figure images (PPM/SVG); empty disables rendering.
 	OutDir string
+	// WireJSON, when non-empty, is where the wire experiment writes its
+	// machine-readable BENCH_wire_protocol.json record.
+	WireJSON string
 	// W receives the printed tables; nil means os.Stdout.
 	W io.Writer
 }

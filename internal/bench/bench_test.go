@@ -90,13 +90,13 @@ func TestFigureExperimentsRenderFiles(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Errorf("registry has %d experiments, want 17", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Errorf("registry has %d experiments, want 18", len(Experiments()))
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Error("unknown experiment found")
 	}
-	if len(Names()) != 17 {
+	if len(Names()) != 18 {
 		t.Error("Names() incomplete")
 	}
 	for _, e := range Experiments() {
@@ -143,6 +143,39 @@ func TestServiceExperimentRuns(t *testing.T) {
 	for _, want := range []string{"fit-once", "Ex-DPC", "Approx-DPC", "hit rate", "1 fit(s) performed"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestWireExperimentRuns(t *testing.T) {
+	var buf bytes.Buffer
+	c := smallCfg(t, &buf)
+	c.WireJSON = filepath.Join(t.TempDir(), "wire.json")
+	e, ok := Lookup("wire")
+	if !ok {
+		t.Fatal("wire experiment missing")
+	}
+	if err := e.Run(c); err != nil {
+		t.Fatalf("wire: %v", err)
+	}
+	out := buf.String()
+	// Every leg ran, labels matched, and the machine-readable record
+	// landed where WireJSON pointed.
+	for _, want := range []string{
+		"batch/json", "batch/frames", "stream/ndjson", "stream/frames",
+		"stream/frames-f32", "relay/frames", "stream speedup",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(c.WireJSON)
+	if err != nil {
+		t.Fatalf("wire record: %v", err)
+	}
+	for _, want := range []string{"stream_speedup_binary_vs_ndjson", "bytes_per_point", `"labels_match": true`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("wire record missing %q", want)
 		}
 	}
 }

@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{"abl-sched", "Ablation: scheduling strategies", Config.AblSched},
 		{"abl-subsets", "Ablation: subset count s", Config.AblSubsets},
 		{"service", "Fit-once/assign-many serving latency and cache hit rate", Config.Service},
+		{"wire", "Binary frame codec vs JSON on the assign wire path", Config.Wire},
 	}
 }
 

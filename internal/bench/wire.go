@@ -1,0 +1,513 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+// Wire compares the binary frame codec (application/x-dpc-frame) against
+// the JSON/NDJSON codec on the assign hot path: the same 4M-point query
+// workload is pushed through POST /v1/assign (batched at the request
+// cap) and POST /v1/assign/stream in both codecs, over a real localhost
+// HTTP hop with the wire bytes counted at the socket. Labels must be
+// identical across every float64 leg — the codecs may only change how
+// fast bits move, never what they say. A final leg streams binary
+// frames through a non-owning ring shard, so the zero-copy relay is
+// measured too. With Config.WireJSON set, the table is also written as
+// a machine-readable record.
+func (c Config) Wire() error {
+	w := c.w()
+	header(w, "Wire codec: binary frames vs JSON on the assign path")
+
+	total := 4 << 20 // the e2e stream configuration
+	batchSize := 1 << 20
+	if n := c.n(); n < 20000 {
+		// Smoke-scale invocations shrink the workload with the run.
+		total, batchSize = 4*n, n
+	}
+
+	// Training matches the e2e stream configuration (s2 at 4000 points):
+	// the experiment measures the wire, so the shared per-point assign
+	// compute is kept at the deployment the 4M-point e2e run exercises.
+	trainN := c.n()
+	if trainN > 4000 {
+		trainN = 4000
+	}
+	d := data.SSet(2, trainN, c.Seed)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		return err
+	}
+	req := service.FitRequest{
+		Dataset:   "wire",
+		Algorithm: "Ex-DPC",
+		Params:    service.ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+	}
+
+	// One instance behind a byte-counting listener: bytes/point includes
+	// everything the codec puts on the wire — HTTP framing too.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	cl := &countingListener{Listener: ln}
+	// StreamChunk matches the client's 8192-point frames so one inbound
+	// frame turns into one labeled record; both codecs share the server,
+	// so the tuning cannot favor either.
+	svc := service.New(service.Options{Workers: c.threads(), CacheSize: 8, StreamChunk: 8192})
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	go func() { _ = srv.Serve(cl) }()
+	defer srv.Close()
+	client := service.NewClient("http://"+ln.Addr().String(), service.ClientOptions{})
+	if _, err := client.PutDataset("wire", "csv", csv.Bytes()); err != nil {
+		return err
+	}
+	if _, err := client.Fit(req); err != nil {
+		return err
+	}
+
+	// The query workload: training points perturbed inside the d_cut
+	// ball, generated once up front so the timed legs measure the wire
+	// and the assign — not the random number generator. One flat backing
+	// array keeps the resident cost to coords + row headers.
+	dim := d.Points.Dim
+	coords := make([]float64, total*dim)
+	rows := make([][]float64, total)
+	rng := rand.New(rand.NewSource(c.Seed + 55))
+	for i := range rows {
+		row := coords[i*dim : (i+1)*dim : (i+1)*dim]
+		base := d.Points.At(rng.Intn(d.Points.N))
+		for j := range row {
+			row[j] = base[j] + rng.NormFloat64()*d.DCut/4
+		}
+		rows[i] = row
+	}
+
+	// The JSON batch leg runs first and its labels are the reference;
+	// every other float64 leg must reproduce them bit for bit.
+	var ref []int32
+	checkLabels := func(leg string, off int, labels []int32, mustMatch bool) (bool, error) {
+		match := off+len(labels) <= len(ref)
+		if match {
+			for i, l := range labels {
+				if l != ref[off+i] {
+					match = false
+					break
+				}
+			}
+		}
+		if mustMatch && !match {
+			return false, fmt.Errorf("wire bench: %s labels diverge from the JSON batch reference at offset %d", leg, off)
+		}
+		return match, nil
+	}
+
+	type leg struct {
+		name      string
+		mustMatch bool
+		f32       bool
+		run       func() (int64, error) // returns points labeled
+	}
+
+	batchLeg := func(binary bool) func() (int64, error) {
+		return func() (int64, error) {
+			buildRef := !binary && ref == nil // the JSON leg defines the reference
+			var labeled int64
+			for off := 0; off < total; off += batchSize {
+				pts := rows[off : off+batchSize]
+				var (
+					resp service.AssignResponse
+					err  error
+				)
+				if binary {
+					resp, err = client.AssignFrames(req, pts, false)
+				} else {
+					resp, err = client.Assign(service.AssignRequest{FitRequest: req, Points: pts})
+				}
+				if err != nil {
+					return labeled, err
+				}
+				if buildRef {
+					ref = append(ref, resp.Labels...)
+				}
+				labeled += int64(len(resp.Labels))
+			}
+			return labeled, nil
+		}
+	}
+	streamLeg := func(binary, f32 bool, legName string) func() (int64, error) {
+		return func() (int64, error) {
+			pr, pw := io.Pipe()
+			go func() {
+				sent := 0
+				next := func() ([]float64, error) {
+					if sent == total {
+						return nil, io.EOF
+					}
+					sent++
+					return rows[sent-1], nil
+				}
+				if binary {
+					pw.CloseWithError(wire.EncodePoints(pw, next, 0, f32))
+				} else {
+					pw.CloseWithError(service.EncodePoints(pw, next))
+				}
+			}()
+			var (
+				sr  *service.StreamReader
+				err error
+			)
+			if binary {
+				sr, err = client.AssignStreamFrames(req, pr)
+			} else {
+				sr, err = client.AssignStream(req, pr)
+			}
+			if err != nil {
+				return 0, err
+			}
+			defer sr.Close()
+			var labeled int64
+			for {
+				chunk, err := sr.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return labeled, err
+				}
+				if _, err := checkLabels(legName, int(labeled), chunk, !f32); err != nil {
+					return labeled, err
+				}
+				labeled += int64(len(chunk))
+			}
+			if sum, ok := sr.Summary(); !ok || !sum.CacheHit {
+				return labeled, fmt.Errorf("wire bench: %s refit the model mid-run", legName)
+			}
+			return labeled, nil
+		}
+	}
+
+	legs := []leg{
+		{name: "batch/json", mustMatch: true, run: batchLeg(false)},
+		{name: "batch/frames", mustMatch: true, run: batchLeg(true)},
+		{name: "stream/ndjson", mustMatch: true, run: streamLeg(false, false, "stream/ndjson")},
+		{name: "stream/frames", mustMatch: true, run: streamLeg(true, false, "stream/frames")},
+		// float32 halves the coordinate bytes; queries are rounded to
+		// float32 on the way in, so boundary points may legitimately flip.
+		{name: "stream/frames-f32", f32: true, run: streamLeg(true, true, "stream/frames-f32")},
+	}
+
+	fmt.Fprintf(w, "workload: %d query points against %s (n=%d, d=%d), workers=%d, batch size %d\n",
+		total, d.Name, d.Points.N, d.Points.Dim, c.threads(), batchSize)
+	fmt.Fprintf(w, "%-18s %9s %12s %9s %8s %7s\n",
+		"leg", "time", "pts/s", "bytes/pt", "MiB", "labels")
+	results := make([]wireLeg, 0, len(legs)+1)
+	for _, l := range legs {
+		runtime.GC()
+		inBefore, outBefore := cl.in.Load(), cl.out.Load()
+		start := time.Now()
+		labeled, err := l.run()
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		if labeled != int64(total) {
+			return fmt.Errorf("wire bench: %s labeled %d points, want %d", l.name, labeled, total)
+		}
+		bytesIn, bytesOut := cl.in.Load()-inBefore, cl.out.Load()-outBefore
+		match := true
+		if l.name == "batch/frames" {
+			// Batch legs buffer their labels; streams are checked per
+			// chunk. Replay the frames batch untimed and compare all of it.
+			m, err := verifyBatch(client, req, rows, batchSize, ref)
+			if err != nil {
+				return err
+			}
+			match = m
+			if !match {
+				return fmt.Errorf("wire bench: batch/frames labels diverge from the JSON batch reference")
+			}
+		}
+		r := wireLeg{
+			Name:         l.name,
+			Points:       labeled,
+			Seconds:      elapsed.Seconds(),
+			PointsPerSec: float64(labeled) / elapsed.Seconds(),
+			BytesIn:      bytesIn,
+			BytesOut:     bytesOut,
+			BytesPerPt:   float64(bytesIn+bytesOut) / float64(labeled),
+			LabelsMatch:  match || l.f32,
+		}
+		results = append(results, r)
+		labelNote := "equal"
+		if l.f32 {
+			labelNote = "f32"
+		}
+		fmt.Fprintf(w, "%-18s %8.3fs %12.0f %9.1f %8.1f %7s\n",
+			r.Name, r.Seconds, r.PointsPerSec, r.BytesPerPt,
+			float64(bytesIn+bytesOut)/(1<<20), labelNote)
+	}
+
+	relay, err := c.wireRelayLeg(req.Params, csv.Bytes(), rows, ref)
+	if err != nil {
+		return err
+	}
+	// The relay leg runs against a fresh ring, so its labels are checked
+	// against the same reference.
+	results = append(results, relay.record)
+	fmt.Fprintf(w, "%-18s %8.3fs %12.0f %9s %8s %7s   (3-shard ring, non-owner entry)\n",
+		relay.record.Name, relay.record.Seconds, relay.record.PointsPerSec, "-", "-", "equal")
+
+	var streamJSONPts, streamBinPts float64
+	for _, r := range results {
+		switch r.Name {
+		case "stream/ndjson":
+			streamJSONPts = r.PointsPerSec
+		case "stream/frames":
+			streamBinPts = r.PointsPerSec
+		}
+	}
+	speedup := streamBinPts / streamJSONPts
+	fmt.Fprintf(w, "stream speedup, binary frames over NDJSON: %.1fx points/sec\n", speedup)
+
+	if c.WireJSON != "" {
+		rec := wireRecord{
+			GoVersion: runtime.Version(),
+			GOOS:      runtime.GOOS, GOARCH: runtime.GOARCH,
+			NumCPU: runtime.NumCPU(), Threads: c.threads(),
+			TrainN: d.Points.N, QueryPoints: total, BatchSize: batchSize,
+			Seed: c.Seed, Legs: results, StreamSpeedup: speedup,
+		}
+		if err := writeWireRecord(c.WireJSON, rec); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", c.WireJSON)
+	}
+	return nil
+}
+
+// verifyBatch replays the reference workload through AssignFrames and
+// compares every label — the batch legs stream too many points to keep
+// two copies of the responses around during the timed run.
+func verifyBatch(client *service.Client, req service.FitRequest, rows [][]float64,
+	batchSize int, ref []int32) (bool, error) {
+	for off := 0; off < len(rows); off += batchSize {
+		resp, err := client.AssignFrames(req, rows[off:off+batchSize], false)
+		if err != nil {
+			return false, err
+		}
+		for i, l := range resp.Labels {
+			if l != ref[off+i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+type wireRelayResult struct {
+	record wireLeg
+}
+
+// wireRelayLeg streams binary frames through a ring shard that does not
+// own the dataset: every byte crosses client -> non-owner -> owner and
+// back, with the relay forwarding frames as opaque bytes. The labels
+// must still match the single-instance reference — the relay may not
+// touch the payload — and the summary must report a cache hit, proving
+// the forwarded stream reused the owner's fitted model.
+func (c Config) wireRelayLeg(params service.ParamsJSON, csv []byte,
+	rows [][]float64, ref []int32) (wireRelayResult, error) {
+	shards, routers, err := startRingShards(3, c.threads())
+	if err != nil {
+		return wireRelayResult{}, err
+	}
+	defer func() {
+		for _, s := range shards {
+			s.close()
+		}
+	}()
+	via := 0
+	for i, rt := range routers {
+		if !rt.Owns("wire") {
+			via = i
+			break
+		}
+	}
+	client := service.NewClient(shards[via].addr, service.ClientOptions{})
+	if _, err := client.PutDataset("wire", "csv", csv); err != nil {
+		return wireRelayResult{}, err
+	}
+	req := service.FitRequest{Dataset: "wire", Algorithm: "Ex-DPC", Params: params}
+	if _, err := client.Fit(req); err != nil {
+		return wireRelayResult{}, err
+	}
+
+	pr, pw := io.Pipe()
+	go func() {
+		sent := 0
+		pw.CloseWithError(wire.EncodePoints(pw, func() ([]float64, error) {
+			if sent == len(rows) {
+				return nil, io.EOF
+			}
+			sent++
+			return rows[sent-1], nil
+		}, 0, false))
+	}()
+	start := time.Now()
+	sr, err := client.AssignStreamFrames(req, pr)
+	if err != nil {
+		return wireRelayResult{}, err
+	}
+	defer sr.Close()
+	var labeled int64
+	for {
+		chunk, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return wireRelayResult{}, fmt.Errorf("wire bench: relay stream: %w", err)
+		}
+		for i, l := range chunk {
+			if l != ref[int(labeled)+i] {
+				return wireRelayResult{}, fmt.Errorf("wire bench: relay labels diverge from the reference at offset %d", int(labeled)+i)
+			}
+		}
+		labeled += int64(len(chunk))
+	}
+	elapsed := time.Since(start)
+	sum, ok := sr.Summary()
+	if !ok || !sum.CacheHit {
+		return wireRelayResult{}, fmt.Errorf("wire bench: relay stream refit the model")
+	}
+	if labeled != int64(len(rows)) {
+		return wireRelayResult{}, fmt.Errorf("wire bench: relay stream labeled %d points, want %d", labeled, len(rows))
+	}
+	return wireRelayResult{record: wireLeg{
+		Name:         "relay/frames",
+		Points:       labeled,
+		Seconds:      elapsed.Seconds(),
+		PointsPerSec: float64(labeled) / elapsed.Seconds(),
+		LabelsMatch:  true,
+	}}, nil
+}
+
+// startRingShards is startShards for ring mode when the caller needs the
+// router handles (ownership queries) too.
+func startRingShards(n, workersTotal int) ([]*inprocShard, []*service.Router, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	perShard := workersTotal / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	shards := make([]*inprocShard, n)
+	routers := make([]*service.Router, n)
+	for i := range shards {
+		svc := service.New(service.Options{Workers: perShard, CacheSize: 16, StreamChunk: 8192})
+		rt, err := service.NewRouter(svc, addrs[i], addrs, 128, service.ClientOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		routers[i] = rt
+		srv := &http.Server{Handler: rt.Handler()}
+		shards[i] = &inprocShard{addr: addrs[i], srv: srv}
+		go func(srv *http.Server, ln net.Listener) { _ = srv.Serve(ln) }(srv, listeners[i])
+	}
+	return shards, routers, nil
+}
+
+// wireLeg is one measured transport x codec combination.
+type wireLeg struct {
+	Name         string  `json:"name"`
+	Points       int64   `json:"points"`
+	Seconds      float64 `json:"seconds"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	BytesIn      int64   `json:"bytes_in,omitempty"`
+	BytesOut     int64   `json:"bytes_out,omitempty"`
+	BytesPerPt   float64 `json:"bytes_per_point,omitempty"`
+	LabelsMatch  bool    `json:"labels_match"`
+}
+
+// wireRecord is the committed BENCH_wire_protocol.json shape.
+type wireRecord struct {
+	GoVersion     string    `json:"go_version"`
+	GOOS          string    `json:"goos"`
+	GOARCH        string    `json:"goarch"`
+	NumCPU        int       `json:"num_cpu"`
+	Threads       int       `json:"threads"`
+	TrainN        int       `json:"train_n"`
+	QueryPoints   int       `json:"query_points"`
+	BatchSize     int       `json:"batch_size"`
+	Seed          int64     `json:"seed"`
+	Legs          []wireLeg `json:"legs"`
+	StreamSpeedup float64   `json:"stream_speedup_binary_vs_ndjson"`
+}
+
+func writeWireRecord(path string, rec wireRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// countingListener wraps every accepted connection so reads (client ->
+// server) and writes (server -> client) are tallied at the socket: the
+// honest wire size of a codec, HTTP chunking included.
+type countingListener struct {
+	net.Listener
+	in, out atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &countingConn{Conn: c, in: &l.in, out: &l.out}, nil
+}
+
+type countingConn struct {
+	net.Conn
+	in, out *atomic.Int64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}

@@ -10,6 +10,8 @@ import (
 	"net/url"
 	"strings"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // forwardedHeader marks a request as already routed by a peer. A
@@ -111,8 +113,9 @@ func (e *StatusError) Error() string {
 // do performs one request with transport-level retries. Bodies are
 // byte slices, never streams, so every retry replays identical bytes.
 // HTTP-level errors (any status) are returned to the caller untouched —
-// a 400 from the owner is the answer, not a reason to retry.
-func (c *Client) do(method, path string, contentType string, body []byte, forwarded bool) (status int, data []byte, ct string, err error) {
+// a 400 from the owner is the answer, not a reason to retry. accept,
+// when non-empty, asks the server for that response codec.
+func (c *Client) do(method, path string, contentType, accept string, body []byte, forwarded bool) (status int, data []byte, ct string, err error) {
 	backoff := c.backoff
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -125,6 +128,9 @@ func (c *Client) do(method, path string, contentType string, body []byte, forwar
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
 		}
 		if forwarded {
 			req.Header.Set(forwardedHeader, "1")
@@ -155,16 +161,12 @@ func (c *Client) do(method, path string, contentType string, body []byte, forwar
 
 // call is do plus JSON decoding and error mapping for the typed methods.
 func (c *Client) call(method, path string, contentType string, body []byte, forwarded bool, out any) error {
-	status, data, _, err := c.do(method, path, contentType, body, forwarded)
+	status, data, _, err := c.do(method, path, contentType, "", body, forwarded)
 	if err != nil {
 		return err
 	}
 	if status < 200 || status > 299 {
-		var er errorResponse
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return &StatusError{Code: status, Msg: er.Error}
-		}
-		return &StatusError{Code: status, Msg: strings.TrimSpace(string(data))}
+		return statusError(status, data)
 	}
 	if out == nil {
 		return nil
@@ -173,6 +175,17 @@ func (c *Client) call(method, path string, contentType string, body []byte, forw
 		return fmt.Errorf("service: %s %s%s: decoding response: %w", method, c.base, path, err)
 	}
 	return nil
+}
+
+// statusError maps a non-2xx response body — a JSON error object on
+// every dpcd error path, regardless of the request codec — onto a
+// StatusError.
+func statusError(status int, data []byte) error {
+	var er errorResponse
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		return &StatusError{Code: status, Msg: er.Error}
+	}
+	return &StatusError{Code: status, Msg: strings.TrimSpace(string(data))}
 }
 
 func marshal(v any) []byte {
@@ -215,19 +228,70 @@ func (c *Client) Assign(req AssignRequest) (AssignResponse, error) {
 	return out, err
 }
 
+// assignFrameChunk bounds one points frame of a batch body well under
+// wire.MaxPayload at any sane dimensionality.
+const assignFrameChunk = 8192
+
+// AssignFrames is Assign over the binary frame codec in both directions:
+// the request is a header frame plus chunked points frames, the response
+// a labels frame and its summary. float32w narrows coordinates to
+// float32 on the wire — half the bytes, lossless only when the values
+// round-trip.
+func (c *Client) AssignFrames(req FitRequest, pts [][]float64, float32w bool) (AssignResponse, error) {
+	body := wire.AppendHeader(nil, fitToHeader(req))
+	for i := 0; i < len(pts); i += assignFrameChunk {
+		body = wire.AppendPointsRows(body, pts[i:min(i+assignFrameChunk, len(pts))], float32w)
+	}
+	status, data, _, err := c.do(http.MethodPost, "/v1/assign", wire.ContentType, wire.ContentType, body, false)
+	if err != nil {
+		return AssignResponse{}, err
+	}
+	if status < 200 || status > 299 {
+		return AssignResponse{}, statusError(status, data)
+	}
+	var out AssignResponse
+	sawSummary := false
+	for len(data) > 0 {
+		f, rest, err := wire.DecodeFrame(data)
+		if err != nil {
+			return AssignResponse{}, fmt.Errorf("service: decoding assign response: %w", err)
+		}
+		data = rest
+		switch f.Kind {
+		case wire.KindLabels:
+			out.Labels = append(out.Labels, f.Labels...)
+		case wire.KindSummary:
+			out.Clusters = f.Summary.Clusters
+			out.CacheHit = f.Summary.CacheHit
+			sawSummary = true
+		case wire.KindError:
+			return AssignResponse{}, fmt.Errorf("service: %s", f.ErrMsg)
+		default:
+			return AssignResponse{}, fmt.Errorf("service: unexpected frame kind %d in assign response", f.Kind)
+		}
+	}
+	if !sawSummary {
+		return AssignResponse{}, fmt.Errorf("service: assign response ended without a summary frame")
+	}
+	return out, nil
+}
+
 // stream performs one request whose body is a live stream. No retries:
 // the body cannot be replayed, and a half-consumed stream must fail
 // loudly rather than resend silently. ctx cancels the exchange at any
 // point (a relay hop passes its inbound request context, so a client
 // hanging up tears down the upstream leg too). The caller owns the
 // response body.
-func (c *Client) stream(ctx context.Context, method, path, contentType string, body io.Reader, forwarded bool) (*http.Response, error) {
+func (c *Client) stream(ctx context.Context, method, path, contentType, accept string, body io.Reader, forwarded bool) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	if forwarded {
 		req.Header.Set(forwardedHeader, "1")
@@ -251,7 +315,29 @@ func (c *Client) AssignStream(req FitRequest, points io.Reader) (*StreamReader, 
 // AssignStreamContext is AssignStream with caller-owned cancellation.
 func (c *Client) AssignStreamContext(ctx context.Context, req FitRequest, points io.Reader) (*StreamReader, error) {
 	body := io.MultiReader(bytes.NewReader(append(marshal(req), '\n')), points)
-	resp, err := c.stream(ctx, http.MethodPost, "/v1/assign/stream", ndjsonContentType, body, false)
+	return c.openStream(ctx, ndjsonContentType, body)
+}
+
+// AssignStreamFrames is AssignStream over the binary frame codec in both
+// directions: points must be a stream of wire points frames (see
+// wire.EncodePoints); the header frame is prepended here.
+func (c *Client) AssignStreamFrames(req FitRequest, points io.Reader) (*StreamReader, error) {
+	return c.AssignStreamFramesContext(context.Background(), req, points)
+}
+
+// AssignStreamFramesContext is AssignStreamFrames with caller-owned
+// cancellation.
+func (c *Client) AssignStreamFramesContext(ctx context.Context, req FitRequest, points io.Reader) (*StreamReader, error) {
+	body := io.MultiReader(bytes.NewReader(wire.AppendHeader(nil, fitToHeader(req))), points)
+	return c.openStream(ctx, wire.ContentType, body)
+}
+
+// openStream starts one streaming assign and wraps the live response in
+// a StreamReader for whichever codec the server chose (the response
+// Content-Type decides — a relay hop may legitimately answer in the
+// request codec even if this client could read either).
+func (c *Client) openStream(ctx context.Context, contentType string, body io.Reader) (*StreamReader, error) {
+	resp, err := c.stream(ctx, http.MethodPost, "/v1/assign/stream", contentType, contentType, body, false)
 	if err != nil {
 		return nil, err
 	}
@@ -259,19 +345,24 @@ func (c *Client) AssignStreamContext(ctx context.Context, req FitRequest, points
 		// Pre-stream failure: a plain JSON error body, same as batch.
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxStreamLineBytes))
 		resp.Body.Close()
-		var er errorResponse
-		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return nil, &StatusError{Code: resp.StatusCode, Msg: er.Error}
-		}
-		return nil, &StatusError{Code: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		return nil, statusError(resp.StatusCode, data)
 	}
-	return &StreamReader{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+	sr := &StreamReader{body: resp.Body}
+	if isFrameMedia(resp.Header.Get("Content-Type")) {
+		sr.fr = wire.NewReader(resp.Body)
+	} else {
+		sr.dec = json.NewDecoder(resp.Body)
+	}
+	return sr, nil
 }
 
-// StreamReader iterates the label chunks of one streaming assign.
+// StreamReader iterates the label chunks of one streaming assign, over
+// either response codec: exactly one of dec (NDJSON records) or fr
+// (binary frames) is set.
 type StreamReader struct {
 	body    io.ReadCloser
 	dec     *json.Decoder
+	fr      *wire.Reader
 	summary *StreamSummary
 	err     error
 }
@@ -286,6 +377,9 @@ func (sr *StreamReader) Next() ([]int32, error) {
 	}
 	if sr.summary != nil {
 		return nil, io.EOF
+	}
+	if sr.fr != nil {
+		return sr.nextFrame()
 	}
 	var rec StreamRecord
 	switch err := sr.dec.Decode(&rec); {
@@ -302,6 +396,32 @@ func (sr *StreamReader) Next() ([]int32, error) {
 		return nil, io.EOF
 	default:
 		return rec.Labels, nil
+	}
+	return nil, sr.err
+}
+
+// nextFrame is Next over the binary codec. An upstream that dies
+// mid-stream surfaces exactly like NDJSON truncation: a clean EOF before
+// the summary frame, or a torn frame, are both the stream's failure —
+// never a silent success.
+func (sr *StreamReader) nextFrame() ([]int32, error) {
+	switch f, err := sr.fr.Next(); {
+	case err == io.EOF:
+		sr.err = fmt.Errorf("service: label stream truncated before its summary record")
+	case err != nil:
+		sr.err = fmt.Errorf("service: decoding label stream: %w", err)
+	case f.Kind == wire.KindError:
+		sr.err = fmt.Errorf("service: %s", f.ErrMsg)
+	case f.Kind == wire.KindSummary:
+		sr.summary = &StreamSummary{
+			Points: f.Summary.Points, Chunks: f.Summary.Chunks,
+			Clusters: f.Summary.Clusters, CacheHit: f.Summary.CacheHit,
+		}
+		return nil, io.EOF
+	case f.Kind == wire.KindLabels:
+		return f.Labels, nil
+	default:
+		sr.err = fmt.Errorf("service: unexpected frame kind %d in label stream", f.Kind)
 	}
 	return nil, sr.err
 }

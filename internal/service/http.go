@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/geom"
+	"repro/internal/wire"
 )
 
 // ParamsJSON is the wire form of core.Params. Workers is deliberately
@@ -85,12 +87,17 @@ const maxFitBytes = 1 << 20
 //
 //	GET  /healthz              liveness probe
 //	GET  /v1/datasets          list registered datasets
-//	PUT  /v1/datasets/{name}   upload CSV (or ?format=binary DPC1) body
+//	PUT  /v1/datasets/{name}   upload CSV (?format=binary DPC1, ?format=frame) body
 //	GET  /v1/datasets/{name}   one dataset's info
 //	POST /v1/fit               fit (or fetch cached) model
 //	POST /v1/assign            fit if needed, then label a point batch
-//	POST /v1/assign/stream     chunked NDJSON: label an unbounded stream
+//	POST /v1/assign/stream     chunked: label an unbounded stream
 //	GET  /v1/stats             cache and request counters
+//
+// /v1/assign and /v1/assign/stream speak JSON/NDJSON by default and the
+// binary frame codec under "application/x-dpc-frame", negotiated per
+// direction: Content-Type picks the request codec, Accept the response
+// codec (absent Accept mirrors the request).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 
@@ -119,13 +126,19 @@ func NewHandler(s *Service) http.Handler {
 			ds  *geom.Dataset
 			err error
 		)
-		switch format := r.URL.Query().Get("format"); format {
+		format := r.URL.Query().Get("format")
+		if format == "" && frameRequest(r) {
+			format = "frame"
+		}
+		switch format {
 		case "", "csv":
 			ds, err = data.LoadCSV(body)
 		case "binary":
 			ds, err = data.LoadBinary(body)
+		case "frame":
+			ds, err = wire.ReadDataset(body)
 		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want csv or binary)", format))
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want csv, binary, or frame)", format))
 			return
 		}
 		if err != nil {
@@ -154,8 +167,16 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/assign", func(w http.ResponseWriter, r *http.Request) {
-		var req AssignRequest
-		if !decodeJSON(w, r, &req, maxAssignBytes) {
+		var (
+			req AssignRequest
+			ok  bool
+		)
+		if frameRequest(r) {
+			req, ok = decodeAssignFrames(w, r)
+		} else {
+			ok = decodeJSON(w, r, &req, maxAssignBytes)
+		}
+		if !ok {
 			return
 		}
 		if len(req.Points) > maxAssignPoints {
@@ -168,11 +189,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, AssignResponse{
-			Labels:   labels,
-			Clusters: fr.Model.NumClusters(),
-			CacheHit: fr.CacheHit,
-		})
+		writeAssign(w, r, labels, fr)
 	})
 
 	mux.HandleFunc("POST /v1/assign/stream", handleAssignStream(s))
@@ -182,6 +199,63 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	return mux
+}
+
+// decodeAssignFrames reads a frame-encoded batch assign body: one header
+// frame then points frames until EOF. Frames are decoded incrementally,
+// so memory is bounded by the body cap, and point rows are views into
+// each frame's coordinate slab — no per-point copies.
+func decodeAssignFrames(w http.ResponseWriter, r *http.Request) (AssignRequest, bool) {
+	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, maxAssignBytes), 64<<10)
+	h, _, err := wire.ReadHeaderFrame(br)
+	if err != nil {
+		writeError(w, bodyErrStatus(err), fmt.Errorf("decode request: %w", err))
+		return AssignRequest{}, false
+	}
+	req := AssignRequest{FitRequest: headerToFit(h)}
+	rd := wire.NewReader(br)
+	for {
+		f, err := rd.Next()
+		if err == io.EOF {
+			return req, true
+		}
+		if err != nil {
+			writeError(w, bodyErrStatus(err), fmt.Errorf("decode request: %w", err))
+			return AssignRequest{}, false
+		}
+		if f.Kind != wire.KindPoints {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("decode request: body must contain only points frames after the header, got kind %d", f.Kind))
+			return AssignRequest{}, false
+		}
+		for i := 0; i < f.N; i++ {
+			req.Points = append(req.Points, f.Row(i))
+		}
+	}
+}
+
+// writeAssign writes the batch response in the negotiated codec: frames
+// (labels frame + summary frame) when Accept — or, absent Accept, the
+// request codec — names the frame media type, JSON otherwise.
+func writeAssign(w http.ResponseWriter, r *http.Request, labels []int32, fr FitResult) {
+	if !frameResponse(r) {
+		writeJSON(w, http.StatusOK, AssignResponse{
+			Labels:   labels,
+			Clusters: fr.Model.NumClusters(),
+			CacheHit: fr.CacheHit,
+		})
+		return
+	}
+	buf := wire.AppendLabels(nil, labels)
+	buf = wire.AppendSummary(buf, wire.Summary{
+		Points:   int64(len(labels)),
+		Chunks:   1,
+		Clusters: fr.Model.NumClusters(),
+		CacheHit: fr.CacheHit,
+	})
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
 }
 
 func writeFit(w http.ResponseWriter, req FitRequest, fr FitResult) {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ring"
+	"repro/internal/wire"
 )
 
 // Router shards one dpcd ring instance: requests whose dataset key this
@@ -310,14 +311,15 @@ func (rt *Router) Handler() http.Handler {
 		if q := r.URL.RawQuery; q != "" {
 			path += "?" + q
 		}
-		rt.relay(w, peer, owner, r.Method, path, r.Header.Get("Content-Type"), body)
+		rt.relay(w, r, peer, owner, r.Method, path, body)
 	}
 	mux.HandleFunc("PUT /v1/datasets/{name}", routeByName)
 	mux.HandleFunc("GET /v1/datasets/{name}", routeByName)
 
-	// Fit and assign carry the dataset name inside the JSON body; peek at
-	// it, then either replay the exact bytes into the local handler or
-	// relay them to the owner.
+	// Fit and assign carry the dataset name inside the body — the
+	// top-level JSON "dataset" field, or the leading header frame of a
+	// frame-encoded body; peek at it, then either replay the exact bytes
+	// into the local handler or relay them to the owner.
 	routeByBody := func(limit int64, path string) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			// An over-limit body must surface as the same JSON 413 the owner
@@ -328,7 +330,12 @@ func (rt *Router) Handler() http.Handler {
 				writeError(w, bodyErrStatus(err), fmt.Errorf("reading request: %w", err))
 				return
 			}
-			name, err := peekDataset(body)
+			var name string
+			if frameRequest(r) {
+				name, err = wire.PeekDataset(body)
+			} else {
+				name, err = peekDataset(body)
+			}
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 				return
@@ -343,35 +350,49 @@ func (rt *Router) Handler() http.Handler {
 				rt.localH.ServeHTTP(w, r)
 				return
 			}
-			rt.relay(w, peerC, owner, http.MethodPost, path, "application/json", body)
+			rt.relay(w, r, peerC, owner, http.MethodPost, path, body)
 		}
 	}
 	mux.HandleFunc("POST /v1/fit", routeByBody(maxFitBytes, "/v1/fit"))
 	mux.HandleFunc("POST /v1/assign", routeByBody(maxAssignBytes, "/v1/assign"))
 
 	// The streaming assign is the one route that must NOT buffer: only
-	// the header line is read here (for the ring key); the rest of the
-	// chunked body is piped straight into the owner's request, and the
-	// owner's NDJSON response is piped straight back, so a relay hop adds
-	// O(chunk) memory, not O(stream).
+	// the header line (or header frame) is read here, for the ring key;
+	// the rest of the chunked body is piped straight into the owner's
+	// request, and the owner's response is piped straight back — no
+	// decode-reencode in either direction, in either codec — so a relay
+	// hop adds O(chunk) memory, not O(stream).
 	mux.HandleFunc("POST /v1/assign/stream", func(w http.ResponseWriter, r *http.Request) {
 		// The relay keeps reading the request stream while label records
 		// flow back — the same duplex opt-in the serving handler needs.
 		_ = http.NewResponseController(w).EnableFullDuplex()
 		br := bufio.NewReaderSize(r.Body, 64<<10)
-		header, err := readStreamLine(br)
-		if err != nil {
-			writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
-			return
+		// Reassemble exactly what was consumed: the raw header bytes plus
+		// the unread remainder (br still holds its buffered prefix).
+		var (
+			name string
+			body io.Reader
+		)
+		if frameRequest(r) {
+			h, raw, err := wire.ReadHeaderFrame(br)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+				return
+			}
+			name = h.Dataset
+			body = io.MultiReader(bytes.NewReader(raw), br)
+		} else {
+			header, err := readStreamLine(br)
+			if err != nil {
+				writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
+				return
+			}
+			if name, err = peekDataset(header); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+				return
+			}
+			body = io.MultiReader(bytes.NewReader(append(header, '\n')), br)
 		}
-		name, err := peekDataset(header)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
-			return
-		}
-		// Reassemble exactly what was consumed: the header line plus the
-		// unread remainder (br still holds its buffered prefix).
-		body := io.MultiReader(bytes.NewReader(append(header, '\n')), br)
 		owner, peerC := rt.owner(name)
 		if name == "" || peerC == nil || r.Header.Get(forwardedHeader) != "" {
 			r.Body = io.NopCloser(body)
@@ -456,12 +477,23 @@ func skipValue(dec *json.Decoder) error {
 	return nil
 }
 
+// relayContentType preserves a request's codec across the hop: an empty
+// Content-Type defaults like the direct request would.
+func relayContentType(r *http.Request) string {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		return ct
+	}
+	return "application/json"
+}
+
 // relay forwards one buffered request to the owning peer and writes the
 // peer's exact status and bytes back — the response a client sees is
-// byte-identical whether it asked the owner or any other instance.
-func (rt *Router) relay(w http.ResponseWriter, peer *Client, owner, method, path, contentType string, body []byte) {
+// byte-identical whether it asked the owner or any other instance. The
+// inbound Content-Type and Accept travel with it, so codec negotiation
+// happens at the owner exactly as it would on a direct request.
+func (rt *Router) relay(w http.ResponseWriter, r *http.Request, peer *Client, owner, method, path string, body []byte) {
 	rt.forwarded.Add(1)
-	status, data, ct, err := peer.do(method, path, contentType, body, true)
+	status, data, ct, err := peer.do(method, path, relayContentType(r), r.Header.Get("Accept"), body, true)
 	if err != nil {
 		rt.forwardErrors.Add(1)
 		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", owner, err))
@@ -476,16 +508,17 @@ func (rt *Router) relay(w http.ResponseWriter, peer *Client, owner, method, path
 }
 
 // relayStream pipes a streaming assign to the owning shard: the request
-// body flows through without buffering, and the owner's NDJSON response
-// is copied back chunk by chunk with a flush per write. If the owner dies
+// body flows through without buffering or re-encoding — NDJSON lines and
+// binary frames alike are opaque bytes here — and the owner's response is
+// copied back chunk by chunk with a flush per write. If the owner dies
 // mid-stream the 200 header is already gone, so the failure is delivered
-// the only way left — as the terminal NDJSON error record the client's
-// StreamReader already understands.
+// the only way left: a terminal error record in the response's codec.
 func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Client, owner string, body io.Reader) {
 	rt.forwarded.Add(1)
 	// The inbound request context cancels the upstream leg when the
 	// client hangs up, so an abandoned stream cannot pin two connections.
-	resp, err := peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream", ndjsonContentType, body, true)
+	resp, err := peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream",
+		relayContentType(r), r.Header.Get("Accept"), body, true)
 	if err != nil {
 		rt.forwardErrors.Add(1)
 		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", owner, err))
@@ -498,32 +531,53 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Clie
 	}
 	w.Header().Set("Content-Type", ct)
 	w.WriteHeader(resp.StatusCode)
+	flushResponse(w) // the owner's status is news; don't sit on it
 	fw := &flushWriter{w: w}
+	if isFrameMedia(ct) {
+		fw.track = &wire.Tracker{}
+	}
 	if _, err := io.Copy(fw, resp.Body); err != nil {
 		rt.forwardErrors.Add(1)
+		relayErr := fmt.Errorf("shard %s failed mid-stream: %v", owner, err)
+		if fw.track != nil {
+			// A binary error frame is only legal at a frame boundary;
+			// welded onto a torn frame it would corrupt the stream instead
+			// of explaining it. Mid-frame, leave the truncation — the
+			// client's reader reports it as the stream's failure.
+			if fw.track.AtBoundary() {
+				_, _ = w.Write(wire.AppendError(nil, relayErr.Error()))
+				flushResponse(w)
+			}
+			return
+		}
 		// The owner may have died mid-record; start a fresh line so the
 		// terminal error record stays parseable instead of being welded
 		// onto the torn bytes.
 		if !fw.atLineStart() {
 			_, _ = w.Write([]byte("\n"))
 		}
-		writeStreamError(w, fmt.Errorf("shard %s failed mid-stream: %v", owner, err))
+		writeStreamError(w, relayErr)
 	}
 }
 
 // flushWriter flushes after every write so relayed label chunks reach
 // the client as the owner emits them instead of pooling in this hop. It
-// remembers the last byte so an error record can be placed on a fresh
-// line after a torn copy.
+// remembers the last byte so an NDJSON error record can be placed on a
+// fresh line after a torn copy, and (binary responses only) tracks frame
+// boundaries so an error frame is appended only where one may legally go.
 type flushWriter struct {
-	w    http.ResponseWriter
-	last byte
+	w     http.ResponseWriter
+	last  byte
+	track *wire.Tracker
 }
 
 func (fw *flushWriter) Write(p []byte) (int, error) {
 	n, err := fw.w.Write(p)
 	if n > 0 {
 		fw.last = p[n-1]
+		if fw.track != nil {
+			fw.track.Consume(p[:n])
+		}
 	}
 	if f, ok := fw.w.(http.Flusher); ok {
 		f.Flush()

@@ -42,6 +42,16 @@ type Options struct {
 	// response record on /v1/assign/stream; <= 0 scales it to Workers.
 	// Memory per in-flight stream is O(StreamChunk), never O(stream).
 	StreamChunk int
+	// MaxStreams caps concurrent /v1/assign/stream requests; <= 0 means
+	// 64. A request over the cap is refused up front (HTTP 429) rather
+	// than queued: a stream holds its slot for its whole life, and
+	// invisible queueing behind long streams is worse than an honest
+	// retry signal.
+	MaxStreams int
+	// MaxStreamPoints caps the points one stream may submit; <= 0 means
+	// 1<<30. The breach surfaces as the stream's terminal error record —
+	// labels already emitted stay valid.
+	MaxStreamPoints int64
 }
 
 func (o Options) cacheSize() int {
@@ -49,6 +59,20 @@ func (o Options) cacheSize() int {
 		return o.CacheSize
 	}
 	return 8
+}
+
+func (o Options) maxStreams() int {
+	if o.MaxStreams > 0 {
+		return o.MaxStreams
+	}
+	return 64
+}
+
+func (o Options) maxStreamPoints() int64 {
+	if o.MaxStreamPoints > 0 {
+		return o.MaxStreamPoints
+	}
+	return 1 << 30
 }
 
 // Service owns the dataset registry and the model cache.
@@ -59,6 +83,10 @@ type Service struct {
 	datasets map[string]*datasetEntry
 
 	cache *modelCache
+
+	// streamSem bounds concurrent label streams; each stream holds one
+	// slot from just after its fit until it finishes.
+	streamSem chan struct{}
 
 	store *persist.Store
 	// The restored counters are atomic, not plain ints guarded by mu:
@@ -87,9 +115,10 @@ type datasetEntry struct {
 // a refit on first request, nothing more.
 func New(opts Options) *Service {
 	s := &Service{
-		opts:     opts,
-		datasets: make(map[string]*datasetEntry),
-		cache:    newModelCache(opts.cacheSize()),
+		opts:      opts,
+		datasets:  make(map[string]*datasetEntry),
+		cache:     newModelCache(opts.cacheSize()),
+		streamSem: make(chan struct{}, opts.maxStreams()),
 	}
 	if opts.Store != nil {
 		s.store = opts.Store

@@ -7,15 +7,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"runtime"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/wire"
 )
 
 // The streaming assign wire format (POST /v1/assign/stream) is NDJSON in
-// both directions. The request is one header line — a FitRequest object —
-// followed by one point per line, each a JSON array of coordinates:
+// both directions by default. The request is one header line — a
+// FitRequest object — followed by one point per line, each a JSON array
+// of coordinates:
 //
 //	{"dataset":"s2","algorithm":"Ex-DPC","params":{"dcut":2500,...}}
 //	[12034.1,38840.2]
@@ -29,9 +33,50 @@ import (
 // the batch endpoint). Memory on both sides stays O(chunk), never O(body),
 // so one fitted model can label arbitrarily long query streams through
 // any shard.
+//
+// Both directions also speak the binary frame codec (internal/wire) under
+// Content-Type/Accept "application/x-dpc-frame": the request becomes one
+// header frame followed by points frames, the response labels frames
+// terminated by a summary (or error) frame. Each direction negotiates
+// independently — the request codec comes from Content-Type, the response
+// codec from Accept, and an absent Accept mirrors the request.
 
-// ndjsonContentType is the media type of both stream directions.
+// ndjsonContentType is the default media type of both stream directions.
 const ndjsonContentType = "application/x-ndjson"
+
+// isFrameMedia reports whether a media-type header value names the
+// binary frame codec.
+func isFrameMedia(v string) bool {
+	mt, _, err := mime.ParseMediaType(v)
+	if err != nil {
+		return strings.HasPrefix(strings.TrimSpace(v), wire.ContentType)
+	}
+	return mt == wire.ContentType
+}
+
+// frameRequest reports whether the request body is frame-encoded
+// (Content-Type negotiation).
+func frameRequest(r *http.Request) bool {
+	return isFrameMedia(r.Header.Get("Content-Type"))
+}
+
+// frameResponse reports whether the response should be frame-encoded: an
+// explicit Accept naming the frame codec wins; an absent Accept mirrors
+// the request codec, so a frames-in client gets frames out without extra
+// headers. ("*/*" and other wildcards keep the mirrored default — both
+// codecs satisfy them, and the request codec is the better tiebreak.)
+func frameResponse(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	if accept == "" || accept == "*/*" {
+		return frameRequest(r)
+	}
+	for _, part := range strings.Split(accept, ",") {
+		if isFrameMedia(part) {
+			return true
+		}
+	}
+	return false
+}
 
 // maxStreamLineBytes caps one NDJSON line (header or point). A point line
 // is a single coordinate array, so 1 MiB allows ~65k dimensions — far
@@ -78,16 +123,38 @@ func (o Options) streamChunk() int {
 	return c
 }
 
+// errTooManyStreams refuses a stream over the concurrency cap; it maps
+// to HTTP 429 so clients know to retry, not to fix their request.
+var errTooManyStreams = errors.New("service: too many concurrent streams; retry later")
+
+// acquireStream claims a concurrent-stream slot without blocking; the
+// caller must releaseStream iff it returns true.
+func (s *Service) acquireStream() bool {
+	select {
+	case s.streamSem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Service) releaseStream() { <-s.streamSem }
+
 // AssignStream labels an unbounded point stream against the model for
 // (dataset, algorithm, params), fitting it at most once. next returns one
 // point per call and io.EOF at end of stream; emit receives each chunk's
 // labels in input order and may abort the stream by returning an error.
-// Memory is bounded by the chunk size regardless of stream length.
+// Memory is bounded by the chunk size regardless of stream length. The
+// stream counts against Options.MaxStreams and MaxStreamPoints.
 func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next func() ([]float64, error), emit func([]int32) error) (StreamSummary, error) {
 	fr, err := s.Fit(dataset, algorithm, p)
 	if err != nil {
 		return StreamSummary{}, err
 	}
+	if !s.acquireStream() {
+		return StreamSummary{}, errTooManyStreams
+	}
+	defer s.releaseStream()
 	return s.assignStream(fr, next, emit)
 }
 
@@ -98,6 +165,7 @@ func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emi
 	s.assignRequests.Add(1)
 	sum := StreamSummary{Clusters: fr.Model.NumClusters(), CacheHit: fr.CacheHit}
 	dim := fr.Model.Dim()
+	limit := s.opts.maxStreamPoints()
 	chunk := make([][]float64, 0, s.opts.streamChunk())
 	flush := func() error {
 		if len(chunk) == 0 {
@@ -124,6 +192,9 @@ func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emi
 		}
 		chunk = append(chunk, pt)
 		sum.Points++
+		if sum.Points > limit {
+			return sum, fmt.Errorf("service: stream exceeds the %d-point limit", limit)
+		}
 		if len(chunk) == cap(chunk) {
 			if err := flush(); err != nil {
 				return sum, err
@@ -136,10 +207,114 @@ func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emi
 	return sum, nil
 }
 
+// headerToFit converts a decoded binary header frame into the FitRequest
+// it mirrors.
+func headerToFit(h wire.Header) FitRequest {
+	return FitRequest{
+		Dataset:   h.Dataset,
+		Algorithm: h.Algorithm,
+		Params: ParamsJSON{
+			DCut: h.DCut, RhoMin: h.RhoMin, DeltaMin: h.DeltaMin,
+			Epsilon: h.Epsilon, Seed: h.Seed,
+		},
+	}
+}
+
+// fitToHeader is headerToFit's inverse — the client half of the frame
+// codec.
+func fitToHeader(req FitRequest) wire.Header {
+	return wire.Header{
+		Dataset:   req.Dataset,
+		Algorithm: req.Algorithm,
+		DCut:      req.Params.DCut,
+		RhoMin:    req.Params.RhoMin,
+		DeltaMin:  req.Params.DeltaMin,
+		Epsilon:   req.Params.Epsilon,
+		Seed:      req.Params.Seed,
+	}
+}
+
+// streamEmitter abstracts the response half of a label stream over the
+// two codecs: chunks of labels in order, then exactly one summary or
+// terminal error.
+type streamEmitter interface {
+	contentType() string
+	labels([]int32) error
+	summary(StreamSummary)
+	terminalError(error)
+}
+
+// ndjsonEmitter writes StreamRecord lines with a flush per record.
+type ndjsonEmitter struct {
+	w   http.ResponseWriter
+	enc *json.Encoder
+}
+
+func newNDJSONEmitter(w http.ResponseWriter) *ndjsonEmitter {
+	return &ndjsonEmitter{w: w, enc: json.NewEncoder(w)}
+}
+
+func (e *ndjsonEmitter) contentType() string { return ndjsonContentType }
+
+func (e *ndjsonEmitter) labels(labels []int32) error {
+	if err := e.enc.Encode(StreamRecord{Labels: labels}); err != nil {
+		return err
+	}
+	flushResponse(e.w)
+	return nil
+}
+
+func (e *ndjsonEmitter) summary(sum StreamSummary) {
+	_ = e.enc.Encode(StreamRecord{Summary: &sum})
+	flushResponse(e.w)
+}
+
+func (e *ndjsonEmitter) terminalError(err error) { writeStreamError(e.w, err) }
+
+// frameEmitter writes binary labels/summary/error frames, reusing one
+// buffer across chunks so the hot path allocates nothing per record.
+type frameEmitter struct {
+	w   http.ResponseWriter
+	buf []byte
+}
+
+func (e *frameEmitter) contentType() string { return wire.ContentType }
+
+func (e *frameEmitter) labels(labels []int32) error {
+	e.buf = wire.AppendLabels(e.buf[:0], labels)
+	if _, err := e.w.Write(e.buf); err != nil {
+		return err
+	}
+	flushResponse(e.w)
+	return nil
+}
+
+func (e *frameEmitter) summary(sum StreamSummary) {
+	e.buf = wire.AppendSummary(e.buf[:0], wire.Summary{
+		Points: sum.Points, Chunks: sum.Chunks,
+		Clusters: sum.Clusters, CacheHit: sum.CacheHit,
+	})
+	_, _ = e.w.Write(e.buf)
+	flushResponse(e.w)
+}
+
+func (e *frameEmitter) terminalError(err error) {
+	e.buf = wire.AppendError(e.buf[:0], err.Error())
+	_, _ = e.w.Write(e.buf)
+	flushResponse(e.w)
+}
+
+func flushResponse(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // handleAssignStream is POST /v1/assign/stream. Errors before the first
-// byte of the response stream (bad header, unknown dataset, failed fit)
-// are plain JSON with the same statuses as the batch endpoint; once
-// streaming has begun the only channel left is a terminal error record.
+// byte of the response stream (bad header, unknown dataset, failed fit,
+// stream cap reached) are plain JSON with the same statuses as the batch
+// endpoint; once streaming has begun the only channel left is a terminal
+// error record in the negotiated codec.
 func handleAssignStream(s *Service) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// An HTTP/1.x server normally closes the request body at the first
@@ -148,65 +323,109 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 		// full duplex. (HTTP/2 is duplex natively and reports unsupported.)
 		_ = http.NewResponseController(w).EnableFullDuplex()
 		br := bufio.NewReaderSize(r.Body, 64<<10)
-		header, err := readStreamLine(br)
-		if err != nil {
-			writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
-			return
-		}
-		var req FitRequest
-		if err := decodeStrict(header, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
-			return
+
+		var (
+			req  FitRequest
+			next func() ([]float64, error)
+		)
+		if frameRequest(r) {
+			h, _, err := wire.ReadHeaderFrame(br)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+				return
+			}
+			req = headerToFit(h)
+			next = frameNext(wire.NewReader(br))
+		} else {
+			header, err := readStreamLine(br)
+			if err != nil {
+				writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
+				return
+			}
+			if err := decodeStrict(header, &req); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+				return
+			}
+			next = ndjsonNext(br)
 		}
 		fr, err := s.Fit(req.Dataset, req.Algorithm, req.Params.core())
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}
-
-		w.Header().Set("Content-Type", ndjsonContentType)
-		w.WriteHeader(http.StatusOK)
-		enc := json.NewEncoder(w)
-		flusher, _ := w.(http.Flusher)
-
-		lineNo := int64(0)
-		next := func() ([]float64, error) {
-			for {
-				line, err := readStreamLine(br)
-				if err != nil {
-					if err == io.EOF {
-						return nil, io.EOF
-					}
-					return nil, fmt.Errorf("stream point %d: %w", lineNo, err)
-				}
-				if len(line) == 0 {
-					continue // tolerate blank lines and the trailing newline
-				}
-				var pt []float64
-				if err := json.Unmarshal(line, &pt); err != nil {
-					return nil, fmt.Errorf("stream point %d: %w", lineNo, err)
-				}
-				lineNo++
-				return pt, nil
-			}
-		}
-		emit := func(labels []int32) error {
-			if err := enc.Encode(StreamRecord{Labels: labels}); err != nil {
-				return err
-			}
-			if flusher != nil {
-				flusher.Flush()
-			}
-			return nil
-		}
-		sum, err := s.assignStream(fr, next, emit)
-		if err != nil {
-			writeStreamError(w, err)
+		if !s.acquireStream() {
+			writeError(w, http.StatusTooManyRequests, errTooManyStreams)
 			return
 		}
-		_ = enc.Encode(StreamRecord{Summary: &sum})
-		if flusher != nil {
-			flusher.Flush()
+		defer s.releaseStream()
+
+		var emitter streamEmitter
+		if frameResponse(r) {
+			emitter = &frameEmitter{w: w}
+		} else {
+			emitter = newNDJSONEmitter(w)
+		}
+		w.Header().Set("Content-Type", emitter.contentType())
+		w.WriteHeader(http.StatusOK)
+		// Flush the 200 now: a full-duplex client is allowed to wait for
+		// the status before it commits to streaming the whole body.
+		flushResponse(w)
+
+		sum, err := s.assignStream(fr, next, emitter.labels)
+		if err != nil {
+			emitter.terminalError(err)
+			return
+		}
+		emitter.summary(sum)
+	}
+}
+
+// ndjsonNext yields one point per NDJSON line.
+func ndjsonNext(br *bufio.Reader) func() ([]float64, error) {
+	lineNo := int64(0)
+	return func() ([]float64, error) {
+		for {
+			line, err := readStreamLine(br)
+			if err != nil {
+				if err == io.EOF {
+					return nil, io.EOF
+				}
+				return nil, fmt.Errorf("stream point %d: %w", lineNo, err)
+			}
+			if len(line) == 0 {
+				continue // tolerate blank lines and the trailing newline
+			}
+			var pt []float64
+			if err := json.Unmarshal(line, &pt); err != nil {
+				return nil, fmt.Errorf("stream point %d: %w", lineNo, err)
+			}
+			lineNo++
+			return pt, nil
+		}
+	}
+}
+
+// frameNext yields rows out of successive points frames. Rows are views
+// into the current frame's coordinate slab — no per-point copy; the chunk
+// buffer keeps the frame alive until its labels are emitted.
+func frameNext(fr *wire.Reader) func() ([]float64, error) {
+	var cur *wire.Frame
+	row := 0
+	return func() ([]float64, error) {
+		for {
+			if cur != nil && row < cur.N {
+				pt := cur.Row(row)
+				row++
+				return pt, nil
+			}
+			f, err := fr.Next()
+			if err != nil {
+				return nil, err // io.EOF only at a clean frame boundary
+			}
+			if f.Kind != wire.KindPoints {
+				return nil, fmt.Errorf("stream body must contain only points frames after the header, got kind %d", f.Kind)
+			}
+			cur, row = f, 0
 		}
 	}
 }

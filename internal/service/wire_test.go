@@ -1,0 +1,553 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/wire"
+)
+
+// framePoints renders rows as binary points frames — the frame-codec
+// analogue of ndjsonPoints.
+func framePoints(t testing.TB, pts [][]float64, f32 bool) []byte {
+	t.Helper()
+	return wire.AppendPointsRows(nil, pts, f32)
+}
+
+func drainStream(t *testing.T, sr *StreamReader) []int32 {
+	t.Helper()
+	labels, _, err := sr.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return labels
+}
+
+// TestCrossCodecEquivalence is the satellite equivalence suite at the
+// single-instance level: every combination of upload codec and assign
+// codec labels the same probes identically.
+func TestCrossCodecEquivalence(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheSize: 8, StreamChunk: 16})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := NewClient(ts.URL, testClientOptions())
+
+	d := data.SSet(2, 600, 3)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PutDataset("ds-json", "csv", csv.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	// Same points uploaded through the frame codec under another name.
+	frameUp := framePoints(t, d.Points.Rows(), false)
+	info, err := c.PutDataset("ds-frame", "frame", frameUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != d.Points.N || info.Dim != d.Points.Dim {
+		t.Fatalf("frame upload registered %dx%d, want %dx%d", info.N, info.Dim, d.Points.N, d.Points.Dim)
+	}
+
+	params := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
+	reqJSON := FitRequest{Dataset: "ds-json", Algorithm: "Ex-DPC", Params: params}
+	reqFrame := FitRequest{Dataset: "ds-frame", Algorithm: "Ex-DPC", Params: params}
+	probes := d.Points.Rows()[:120]
+
+	// The JSON batch on the CSV upload is the reference labeling.
+	base, err := c.Assign(AssignRequest{FitRequest: reqJSON, Points: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, labels []int32) {
+		t.Helper()
+		if len(labels) != len(base.Labels) {
+			t.Fatalf("%s: %d labels, want %d", name, len(labels), len(base.Labels))
+		}
+		for i := range labels {
+			if labels[i] != base.Labels[i] {
+				t.Fatalf("%s: label %d = %d, reference %d", name, i, labels[i], base.Labels[i])
+			}
+		}
+	}
+
+	// Upload JSON (CSV) / assign binary, batch and stream.
+	fb, err := c.AssignFrames(reqJSON, probes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("frames batch on csv upload", fb.Labels)
+	if fb.Clusters != base.Clusters || !fb.CacheHit {
+		t.Errorf("frames batch summary = %+v, want clusters=%d cache_hit=true", fb, base.Clusters)
+	}
+	sr, err := c.AssignStreamFrames(reqJSON, bytes.NewReader(framePoints(t, probes, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("frames stream on csv upload", drainStream(t, sr))
+
+	// Upload binary / assign stream JSON (and batch JSON).
+	jb, err := c.Assign(AssignRequest{FitRequest: reqFrame, Points: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("json batch on frame upload", jb.Labels)
+	sr, err = c.AssignStream(reqFrame, bytes.NewReader(ndjsonPoints(t, probes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ndjson stream on frame upload", drainStream(t, sr))
+
+	// Frames stream on the frame upload closes the matrix.
+	sr, err = c.AssignStreamFrames(reqFrame, bytes.NewReader(framePoints(t, probes, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("frames stream on frame upload", drainStream(t, sr))
+}
+
+// TestCrossCodecAllAlgorithms pins the tentpole guarantee: the binary
+// codec yields byte-identical labels to the JSON path under every one of
+// the ten registered algorithms — the codec moves bits, the model
+// decides labels.
+func TestCrossCodecAllAlgorithms(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheSize: 16, StreamChunk: 64})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := NewClient(ts.URL, testClientOptions())
+
+	d := data.SSet(2, 400, 5)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PutDataset("algs", "csv", csv.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	probes := d.Points.Rows()[:50]
+	for _, alg := range core.Registered() {
+		req := FitRequest{
+			Dataset:   "algs",
+			Algorithm: alg.Name(),
+			Params: ParamsJSON{
+				DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin,
+				Epsilon: 1.0, Seed: 42,
+			},
+		}
+		base, err := c.Assign(AssignRequest{FitRequest: req, Points: probes})
+		if err != nil {
+			t.Fatalf("%s: json assign: %v", alg.Name(), err)
+		}
+		fb, err := c.AssignFrames(req, probes, false)
+		if err != nil {
+			t.Fatalf("%s: frames assign: %v", alg.Name(), err)
+		}
+		sr, err := c.AssignStreamFrames(req, bytes.NewReader(framePoints(t, probes, false)))
+		if err != nil {
+			t.Fatalf("%s: frames stream: %v", alg.Name(), err)
+		}
+		streamed := drainStream(t, sr)
+		for i := range base.Labels {
+			if fb.Labels[i] != base.Labels[i] || streamed[i] != base.Labels[i] {
+				t.Fatalf("%s: label %d: json=%d frames=%d stream=%d",
+					alg.Name(), i, base.Labels[i], fb.Labels[i], streamed[i])
+			}
+		}
+	}
+}
+
+// TestAssignContentNegotiation pins the per-direction matrix: the
+// request codec comes from Content-Type, the response codec from Accept,
+// and an absent Accept mirrors the request.
+func TestAssignContentNegotiation(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := NewClient(ts.URL, testClientOptions())
+	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
+		t.Fatal(err)
+	}
+	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	probes := [][]float64{{1, 2}, {9, 9}}
+
+	jsonBody := marshal(AssignRequest{FitRequest: req, Points: probes})
+	frameBody := wire.AppendHeader(nil, fitToHeader(req))
+	frameBody = wire.AppendPointsRows(frameBody, probes, false)
+
+	post := func(body []byte, contentType, accept string) *http.Response {
+		t.Helper()
+		hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/assign", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", contentType)
+		if accept != "" {
+			hr.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("CT=%s Accept=%s: status %d: %s", contentType, accept, resp.StatusCode, data)
+		}
+		return resp
+	}
+
+	cases := []struct {
+		body        []byte
+		contentType string
+		accept      string
+		wantFrames  bool
+	}{
+		{jsonBody, "application/json", "", false},                       // JSON mirrors JSON
+		{jsonBody, "application/json", wire.ContentType, true},          // Accept upgrades
+		{frameBody, wire.ContentType, "", true},                         // frames mirror frames
+		{frameBody, wire.ContentType, "application/json", false},        // Accept downgrades
+		{frameBody, wire.ContentType + "; q=1", wire.ContentType, true}, // parameters tolerated
+	}
+	for _, tc := range cases {
+		resp := post(tc.body, tc.contentType, tc.accept)
+		ct := resp.Header.Get("Content-Type")
+		var labels []int32
+		if tc.wantFrames {
+			if !isFrameMedia(ct) {
+				t.Fatalf("CT=%s Accept=%s: response Content-Type %q, want frames", tc.contentType, tc.accept, ct)
+			}
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for len(raw) > 0 {
+				f, rest, err := wire.DecodeFrame(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if f.Kind == wire.KindLabels {
+					labels = append(labels, f.Labels...)
+				}
+				raw = rest
+			}
+		} else {
+			if isFrameMedia(ct) {
+				t.Fatalf("CT=%s Accept=%s: response Content-Type %q, want JSON", tc.contentType, tc.accept, ct)
+			}
+			var ar AssignResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+				t.Fatal(err)
+			}
+			labels = ar.Labels
+		}
+		resp.Body.Close()
+		if len(labels) != len(probes) {
+			t.Fatalf("CT=%s Accept=%s: %d labels, want %d", tc.contentType, tc.accept, len(labels), len(probes))
+		}
+	}
+}
+
+// TestCrossCodecEquivalenceRing runs the equivalence suite through a
+// shard that does NOT own the dataset, so every request crosses the
+// relay: buffered fit/assign bodies in both codecs and both stream
+// codecs piped unbuffered.
+func TestCrossCodecEquivalenceRing(t *testing.T) {
+	h := startRing(t, 3, nil)
+	e := testCorpus(t, 1)[0]
+	h.uploadCSV(0, e.name, e.csv)
+
+	via := -1
+	for i, rt := range h.routers {
+		if !rt.Owns(e.name) {
+			via = i
+			break
+		}
+	}
+	if via == -1 {
+		t.Fatal("every shard claims ownership")
+	}
+	c := h.clients[via]
+	req := FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+
+	base, err := c.Assign(AssignRequest{FitRequest: req, Points: e.probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, labels []int32) {
+		t.Helper()
+		if len(labels) != len(base.Labels) {
+			t.Fatalf("%s: %d labels, want %d", name, len(labels), len(base.Labels))
+		}
+		for i := range labels {
+			if labels[i] != base.Labels[i] {
+				t.Fatalf("%s: label %d = %d, reference %d", name, i, labels[i], base.Labels[i])
+			}
+		}
+	}
+
+	fwdBefore := h.routers[via].forwarded.Load()
+	fb, err := c.AssignFrames(req, e.probes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("frames batch via non-owner", fb.Labels)
+
+	sr, err := c.AssignStreamFrames(req, bytes.NewReader(framePoints(t, e.probes, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("frames stream via non-owner", drainStream(t, sr))
+
+	sr, err = c.AssignStream(req, bytes.NewReader(ndjsonPoints(t, e.probes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("ndjson stream via non-owner", drainStream(t, sr))
+
+	if fwdAfter := h.routers[via].forwarded.Load(); fwdAfter < fwdBefore+3 {
+		t.Errorf("non-owner forwarded %d request(s) during the suite, want >= 3", fwdAfter-fwdBefore)
+	}
+
+	// A frame-codec upload through the non-owner must relay with its
+	// codec intact and serve identically afterwards.
+	d := data.SSet(2, 300, 9)
+	if _, err := c.PutDataset("ring-frame", "frame", framePoints(t, d.Points.Rows(), false)); err != nil {
+		t.Fatal(err)
+	}
+	req2 := FitRequest{
+		Dataset: "ring-frame", Algorithm: "Ex-DPC",
+		Params: ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+	}
+	jb, err := c.Assign(AssignRequest{FitRequest: req2, Points: d.Points.Rows()[:20]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb2, err := c.AssignFrames(req2, d.Points.Rows()[:20], false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jb.Labels {
+		if jb.Labels[i] != fb2.Labels[i] {
+			t.Fatalf("frame-uploaded dataset: label %d differs across codecs (%d vs %d)", i, jb.Labels[i], fb2.Labels[i])
+		}
+	}
+}
+
+// TestStreamConcurrencyCap: streams over Options.MaxStreams are refused
+// with HTTP 429 before any stream bytes, and the slot frees when the
+// stream ends.
+func TestStreamConcurrencyCap(t *testing.T) {
+	svc := New(Options{Workers: 1, StreamChunk: 1, MaxStreams: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := NewClient(ts.URL, testClientOptions())
+	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
+		t.Fatal(err)
+	}
+	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+
+	// Hold one stream open: write a point, read its label record, leave
+	// the request body unfinished so the slot stays claimed.
+	pr, pw := io.Pipe()
+	go pw.Write([]byte("[1,2]\n"))
+	sr1, err := c.AssignStream(req, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sr1.Next(); err != nil {
+		t.Fatalf("first stream's first chunk: %v", err)
+	}
+
+	// The second concurrent stream must be refused up front.
+	_, err = c.AssignStream(req, strings.NewReader("[1,2]\n"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("second stream: err = %v, want HTTP 429", err)
+	}
+
+	// Finish the first stream; its slot must become reusable.
+	pw.Close()
+	if _, _, err := sr1.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		sr, err := c.AssignStream(req, strings.NewReader("[1,2]\n"))
+		if err == nil {
+			if _, _, err := sr.Collect(); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests || time.Now().After(deadline) {
+			t.Fatalf("stream after release: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestStreamPointCap: a stream over Options.MaxStreamPoints fails with a
+// terminal error record — in the stream's codec — after the chunks
+// already labeled, never a silent cutoff.
+func TestStreamPointCap(t *testing.T) {
+	svc := New(Options{Workers: 1, StreamChunk: 4, MaxStreamPoints: 10})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := NewClient(ts.URL, testClientOptions())
+	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
+		t.Fatal(err)
+	}
+	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{1, 2}
+	}
+
+	open := map[string]func() (*StreamReader, error){
+		"ndjson": func() (*StreamReader, error) {
+			return c.AssignStream(req, bytes.NewReader(ndjsonPoints(t, pts)))
+		},
+		"frames": func() (*StreamReader, error) {
+			return c.AssignStreamFrames(req, bytes.NewReader(framePoints(t, pts, false)))
+		},
+	}
+	for name, start := range open {
+		sr, err := start()
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		labeled := 0
+		for {
+			chunk, err := sr.Next()
+			if err == nil {
+				labeled += len(chunk)
+				continue
+			}
+			if err == io.EOF {
+				t.Errorf("%s: stream over the point cap ended in success", name)
+				break
+			}
+			if !strings.Contains(err.Error(), "10-point limit") {
+				t.Errorf("%s: error %q does not mention the point cap", name, err)
+			}
+			break
+		}
+		// Two full chunks of 4 flush before point 11 trips the cap.
+		if labeled != 8 {
+			t.Errorf("%s: %d labels before the cap error, want 8", name, labeled)
+		}
+		sr.Close()
+	}
+}
+
+// TestStreamReaderTruncatedBinary: the satellite fix — a binary label
+// stream cut off before its summary frame, at or inside a frame
+// boundary, is an error exactly like NDJSON truncation.
+func TestStreamReaderTruncatedBinary(t *testing.T) {
+	for _, torn := range []bool{false, true} {
+		name := "clean boundary"
+		if torn {
+			name = "torn frame"
+		}
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", wire.ContentType)
+			_, _ = w.Write(wire.AppendLabels(nil, []int32{0, 1}))
+			if torn {
+				sum := wire.AppendSummary(nil, wire.Summary{Points: 2, Chunks: 1})
+				_, _ = w.Write(sum[:len(sum)-3])
+			}
+			// No full summary, no error frame: the connection just ends.
+		}))
+		c := NewClient(ts.URL, testClientOptions())
+		sr, err := c.AssignStreamFrames(FitRequest{Dataset: "x", Algorithm: "Ex-DPC"}, strings.NewReader(""))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := sr.Next(); err != nil {
+			t.Fatalf("%s: first chunk: %v", name, err)
+		}
+		_, err = sr.Next()
+		if err == nil || err == io.EOF || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("%s: err = %v, want truncation error", name, err)
+		}
+		if _, ok := sr.Summary(); ok {
+			t.Errorf("%s: truncated stream produced a summary", name)
+		}
+		sr.Close()
+		ts.Close()
+	}
+}
+
+// TestRelayBinaryTerminalErrorFrame: when the owner dies mid-way through
+// a binary stream, the relay appends a terminal error frame only at a
+// frame boundary, and the client reads it as the stream's failure.
+func TestRelayBinaryTerminalErrorFrame(t *testing.T) {
+	h := startRing(t, 3, nil)
+	e := testCorpus(t, 1)[0]
+	h.uploadCSV(0, e.name, e.csv)
+
+	owner, via := -1, -1
+	for i, rt := range h.routers {
+		if rt.Owns(e.name) {
+			owner = i
+		} else {
+			via = i
+		}
+	}
+	if owner == -1 || via == -1 {
+		t.Fatal("could not split owner from non-owner")
+	}
+	req := FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+	// Fit once so the stream starts answering immediately.
+	if _, err := h.clients[via].Fit(req); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enough points to flush the owner's first 2048-point chunk, with the
+	// request body then held open so the stream is alive when the owner
+	// dies.
+	burst := make([][]float64, 3000)
+	for i := range burst {
+		burst[i] = e.probes[i%len(e.probes)]
+	}
+	pr, pw := io.Pipe()
+	go pw.Write(framePoints(t, burst, false))
+	sr, err := h.clients[via].AssignStreamFrames(req, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if _, err := sr.Next(); err != nil {
+		t.Fatalf("first chunk through relay: %v", err)
+	}
+	// Kill the owner mid-stream; the relay must surface the failure as a
+	// terminal record, not a silent end.
+	h.servers[owner].CloseClientConnections()
+	pw.Close()
+	for {
+		_, err := sr.Next()
+		if err == nil {
+			continue
+		}
+		if err == io.EOF {
+			t.Fatal("stream whose owner died ended in success")
+		}
+		if !strings.Contains(err.Error(), "failed mid-stream") && !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("owner death surfaced as %q, want mid-stream failure or truncation", err)
+		}
+		break
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported if cases shift

@@ -6,11 +6,12 @@
 #   2. uploads a training dataset and fits Ex-DPC exactly once;
 #   3. streams 4x the per-request batch cap (4,194,304 points by default)
 #      through a shard that does NOT own the dataset, so the chunked body
-#      is relayed to the owner without buffering;
+#      is relayed to the owner without buffering — once over NDJSON and
+#      once over binary frames (application/x-dpc-frame);
 #   4. sends the same points as four capped batch /v1/assign calls and
-#      asserts the two label files are byte-identical;
+#      asserts all three label files are byte-identical;
 #   5. asserts the whole run performed zero refits and that the non-owner
-#      shard actually forwarded the stream.
+#      shard actually forwarded the streams.
 #
 # Requirements: go, curl, jq. Run from anywhere; `make e2e-stream` wraps
 # it. STREAM_N overrides the point count for quick local runs; setting
@@ -100,11 +101,18 @@ MISSES_BEFORE="$(agg_misses)"
 FWD_BEFORE="$(curl -fsS "http://127.0.0.1:$NON_OWNER_PORT/v1/stats" | jq '.forwarded')"
 
 # --- stream 4x the batch cap through the non-owner --------------------------
-log "streaming $STREAM_N points (cap is $BATCH_SIZE per batch request)"
+log "streaming $STREAM_N points over NDJSON (cap is $BATCH_SIZE per batch request)"
 "$TMP/dpcstream" -addr "http://127.0.0.1:$NON_OWNER_PORT" -dataset "$NAME" \
     -dcut 2500 -rhomin 5 -deltamin 12000 \
     -in "$TMP/query.csv" -out "$TMP/labels.stream" -mode stream \
     || fail "streaming assign failed"
+
+# --- same stream over binary frames through the same non-owner --------------
+log "streaming $STREAM_N points over binary frames"
+"$TMP/dpcstream" -addr "http://127.0.0.1:$NON_OWNER_PORT" -dataset "$NAME" \
+    -dcut 2500 -rhomin 5 -deltamin 12000 \
+    -in "$TMP/query.csv" -out "$TMP/labels.binary" -mode stream -wire binary \
+    || fail "binary-frame streaming assign failed"
 
 # --- same points as four capped batch calls ---------------------------------
 "$TMP/dpcstream" -addr "http://127.0.0.1:$NON_OWNER_PORT" -dataset "$NAME" \
@@ -115,6 +123,8 @@ log "streaming $STREAM_N points (cap is $BATCH_SIZE per batch request)"
 # --- labels byte-identical, every point answered, zero refits ---------------
 cmp "$TMP/labels.stream" "$TMP/labels.batch" \
     || fail "streamed labels differ from batched labels"
+cmp "$TMP/labels.stream" "$TMP/labels.binary" \
+    || fail "binary-frame labels differ from NDJSON labels"
 GOT_N="$(wc -l < "$TMP/labels.stream")"
 [ "$GOT_N" -eq "$STREAM_N" ] || fail "stream returned $GOT_N labels, want $STREAM_N"
 
@@ -125,4 +135,4 @@ FWD_AFTER="$(curl -fsS "http://127.0.0.1:$NON_OWNER_PORT/v1/stats" | jq '.forwar
 [ "$FWD_AFTER" -gt "$FWD_BEFORE" ] || \
     fail "non-owner shard never forwarded (forwarded $FWD_BEFORE -> $FWD_AFTER)"
 
-log "PASS: $STREAM_N points streamed through a non-owner shard, labels byte-identical to $((STREAM_N / BATCH_SIZE)) batched calls, zero refits"
+log "PASS: $STREAM_N points streamed through a non-owner shard over NDJSON and binary frames, labels byte-identical to $((STREAM_N / BATCH_SIZE)) batched calls, zero refits"

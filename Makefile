@@ -37,11 +37,14 @@ lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
-# e2e boots a real 3-shard dpcd ring plus a single-node reference and
-# proves forwarding parity, shard-death survival, and zero-refit
-# rebalancing against actual processes (scripts/e2e_ring.sh).
+# e2e boots a real 3-shard rf=2 dpcd ring with heartbeats plus a
+# single-node reference and proves forwarding parity, replication, and
+# the chaos contract — a primary SIGKILLed mid-stream costs zero failed
+# assigns and zero refits, and the heartbeat evicts it without any
+# manual membership post (scripts/e2e_ring.sh). CHAOS_N sizes the chaos
+# stream; CI uses 4194304, the default 200000 keeps local runs quick.
 e2e:
-	./scripts/e2e_ring.sh
+	$(if $(CHAOS_N),CHAOS_N=$(CHAOS_N)) ./scripts/e2e_ring.sh
 
 # e2e-stream streams 4x the per-request batch cap through a non-owner
 # ring shard and proves the labels are byte-identical to the capped

@@ -19,12 +19,18 @@
 // completion; a restart warm-loads both and serves previously fitted
 // models without re-clustering. With -peers, the instance joins a
 // consistent-hash ring: datasets (and every model fitted on them) are
-// owned by one shard each, any instance transparently forwards requests
-// it does not own, /v1/stats aggregates across the ring, and POST
-// /v1/ring rebalances membership with snapshot warm-loads instead of
-// refits. See the README "Serving: dpcd" section for the JSON API, the
-// on-disk layout, and recovery semantics, and "Multi-instance dpcd" for
-// ring deployment.
+// placed on -rf shards each by successor-replica placement, any instance
+// transparently forwards requests it does not replicate (reads fail over
+// across replicas), uploads and fits are coordinated by the key's
+// primary with snapshot shipping to replicas, /v1/stats aggregates
+// across the ring, and POST /v1/ring rebalances membership with snapshot
+// warm-loads instead of refits. With -heartbeat > 0 membership heals
+// itself: each instance probes its peers, walks them through a
+// suspect→dead state machine, and evicts dead shards from its live ring
+// (promoting their keys' replicas) without any manual POST /v1/ring. See
+// the README "Serving: dpcd" section for the JSON API, the on-disk
+// layout, and recovery semantics, "Multi-instance dpcd" for ring
+// deployment, and "Replication & failover" for rf semantics.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"repro/datasets"
+	"repro/internal/health"
 	"repro/internal/persist"
 	"repro/internal/ring"
 	"repro/internal/service"
@@ -62,6 +69,10 @@ func main() {
 		vnodes      = flag.Int("vnodes", ring.DefaultVnodes, "virtual nodes per shard on the consistent-hash ring")
 		fwdTimeout  = flag.Duration("forward-timeout", 60*time.Second, "per-attempt timeout when forwarding a request to its owning shard; raise it if cold fits on your datasets run longer")
 		fwdRetries  = flag.Int("forward-retries", 2, "additional attempts after a transport error when forwarding (0 disables retries)")
+		rf          = flag.Int("rf", 1, "replication factor: each dataset key lives on this many shards (clamped to the live shard count)")
+		heartbeat   = flag.Duration("heartbeat", 0, "peer health-probe interval; > 0 enables automatic membership (dead shards evicted, recovered shards re-added, no manual POST /v1/ring needed)")
+		hbTimeout   = flag.Duration("heartbeat-timeout", 0, "per-probe timeout (0 = the -heartbeat interval)")
+		deadAfter   = flag.Int("dead-after", 3, "consecutive failed probes before a peer is evicted from the live ring")
 	)
 	flag.Parse()
 
@@ -72,7 +83,7 @@ func main() {
 			log.Fatalf("dpcd: -peers requires -self (this instance's entry in the peer list)")
 		}
 		var err error
-		if owns, err = service.OwnsFunc(*self, peerList, *vnodes); err != nil {
+		if owns, err = service.OwnsFunc(*self, peerList, *vnodes, *rf); err != nil {
 			log.Fatalf("dpcd: %v", err)
 		}
 	}
@@ -98,6 +109,7 @@ func main() {
 
 	handler := service.NewHandler(svc)
 	var router *service.Router
+	var monitor *health.Monitor
 	if len(peerList) > 0 {
 		retries := *fwdRetries
 		if retries == 0 {
@@ -105,11 +117,25 @@ func main() {
 		}
 		copts := service.ClientOptions{Timeout: *fwdTimeout, Retries: retries}
 		var err error
-		if router, err = service.NewRouter(svc, *self, peerList, *vnodes, copts); err != nil {
+		ropts := service.RouterOptions{Vnodes: *vnodes, RF: *rf, Client: copts}
+		if router, err = service.NewRouter(svc, *self, peerList, ropts); err != nil {
 			log.Fatalf("dpcd: %v", err)
 		}
 		handler = router.Handler()
-		log.Printf("dpcd: ring shard %s of %d peer(s), %d vnodes", router.Self(), len(peerList), *vnodes)
+		log.Printf("dpcd: ring shard %s of %d peer(s), %d vnodes, rf=%d", router.Self(), len(peerList), *vnodes, router.RF())
+		if *heartbeat > 0 {
+			monitor = health.New(health.Config{
+				Self:      router.Self(),
+				Interval:  *heartbeat,
+				Timeout:   *hbTimeout,
+				DeadAfter: *deadAfter,
+			}, router.ConfiguredPeers, health.HTTPProbe(nil), func(live []string) {
+				rec := router.SetLive(live)
+				log.Printf("dpcd: live ring now %v (loaded %d dataset(s), %d model(s); evicted %d)",
+					live, rec.DatasetsLoaded, rec.ModelsLoaded, rec.DatasetsEvicted)
+			})
+			log.Printf("dpcd: heartbeat every %v, dead after %d missed probes", *heartbeat, *deadAfter)
+		}
 	}
 
 	specs, err := parsePreload(*preload)
@@ -150,6 +176,12 @@ func main() {
 			log.Fatalf("dpcd: %v", err)
 		}
 	}()
+	if monitor != nil {
+		// Started after the listener goroutine: peers probing this instance
+		// during its own first tick should find /healthz already answering.
+		monitor.Start()
+		defer monitor.Stop()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -350,7 +350,7 @@ func startShards(n, workersTotal int) ([]*inprocShard, error) {
 		svc := service.New(service.Options{Workers: perShard, CacheSize: 16})
 		handler := service.NewHandler(svc)
 		if n > 1 {
-			rt, err := service.NewRouter(svc, addrs[i], addrs, 128, service.ClientOptions{})
+			rt, err := service.NewRouter(svc, addrs[i], addrs, service.RouterOptions{Vnodes: 128})
 			if err != nil {
 				return nil, err
 			}

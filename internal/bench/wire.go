@@ -426,7 +426,7 @@ func startRingShards(n, workersTotal int) ([]*inprocShard, []*service.Router, er
 	routers := make([]*service.Router, n)
 	for i := range shards {
 		svc := service.New(service.Options{Workers: perShard, CacheSize: 16, StreamChunk: 8192})
-		rt, err := service.NewRouter(svc, addrs[i], addrs, 128, service.ClientOptions{})
+		rt, err := service.NewRouter(svc, addrs[i], addrs, service.RouterOptions{Vnodes: 128})
 		if err != nil {
 			return nil, nil, err
 		}

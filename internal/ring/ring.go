@@ -130,6 +130,56 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].member
 }
 
+// OwnersN returns the key's replica set: the first rf distinct members
+// whose virtual nodes follow the key's hash in ring order, wrapping at
+// the top of the hash space. Index 0 is the primary — always equal to
+// Owner(key) — and each subsequent entry is the next successor instance,
+// skipping virtual nodes of members already chosen so replicas land on
+// rf distinct instances, never twice on the same one. rf is clamped to
+// [1, len(members)]: asking for more replicas than the ring has members
+// returns every member exactly once.
+//
+// Like Owner, the placement is a pure function of (member set, vnodes,
+// key): membership changes move only the arcs of the members that
+// changed, so growing or shrinking the ring reassigns the smallest
+// possible set of (key, replica) pairs. In particular, removing a
+// member promotes its rf-th successor into each affected replica set
+// while every surviving (key, replica) pair stays put — the property
+// that makes RF-replicated failover a warm-cache event.
+func (r *Ring) OwnersN(key string, rf int) []string {
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(r.members) {
+		rf = len(r.members)
+	}
+	out := make([]string, 0, rf)
+	h := Hash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for scanned := 0; scanned < len(r.points) && len(out) < rf; scanned++ {
+		if i == len(r.points) {
+			i = 0
+		}
+		m := r.points[i].member
+		if !contains(out, m) {
+			out = append(out, m)
+		}
+		i++
+	}
+	return out
+}
+
+// contains is a linear scan; replica sets are tiny (rf is 2 or 3), so
+// this beats any set allocation on the lookup path.
+func contains(ms []string, m string) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
 // Members returns the member set in sorted order. The slice is shared;
 // callers must not mutate it.
 func (r *Ring) Members() []string { return r.members }

@@ -189,6 +189,124 @@ func TestOwnerStable(t *testing.T) {
 	}
 }
 
+// TestOwnersN is the table-driven contract of successor-replica
+// placement: the primary is Owner(key), replicas are distinct instances,
+// and rf degrades gracefully when it exceeds the member count.
+func TestOwnersN(t *testing.T) {
+	cases := []struct {
+		name    string
+		members []string
+		rf      int
+		wantLen int
+	}{
+		{"rf=1 is Owner", []string{"shard-a", "shard-b", "shard-c"}, 1, 1},
+		{"rf=2 of 3", []string{"shard-a", "shard-b", "shard-c"}, 2, 2},
+		{"rf=3 of 3", []string{"shard-a", "shard-b", "shard-c"}, 3, 3},
+		{"rf exceeds members", []string{"shard-a", "shard-b", "shard-c"}, 7, 3},
+		{"rf <= 0 clamps to 1", []string{"shard-a", "shard-b", "shard-c"}, 0, 1},
+		{"single node", []string{"only"}, 3, 1},
+		{"two nodes rf=2", []string{"shard-a", "shard-b"}, 2, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r, err := New(128, c.members...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("dataset-%03d", i)
+				got := r.OwnersN(key, c.rf)
+				if len(got) != c.wantLen {
+					t.Fatalf("OwnersN(%q, %d) = %v, want %d members", key, c.rf, got, c.wantLen)
+				}
+				if got[0] != r.Owner(key) {
+					t.Fatalf("OwnersN(%q)[0] = %q, Owner = %q — primary must agree", key, got[0], r.Owner(key))
+				}
+				// The same-instance vnode skip: every instance holds 128
+				// consecutive candidate vnodes somewhere, so without the skip
+				// duplicates would show up constantly.
+				seen := map[string]bool{}
+				for _, m := range got {
+					if seen[m] {
+						t.Fatalf("OwnersN(%q, %d) = %v repeats member %q", key, c.rf, got, m)
+					}
+					seen[m] = true
+				}
+			}
+		})
+	}
+}
+
+// TestOwnersNGolden pins concrete replica placements, mirroring
+// TestOwnerStable: generated once with this package's own code and
+// frozen. They only break if the hash, vnode labels, tie-break, or
+// successor walk change — any of which would remap (key, replica) pairs
+// across a rolling upgrade and turn warm failovers into refits.
+func TestOwnersNGolden(t *testing.T) {
+	r, err := New(128, "shard-a", "shard-b", "shard-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string][]string{
+		"pamap2":     {"shard-c", "shard-b", "shard-a"},
+		"s2":         {"shard-c", "shard-a", "shard-b"},
+		"syn":        {"shard-a", "shard-c", "shard-b"},
+		"household":  {"shard-c", "shard-b", "shard-a"},
+		"dataset-00": {"shard-a", "shard-b", "shard-c"},
+	}
+	for key, want := range golden {
+		for rf := 1; rf <= 3; rf++ {
+			got := r.OwnersN(key, rf)
+			if len(got) != rf {
+				t.Fatalf("OwnersN(%q, %d) returned %d members", key, rf, len(got))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("OwnersN(%q, %d)[%d] = %q, want %q", key, rf, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOwnersNRemovalPromotesReplica: removing a member must promote the
+// keys it was primary for onto their existing first replica — the exact
+// property that makes an RF=2 shard death a warm-cache failover instead
+// of a refit storm — and must not disturb any surviving (key, replica)
+// pair.
+func TestOwnersNRemovalPromotesReplica(t *testing.T) {
+	full, err := New(128, "shard-a", "shard-b", "shard-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New(128, "shard-a", "shard-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("dataset-%04d", i)
+		before := full.OwnersN(key, 2)
+		after := reduced.OwnersN(key, 2)
+		if before[0] == "shard-c" {
+			if after[0] != before[1] {
+				t.Fatalf("key %q: dead primary shard-c replaced by %q, want its replica %q", key, after[0], before[1])
+			}
+			promoted++
+			continue
+		}
+		if after[0] != before[0] {
+			t.Fatalf("key %q: primary moved %q -> %q although it survived", key, before[0], after[0])
+		}
+		if before[1] != "shard-c" && after[1] != before[1] {
+			t.Fatalf("key %q: surviving replica moved %q -> %q", key, before[1], after[1])
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("removed shard was primary for no keys; distribution is broken")
+	}
+}
+
 func BenchmarkOwner(b *testing.B) {
 	r, err := New(128, "shard-a", "shard-b", "shard-c")
 	if err != nil {

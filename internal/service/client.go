@@ -278,10 +278,13 @@ func (c *Client) AssignFrames(req FitRequest, pts [][]float64, float32w bool) (A
 
 // stream performs one request whose body is a live stream. No retries:
 // the body cannot be replayed, and a half-consumed stream must fail
-// loudly rather than resend silently. ctx cancels the exchange at any
-// point (a relay hop passes its inbound request context, so a client
-// hanging up tears down the upstream leg too). The caller owns the
-// response body.
+// loudly rather than resend silently. This rule extends to replica
+// failover — a router relaying a stream may try another replica only
+// while zero body bytes have been consumed (see Router.relayStream);
+// once any byte has moved, the stream is committed and a failure is
+// terminal. ctx cancels the exchange at any point (a relay hop passes
+// its inbound request context, so a client hanging up tears down the
+// upstream leg too). The caller owns the response body.
 func (c *Client) stream(ctx context.Context, method, path, contentType, accept string, body io.Reader, forwarded bool) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
@@ -359,6 +362,14 @@ func (c *Client) openStream(ctx context.Context, contentType string, body io.Rea
 // StreamReader iterates the label chunks of one streaming assign, over
 // either response codec: exactly one of dec (NDJSON records) or fr
 // (binary frames) is set.
+//
+// Retry guidance: a failed stream must never be retried by resending the
+// same reader — the request body was consumed as it was sent and cannot
+// be replayed. This holds across replica failover too: when a ring hop
+// relays a stream, only an attempt that consumed zero body bytes may
+// move to another replica; after that, a mid-stream death surfaces here
+// as a terminal error record or a truncation error, and re-running the
+// stream is the caller's decision, from a fresh source.
 type StreamReader struct {
 	body    io.ReadCloser
 	dec     *json.Decoder
@@ -457,6 +468,16 @@ func (sr *StreamReader) Collect() ([]int32, StreamSummary, error) {
 // Close releases the underlying response body; abandoning a stream
 // without Close leaks the connection.
 func (sr *StreamReader) Close() error { return sr.body.Close() }
+
+// ShipSnapshot delivers one persist snapshot image (dataset or model)
+// to the instance's replication sink. The body is a byte slice, so the
+// usual transport retries replay identical bytes, and installs are
+// idempotent on the receiving side — a duplicate delivery is a no-op.
+func (c *Client) ShipSnapshot(raw []byte) (InstallResult, error) {
+	var out InstallResult
+	err := c.call(http.MethodPost, "/v1/replica/snapshot", snapshotContentType, raw, true, &out)
+	return out, err
+}
 
 // LocalStats fetches the instance's own counters, bypassing the ring
 // fan-out — the per-peer leg of the aggregate /v1/stats.

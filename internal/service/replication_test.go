@@ -1,0 +1,447 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/persist"
+)
+
+// countResidents returns how many shards hold name in their registry.
+func (h *ringHarness) countResidents(name string) int {
+	n := 0
+	for _, s := range h.svcs {
+		if _, ok := s.Dataset(name); ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (h *ringHarness) totalMisses() int64 {
+	var n int64
+	for _, s := range h.svcs {
+		n += s.Stats().CacheMisses
+	}
+	return n
+}
+
+// TestReplicatedWritePath: with rf=2 every upload and fit lands on
+// exactly two shards — the primary serving the write plus the replica it
+// ships snapshots to — and the replica's copy is installed state, not a
+// refit.
+func TestReplicatedWritePath(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	h := startRingRF(t, 3, 2, nil)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range corpus {
+		if got := h.countResidents(e.name); got != 2 {
+			t.Errorf("dataset %s resident on %d shards, want rf=2", e.name, got)
+		}
+	}
+	// Each fresh fit ran exactly once ring-wide; the replica copies are
+	// installs, visible in the replication counters, not in cache misses.
+	if misses := h.totalMisses(); misses != int64(len(corpus)) {
+		t.Errorf("ring performed %d fits for %d datasets; replication must not refit", misses, len(corpus))
+	}
+	var dsRepl, mRepl int64
+	for _, s := range h.svcs {
+		st := s.Stats()
+		dsRepl += st.DatasetsReplicated
+		mRepl += st.ModelsReplicated
+	}
+	if dsRepl != int64(len(corpus)) || mRepl != int64(len(corpus)) {
+		t.Errorf("replica installs = %d datasets / %d models, want %d/%d",
+			dsRepl, mRepl, len(corpus), len(corpus))
+	}
+	// The merged dataset listing deduplicates replicas: one entry per name.
+	infos, err := h.clients[0].RingStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos.Total.Datasets != 2*len(corpus) {
+		t.Errorf("aggregate datasets = %d, want %d (each name on two shards)", infos.Total.Datasets, 2*len(corpus))
+	}
+	if infos.RF != 2 {
+		t.Errorf("aggregate rf = %d, want 2", infos.RF)
+	}
+	var listed []DatasetInfo
+	if err := h.clients[0].call(http.MethodGet, "/v1/datasets", "", nil, false, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(corpus) {
+		t.Errorf("merged listing has %d entries, want %d deduplicated names", len(listed), len(corpus))
+	}
+}
+
+// TestReplicatedAssignAnyReplica: assigns for a key answer byte-identical
+// through every shard — primary, replica, and non-owner alike — and all
+// of them serve from warm models.
+func TestReplicatedAssignAnyReplica(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	h := startRingRF(t, 3, 2, nil)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[1].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missesBefore := h.totalMisses()
+	for _, e := range corpus {
+		req := marshal(AssignRequest{
+			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			Points:     e.probes,
+		})
+		wantStatus, want := rawPost(t, h.addrs[0]+"/v1/assign", req)
+		if wantStatus != http.StatusOK {
+			t.Fatalf("assign %s via shard 0: HTTP %d: %s", e.name, wantStatus, want)
+		}
+		for i := 1; i < len(h.addrs); i++ {
+			gotStatus, got := rawPost(t, h.addrs[i]+"/v1/assign", req)
+			if gotStatus != wantStatus || !bytes.Equal(got, want) {
+				t.Errorf("assign %s via shard %d: HTTP %d %q, want HTTP %d %q",
+					e.name, i, gotStatus, got, wantStatus, want)
+			}
+		}
+	}
+	if misses := h.totalMisses(); misses != missesBefore {
+		t.Errorf("assigns through replicas refit %d models; want zero", misses-missesBefore)
+	}
+}
+
+// TestReplicaFailoverZeroRefit is the tentpole contract in-process: with
+// rf=2, killing a shard and evicting it from the live ring (as the
+// heartbeat would) leaves every key serving byte-identically from its
+// surviving replica — warm cache, zero refits, no 404s — without any
+// snapshot store involved.
+func TestReplicaFailoverZeroRefit(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	h := startRingRF(t, 3, 2, nil)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reference answers from the healthy ring, via shard 0.
+	type ref struct {
+		status int
+		body   []byte
+	}
+	want := map[string]ref{}
+	for _, e := range corpus {
+		req := marshal(AssignRequest{
+			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			Points:     e.probes,
+		})
+		status, body := rawPost(t, h.addrs[0]+"/v1/assign", req)
+		if status != http.StatusOK {
+			t.Fatalf("healthy assign %s: HTTP %d: %s", e.name, status, body)
+		}
+		want[e.name] = ref{status, body}
+	}
+
+	// Kill the primary of the first dataset, so the failover below is
+	// never vacuous.
+	dead := 0
+	for i, a := range h.addrs {
+		if h.routers[i].owners(corpus[0].name)[0] == a {
+			dead = i
+		}
+	}
+	var alive []int
+	for i := range h.addrs {
+		if i != dead {
+			alive = append(alive, i)
+		}
+	}
+	missesBefore := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses
+	h.servers[dead].Close()
+
+	// Heartbeat verdict: survivors drop the dead shard from their live
+	// sets. SetLive, not SetMembers — the configured set is untouched.
+	survivors := []string{h.addrs[alive[0]], h.addrs[alive[1]]}
+	for _, i := range alive {
+		h.routers[i].SetLive(survivors)
+		if got := h.routers[i].LiveMembers(); len(got) != 2 {
+			t.Fatalf("shard %d live set = %v after eviction", i, got)
+		}
+	}
+
+	// Every key — the dead shard's included — answers byte-identically
+	// via both survivors, from warm models.
+	for _, e := range corpus {
+		req := marshal(AssignRequest{
+			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			Points:     e.probes,
+		})
+		for _, i := range alive {
+			status, body := rawPost(t, h.addrs[i]+"/v1/assign", req)
+			if status != want[e.name].status || !bytes.Equal(body, want[e.name].body) {
+				t.Errorf("assign %s via survivor %d after failover: HTTP %d %q, want HTTP %d %q",
+					e.name, i, status, body, want[e.name].status, want[e.name].body)
+			}
+		}
+	}
+	if misses := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses; misses != missesBefore {
+		t.Errorf("failover refit %d models; want zero", misses-missesBefore)
+	}
+
+	// The stats fan-out marks the dead shard unreachable without failing
+	// or probing it.
+	agg, err := h.clients[alive[0]].RingStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.PeersUp != 2 || len(agg.Down) != 1 || agg.Down[0] != h.addrs[dead] {
+		t.Errorf("aggregate after failover: up=%d down=%v", agg.PeersUp, agg.Down)
+	}
+	marked := false
+	for _, ps := range agg.PerPeer {
+		if ps.Peer == h.addrs[dead] {
+			marked = ps.Unreachable && ps.Stats == nil
+		}
+	}
+	if !marked {
+		t.Errorf("dead peer not marked unreachable in per-peer stats: %+v", agg.PerPeer)
+	}
+}
+
+// TestSelfHealRestoresReplicationFactor: after a death shrinks a key's
+// replica set to one live holder, the next membership change re-ships
+// snapshots so the promoted survivor's keys regain a second replica —
+// the ring heals back to rf without any writes.
+func TestSelfHealRestoresReplicationFactor(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	h := startRingRF(t, 3, 2, nil)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := 0
+	for i, a := range h.addrs {
+		if h.routers[i].owners(corpus[0].name)[0] == a {
+			dead = i
+		}
+	}
+	var alive []int
+	for i := range h.addrs {
+		if i != dead {
+			alive = append(alive, i)
+		}
+	}
+	h.servers[dead].Close()
+	survivors := []string{h.addrs[alive[0]], h.addrs[alive[1]]}
+	for _, i := range alive {
+		h.routers[i].SetLive(survivors)
+	}
+	// With only two live shards and rf=2, every key must now be resident
+	// on both survivors: eviction promoted replicas, self-heal re-shipped
+	// the promoted keys to their new secondaries.
+	for _, e := range corpus {
+		resident := 0
+		for _, i := range alive {
+			if _, ok := h.svcs[i].Dataset(e.name); ok {
+				resident++
+			}
+		}
+		if resident != 2 {
+			t.Errorf("dataset %s resident on %d survivors after self-heal, want 2", e.name, resident)
+		}
+	}
+	// And with warm models everywhere: zero refits on any subsequent
+	// assign through either survivor.
+	missesBefore := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses
+	for _, e := range corpus {
+		for _, i := range alive {
+			resp, err := h.clients[i].Assign(AssignRequest{
+				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+				Points:     e.probes,
+			})
+			if err != nil {
+				t.Fatalf("assign %s via survivor %d: %v", e.name, i, err)
+			}
+			if !resp.CacheHit {
+				t.Errorf("assign %s via survivor %d missed the cache after self-heal", e.name, i)
+			}
+		}
+	}
+	if misses := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses; misses != missesBefore {
+		t.Errorf("self-heal path refit %d models; want zero", misses-missesBefore)
+	}
+}
+
+// TestInstallSnapshotSemantics pins the install state machine directly
+// on one Service: fresh installs land, duplicates and stale versions
+// no-op, models require their exact dataset version, and none of it
+// touches the cache miss counter.
+func TestInstallSnapshotSemantics(t *testing.T) {
+	d := data.SSet(2, 400, 1)
+	primary := New(Options{Workers: 1, CacheSize: 16})
+	if _, err := primary.PutDataset("ds", d.Points); err != nil {
+		t.Fatal(err)
+	}
+	params := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}.core()
+	if _, err := primary.Fit("ds", "Ex-DPC", params); err != nil {
+		t.Fatal(err)
+	}
+	snaps := primary.ReplicationSnapshots("ds")
+	if len(snaps) != 2 {
+		t.Fatalf("primary exported %d snapshots, want dataset+model", len(snaps))
+	}
+
+	replica := New(Options{Workers: 1, CacheSize: 16})
+	// Model before its dataset: refused, not silently dropped.
+	if _, err := replica.InstallSnapshot(snaps[1]); err == nil {
+		t.Fatal("model install without its dataset succeeded")
+	}
+	for i, raw := range snaps {
+		res, err := replica.InstallSnapshot(raw)
+		if err != nil {
+			t.Fatalf("install %d: %v", i, err)
+		}
+		if !res.Installed {
+			t.Fatalf("install %d reported a no-op on a fresh replica: %+v", i, res)
+		}
+	}
+	// Idempotent re-ship: both become no-ops.
+	for i, raw := range snaps {
+		res, err := replica.InstallSnapshot(raw)
+		if err != nil {
+			t.Fatalf("re-install %d: %v", i, err)
+		}
+		if res.Installed {
+			t.Fatalf("re-install %d was not a no-op: %+v", i, res)
+		}
+	}
+	st := replica.Stats()
+	if st.DatasetsReplicated != 1 || st.ModelsReplicated != 1 {
+		t.Errorf("replica counters = %d/%d, want 1/1", st.DatasetsReplicated, st.ModelsReplicated)
+	}
+	if st.CacheMisses != 0 {
+		t.Errorf("installs produced %d cache misses; they are warm-loads", st.CacheMisses)
+	}
+	// The installed model serves without fitting.
+	fr, err := replica.Fit("ds", "Ex-DPC", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.CacheHit {
+		t.Error("fit on the replica missed the installed model")
+	}
+
+	// A newer version on the replica wins over a stale ship.
+	d2 := data.SSet(2, 500, 2)
+	if _, err := replica.PutDataset("ds", d2.Points); err != nil {
+		t.Fatal(err)
+	}
+	res, err := replica.InstallSnapshot(snaps[0])
+	if err != nil {
+		t.Fatalf("stale dataset ship errored: %v", err)
+	}
+	if res.Installed {
+		t.Fatal("stale dataset ship replaced a newer resident version")
+	}
+	if _, err := replica.InstallSnapshot(snaps[1]); err == nil {
+		t.Fatal("model ship for a replaced dataset version succeeded")
+	}
+	// Garbage is an error, not a panic.
+	if _, err := replica.InstallSnapshot([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot installed")
+	}
+}
+
+// TestReplicatedRestartWarmLoad: with rf=2 the ownership filter accepts
+// replicated keys too, so a restarted shard warm-loads both the keys it
+// is primary for and the ones it replicates — including snapshots that
+// arrived via shipping, which SaveDataset/SaveModel persisted on install.
+func TestReplicatedRestartWarmLoad(t *testing.T) {
+	corpus := testCorpus(t, 6)
+	dirs := []string{t.TempDir(), t.TempDir(), t.TempDir()}
+	h := startRingRF(t, 3, 2, dirs)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := 0
+	for i := range h.routers {
+		if h.routers[i].Owns(corpus[0].name) {
+			target = i
+		}
+	}
+	owned := 0
+	for _, e := range corpus {
+		if h.routers[target].Owns(e.name) {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatal("target shard replicates nothing; harness broken")
+	}
+	store, err := persist.Open(dirs[target], t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := New(Options{Workers: 1, CacheSize: 16, Store: store, Owns: h.routers[target].Owns})
+	st := restarted.Stats()
+	if st.DatasetsRestored != owned {
+		t.Fatalf("restart restored %d datasets, want the %d replicated keys (primary and replica alike)",
+			st.DatasetsRestored, owned)
+	}
+	if st.ModelsRestored != owned {
+		t.Fatalf("restart restored %d models, want %d", st.ModelsRestored, owned)
+	}
+	for _, e := range corpus {
+		if !h.routers[target].Owns(e.name) {
+			continue
+		}
+		fr, err := restarted.Fit(e.name, "Ex-DPC", e.params.core())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fr.CacheHit {
+			t.Errorf("fit %s after restart missed the restored cache", e.name)
+		}
+	}
+	if got := restarted.Stats().CacheMisses; got != 0 {
+		t.Errorf("restarted shard performed %d fits; want zero", got)
+	}
+}
+
+// TestOwnsFuncMatchesRouter: the pre-router warm-load filter and the
+// router's own replica ownership must agree for every key and rf, or a
+// restart would load the wrong snapshot set.
+func TestOwnsFuncMatchesRouter(t *testing.T) {
+	addrs := []string{"http://10.0.0.1:1", "http://10.0.0.2:1", "http://10.0.0.3:1"}
+	for rf := 1; rf <= 3; rf++ {
+		for _, self := range addrs {
+			owns, err := OwnsFunc(self, addrs, 128, rf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt, err := NewRouter(New(Options{}), self, addrs, RouterOptions{Vnodes: 128, RF: rf})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("dataset-%03d", i)
+				if owns(key) != rt.Owns(key) {
+					t.Fatalf("rf=%d self=%s key=%s: OwnsFunc=%v Router.Owns=%v",
+						rf, self, key, owns(key), rt.Owns(key))
+				}
+			}
+		}
+	}
+}

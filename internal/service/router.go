@@ -17,57 +17,100 @@ import (
 	"repro/internal/wire"
 )
 
-// Router shards one dpcd ring instance: requests whose dataset key this
-// instance owns are served by the local Service, everything else is
-// transparently forwarded to the owning peer, so clients can talk to any
-// instance. Dataset names are the ring keys — a dataset and every model
-// fitted on it live on one shard, and the persisted model key embeds the
-// dataset name, so memory and disk ownership always agree.
+// Router shards one dpcd ring instance. Each dataset key has a replica
+// set of rf instances, placed by successor walk on the consistent-hash
+// ring (ring.OwnersN): index 0 is the primary, the rest are replicas.
+// Reads — assigns, streams, dataset fetches — are served by any live
+// replica; writes — uploads and fits — are coordinated by the primary,
+// which ships persist-codec snapshots to the replicas so their state is
+// warm (a replica install is a restart-style load: kd-tree rebuilt,
+// clustering never re-run, zero refits). Requests for keys this instance
+// does not replicate are transparently forwarded, with failover across
+// the live replica set, so clients can talk to any instance.
 //
-// Membership changes arrive through SetMembers (POST /v1/ring): the
-// router swaps in a new ring and reconciles the local Service against
-// it, warm-loading snapshots it now owns and evicting — never deleting —
-// those it no longer does. Forwarded requests carry a marker header and
-// are always served locally, so a transient membership disagreement
-// between peers costs one misrouted hop, not a loop.
+// Membership is two sets. The configured set is the full peer list
+// (flags or POST /v1/ring); the live set is the subset currently
+// serving, and the ring is built over the live set only. SetLive —
+// driven by the health monitor's heartbeat verdicts — shrinks and
+// regrows the live set automatically: when a shard dies its keys' first
+// replicas become primaries on the rebuilt ring and already hold the
+// data, so failover is a routing change, not a data movement. Every
+// membership change reconciles the local Service (warm-loading snapshots
+// now owned, evicting — never deleting — those no longer owned) and then
+// re-replicates what this instance is now primary for, healing replica
+// sets thinned by the change.
+//
+// Forwarded requests carry a marker header and are always served
+// locally, so a transient membership disagreement between peers costs
+// one misrouted hop, not a loop.
 type Router struct {
 	self   string
 	vnodes int
+	rf     int
 	local  *Service
 	localH http.Handler
 	copts  ClientOptions
 
-	// setMu serializes SetMembers end to end (ring swap + reconcile):
-	// Service.Reconcile assumes one reconcile pass at a time, and two
-	// overlapping membership posts interleaving their evict and warm-load
-	// phases could leave datasets resident that the final ring does not
-	// assign here.
+	// setMu serializes membership changes end to end (ring swap +
+	// reconcile + re-replication): Service.Reconcile assumes one pass at a
+	// time, and two overlapping changes interleaving their evict and
+	// warm-load phases could leave datasets resident that the final ring
+	// does not assign here. Both SetMembers (manual) and SetLive
+	// (heartbeat) take it, so the two sources of change cannot interleave.
 	setMu sync.Mutex
 
-	mu      sync.RWMutex
-	ring    *ring.Ring
-	clients map[string]*Client
+	mu         sync.RWMutex
+	configured []string // full normalized peer set, sorted
+	ring       *ring.Ring
+	clients    map[string]*Client // keyed by configured peer, self absent
 
 	forwarded     atomic.Int64
 	forwardErrors atomic.Int64
+	// replicated counts snapshot images successfully shipped to replicas;
+	// replicationErrors counts ships that failed (the replica heals on the
+	// next membership change or idempotent re-ship).
+	replicated        atomic.Int64
+	replicationErrors atomic.Int64
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Vnodes is the virtual-node count per ring member; <= 0 means
+	// ring.DefaultVnodes.
+	Vnodes int
+	// RF is the replication factor: each key lives on min(RF, live
+	// instances) distinct instances. <= 0 means 1 — the pre-replication
+	// single-owner behavior.
+	RF int
+	// Client tunes the peer clients used for forwards and snapshot ships.
+	Client ClientOptions
+}
+
+func (o RouterOptions) rf() int {
+	if o.RF > 1 {
+		return o.RF
+	}
+	return 1
 }
 
 // NewRouter wraps local in a ring router. self must appear in peers;
 // peer addresses are base URLs (http://host:port) and are normalized
 // before ring placement, so every instance must be given the identical
-// spelling of the peer list. The local service's resident state is
-// reconciled against the initial ring immediately.
-func NewRouter(local *Service, self string, peers []string, vnodes int, copts ClientOptions) (*Router, error) {
+// spelling of the peer list. The initial live set is the full configured
+// set, and the local service's resident state is reconciled against that
+// ring immediately.
+func NewRouter(local *Service, self string, peers []string, opts RouterOptions) (*Router, error) {
 	selfNorm, err := normalizePeer(self)
 	if err != nil {
 		return nil, fmt.Errorf("service: -self: %w", err)
 	}
 	rt := &Router{
 		self:   selfNorm,
-		vnodes: vnodes,
+		vnodes: opts.Vnodes,
+		rf:     opts.rf(),
 		local:  local,
 		localH: NewHandler(local),
-		copts:  copts,
+		copts:  opts.Client,
 	}
 	if _, err := rt.SetMembers(peers); err != nil {
 		return nil, err
@@ -77,8 +120,8 @@ func NewRouter(local *Service, self string, peers []string, vnodes int, copts Cl
 
 // buildRing is the one place peer lists become rings: it normalizes
 // self and every peer, constructs the ring, and verifies self is a
-// member. OwnsFunc and SetMembers both go through it, so warm-load
-// ownership and routing ownership can never disagree.
+// member. OwnsFunc and the membership setters both go through it, so
+// warm-load ownership and routing ownership can never disagree.
 func buildRing(self string, peers []string, vnodes int) (selfNorm string, rg *ring.Ring, err error) {
 	if selfNorm, err = normalizePeer(self); err != nil {
 		return "", nil, fmt.Errorf("service: -self: %w", err)
@@ -100,17 +143,34 @@ func buildRing(self string, peers []string, vnodes int) (selfNorm string, rg *ri
 	return selfNorm, rg, nil
 }
 
-// OwnsFunc returns the ownership filter the instance at self has on a
-// ring of peers, without constructing a Router. cmd/dpcd uses it so the
-// Service's warm load can skip unowned snapshots before the router (which
-// needs the Service) exists; NewRouter with the same arguments builds the
-// identical ring, so the two never disagree.
-func OwnsFunc(self string, peers []string, vnodes int) (func(dataset string) bool, error) {
+// OwnsFunc returns the replica-ownership filter the instance at self has
+// on a ring of peers, without constructing a Router. cmd/dpcd uses it so
+// the Service's warm load can skip unowned snapshots before the router
+// (which needs the Service) exists; NewRouter with the same arguments
+// builds the identical ring, so the two never disagree. With rf > 1 an
+// instance "owns" every key it replicates, primary or not.
+func OwnsFunc(self string, peers []string, vnodes, rf int) (func(dataset string) bool, error) {
 	selfNorm, rg, err := buildRing(self, peers, vnodes)
 	if err != nil {
 		return nil, err
 	}
-	return func(dataset string) bool { return rg.Owner(dataset) == selfNorm }, nil
+	if rf < 1 {
+		rf = 1
+	}
+	return func(dataset string) bool {
+		return contains(rg.OwnersN(dataset, rf), selfNorm)
+	}, nil
+}
+
+// contains reports whether ms includes m; replica sets are tiny (rf is
+// 2 or 3) so a linear scan beats any set allocation.
+func contains(ms []string, m string) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
 }
 
 // normalizePeer canonicalizes one peer base URL.
@@ -132,38 +192,52 @@ func normalizePeer(p string) (string, error) {
 // Self returns this instance's normalized peer address.
 func (rt *Router) Self() string { return rt.self }
 
-// Owns reports whether this instance owns the dataset key on the
-// current ring.
+// RF returns the configured replication factor.
+func (rt *Router) RF() int { return rt.rf }
+
+// Owns reports whether this instance replicates the dataset key on the
+// current live ring (primary or replica).
 func (rt *Router) Owns(dataset string) bool {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	return rt.ring.Owner(dataset) == rt.self
+	return contains(rt.ring.OwnersN(dataset, rt.rf), rt.self)
 }
 
-// owner returns the current owner of a key and the client to reach it
-// (nil when the owner is this instance).
-func (rt *Router) owner(dataset string) (string, *Client) {
+// owners returns the key's live replica set in successor order (primary
+// first).
+func (rt *Router) owners(dataset string) []string {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	o := rt.ring.Owner(dataset)
-	if o == rt.self {
-		return o, nil
-	}
-	return o, rt.clients[o]
+	return rt.ring.OwnersN(dataset, rt.rf)
 }
 
-// peerClients returns the current peer set as (address, client) pairs;
-// the self entry has a nil client.
-func (rt *Router) peerClients() (peers []string, clients map[string]*Client) {
+// clientFor returns the client for a configured peer, nil for self or
+// unknown addresses.
+func (rt *Router) clientFor(peer string) *Client {
 	rt.mu.RLock()
 	defer rt.mu.RUnlock()
-	return rt.ring.Members(), rt.clients
+	return rt.clients[peer]
 }
 
-// SetMembers replaces the ring membership and reconciles the local
-// service against it. self must remain a member — an instance cannot
-// route itself out of existence. Calls are serialized: a membership post
-// that arrives mid-reconcile waits for the previous one to finish.
+// ConfiguredPeers returns the full configured peer set — what the health
+// monitor probes, independent of current liveness verdicts.
+func (rt *Router) ConfiguredPeers() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]string(nil), rt.configured...)
+}
+
+// LiveMembers returns the current live ring membership.
+func (rt *Router) LiveMembers() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.ring.Members()
+}
+
+// SetMembers replaces the configured membership and resets the live set
+// to all of it (a freshly posted peer gets the benefit of the doubt; the
+// heartbeat demotes it if it is not actually there). self must remain a
+// member — an instance cannot route itself out of existence.
 func (rt *Router) SetMembers(peers []string) (ReconcileStats, error) {
 	rt.setMu.Lock()
 	defer rt.setMu.Unlock()
@@ -171,22 +245,140 @@ func (rt *Router) SetMembers(peers []string) (ReconcileStats, error) {
 	if err != nil {
 		return ReconcileStats{}, err
 	}
-	clients := make(map[string]*Client, len(rg.Members()))
+	return rt.applyLocked(rg.Members(), rg), nil
+}
+
+// SetLive replaces the live set — the heartbeat monitor's sink. The set
+// is intersected with the configured membership (a heartbeat verdict
+// about a peer that was since removed is stale) and always includes
+// self. Unknown or malformed addresses are ignored rather than erroring:
+// the monitor's view may lag a concurrent SetMembers by one tick, and
+// the next tick converges.
+func (rt *Router) SetLive(live []string) ReconcileStats {
+	rt.setMu.Lock()
+	defer rt.setMu.Unlock()
+	rt.mu.RLock()
+	configured := rt.configured
+	rt.mu.RUnlock()
+	inConfig := make(map[string]bool, len(configured))
+	for _, p := range configured {
+		inConfig[p] = true
+	}
+	members := []string{rt.self}
+	for _, p := range live {
+		n, err := normalizePeer(p)
+		if err != nil || !inConfig[n] || n == rt.self {
+			continue
+		}
+		members = append(members, n)
+	}
+	_, rg, err := buildRing(rt.self, members, rt.vnodes)
+	if err != nil {
+		// Unreachable: members is non-empty and contains self. Keep the
+		// current ring rather than panicking a serving daemon.
+		return ReconcileStats{}
+	}
+	rt.mu.RLock()
+	same := sameMembers(rt.ring.Members(), rg.Members())
+	rt.mu.RUnlock()
+	if same {
+		return ReconcileStats{}
+	}
+	return rt.applyLocked(configured, rg)
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a { // both sorted by ring.New
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyLocked (setMu held) swaps in a new configured set + live ring,
+// reconciles the local service against it, and re-replicates everything
+// this instance is now primary for. Clients are keyed by configured peer
+// and survive liveness flaps, so a recovered peer reuses its connection
+// pool.
+func (rt *Router) applyLocked(configured []string, rg *ring.Ring) ReconcileStats {
+	sortedCfg := append([]string(nil), configured...)
+	sort.Strings(sortedCfg)
+	clients := make(map[string]*Client, len(sortedCfg))
 	rt.mu.Lock()
-	for _, m := range rg.Members() {
+	for _, m := range sortedCfg {
 		if m == rt.self {
 			continue
 		}
 		if c, ok := rt.clients[m]; ok {
-			clients[m] = c // keep the peer's connection pool across changes
+			clients[m] = c
 		} else {
 			clients[m] = NewClient(m, rt.copts)
 		}
 	}
+	rt.configured = sortedCfg
 	rt.ring = rg
 	rt.clients = clients
 	rt.mu.Unlock()
-	return rt.local.Reconcile(rt.Owns), nil
+	rec := rt.local.Reconcile(rt.Owns)
+	rt.selfHeal()
+	return rec
+}
+
+// selfHeal re-replicates every resident dataset this instance is primary
+// for. After a membership change some keys have a fresh replica (a death
+// promoted this instance, or a new peer took over a successor slot) that
+// holds nothing yet; shipping the snapshots now restores the replication
+// factor instead of waiting for the next write. Installs are idempotent,
+// so re-shipping to an already-current replica is a cheap no-op.
+func (rt *Router) selfHeal() {
+	for _, info := range rt.local.Datasets() {
+		owners := rt.owners(info.Name)
+		if len(owners) == 0 || owners[0] != rt.self {
+			continue
+		}
+		rt.replicate(info.Name, owners)
+	}
+}
+
+// replicateDataset ships the named dataset plus its completed models to
+// the key's live replicas. Called by the primary after a successful
+// upload or fresh fit, and by selfHeal after membership changes.
+func (rt *Router) replicateDataset(name string) {
+	owners := rt.owners(name)
+	if len(owners) == 0 || owners[0] != rt.self {
+		return
+	}
+	rt.replicate(name, owners)
+}
+
+func (rt *Router) replicate(name string, owners []string) {
+	if len(owners) < 2 {
+		return
+	}
+	snaps := rt.local.ReplicationSnapshots(name)
+	if snaps == nil {
+		return
+	}
+	for _, o := range owners[1:] {
+		c := rt.clientFor(o)
+		if c == nil {
+			continue
+		}
+		for _, raw := range snaps {
+			if _, err := c.ShipSnapshot(raw); err != nil {
+				rt.replicationErrors.Add(1)
+				// The dataset snapshot must land before its models can; skip
+				// the rest of this replica's batch and let the next self-heal
+				// or write retry it.
+				break
+			}
+			rt.replicated.Add(1)
+		}
+	}
 }
 
 // RingUpdateRequest is the body of POST /v1/ring.
@@ -202,32 +394,47 @@ type RingUpdateResponse struct {
 	Reconcile ReconcileStats `json:"reconcile"`
 }
 
-// ringInfoResponse is the body of GET /v1/ring.
+// ringInfoResponse is the body of GET /v1/ring. Peers is the live ring
+// membership; Configured is the full administered set and Down the
+// difference — what the heartbeat currently excludes.
 type ringInfoResponse struct {
-	Self   string   `json:"self"`
-	Peers  []string `json:"peers"`
-	Vnodes int      `json:"vnodes"`
-	Owner  string   `json:"owner,omitempty"` // owner of ?key=, when asked
+	Self       string   `json:"self"`
+	Peers      []string `json:"peers"`
+	Configured []string `json:"configured"`
+	Down       []string `json:"down,omitempty"`
+	RF         int      `json:"rf"`
+	Vnodes     int      `json:"vnodes"`
+	Owner      string   `json:"owner,omitempty"`  // primary of ?key=, when asked
+	Owners     []string `json:"owners,omitempty"` // full replica set of ?key=
 }
 
 // PeerStats is one shard's leg of the aggregated /v1/stats.
 type PeerStats struct {
-	Peer  string `json:"peer"`
-	Error string `json:"error,omitempty"`
-	Stats *Stats `json:"stats,omitempty"`
+	Peer string `json:"peer"`
+	// Unreachable marks a configured peer outside the live set: it is
+	// reported without being probed, so one dead shard adds no latency to
+	// the fan-out and never fails it.
+	Unreachable bool   `json:"unreachable,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Stats       *Stats `json:"stats,omitempty"`
 }
 
 // RingStatsResponse aggregates /v1/stats across the ring: summed
-// counters plus the per-peer breakdown. Forwarded/ForwardErrors are this
-// instance's routing counters (each instance counts its own hops).
+// counters plus the per-peer breakdown. Forwarded/ForwardErrors and the
+// replication counters are this instance's routing counters (each
+// instance counts its own hops and ships).
 type RingStatsResponse struct {
-	Self          string      `json:"self"`
-	Peers         []string    `json:"peers"`
-	PeersUp       int         `json:"peers_up"`
-	Forwarded     int64       `json:"forwarded"`
-	ForwardErrors int64       `json:"forward_errors"`
-	Total         Stats       `json:"total"`
-	PerPeer       []PeerStats `json:"per_peer"`
+	Self              string      `json:"self"`
+	Peers             []string    `json:"peers"`
+	Down              []string    `json:"down,omitempty"`
+	PeersUp           int         `json:"peers_up"`
+	RF                int         `json:"rf"`
+	Forwarded         int64       `json:"forwarded"`
+	ForwardErrors     int64       `json:"forward_errors"`
+	Replicated        int64       `json:"replicated"`
+	ReplicationErrors int64       `json:"replication_errors"`
+	Total             Stats       `json:"total"`
+	PerPeer           []PeerStats `json:"per_peer"`
 }
 
 // accumulate folds another shard's counters into s; HitRate is
@@ -245,11 +452,43 @@ func (s *Stats) accumulate(o Stats) {
 	s.DatasetsRestored += o.DatasetsRestored
 	s.ModelsRestored += o.ModelsRestored
 	s.PersistErrors += o.PersistErrors
+	s.DatasetsReplicated += o.DatasetsReplicated
+	s.ModelsReplicated += o.ModelsReplicated
+}
+
+// serveLocallyRead decides whether a read for name is answered by the
+// local service. True when this instance replicates the key and either
+// holds the dataset or is its primary (a primary without the dataset
+// answers the authoritative 404; a replica without it — replication lag
+// or a failed ship — defers to the primary rather than 404ing a dataset
+// the ring does serve).
+func (rt *Router) serveLocallyRead(name string, owners []string) bool {
+	if !contains(owners, rt.self) {
+		return false
+	}
+	if owners[0] == rt.self {
+		return true
+	}
+	_, resident := rt.local.Dataset(name)
+	return resident
+}
+
+// readTargets orders the relay candidates for a read: the key's live
+// replica set, primary first, self excluded.
+func (rt *Router) readTargets(owners []string) []string {
+	out := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o != rt.self {
+			out = append(out, o)
+		}
+	}
+	return out
 }
 
 // Handler returns the ring-mode HTTP API: the single-instance routes
-// plus /v1/ring, with dataset-keyed routes forwarded to their owners and
-// /v1/stats (and /v1/datasets) fanned out across the ring.
+// plus /v1/ring and the internal /v1/replica/snapshot, with reads served
+// by any live replica, writes coordinated by the primary, and /v1/stats
+// (and /v1/datasets) fanned out across the live ring.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -259,9 +498,21 @@ func (rt *Router) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/ring", func(w http.ResponseWriter, r *http.Request) {
 		rt.mu.RLock()
-		resp := ringInfoResponse{Self: rt.self, Peers: rt.ring.Members(), Vnodes: rt.ring.Vnodes()}
+		resp := ringInfoResponse{
+			Self:       rt.self,
+			Peers:      rt.ring.Members(),
+			Configured: rt.configured,
+			RF:         rt.rf,
+			Vnodes:     rt.ring.Vnodes(),
+		}
+		for _, p := range rt.configured {
+			if !rt.ring.Has(p) {
+				resp.Down = append(resp.Down, p)
+			}
+		}
 		if key := r.URL.Query().Get("key"); key != "" {
-			resp.Owner = rt.ring.Owner(key)
+			resp.Owners = rt.ring.OwnersN(key, rt.rf)
+			resp.Owner = resp.Owners[0]
 		}
 		rt.mu.RUnlock()
 		writeJSON(w, http.StatusOK, resp)
@@ -283,6 +534,23 @@ func (rt *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, RingUpdateResponse{Self: rt.self, Peers: peers, Reconcile: rec})
 	})
 
+	// The replication sink: a primary ships persist snapshot images here.
+	// Always served locally — the ship is already addressed to the replica
+	// that must install it.
+	mux.HandleFunc("POST /v1/replica/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
+		if err != nil {
+			writeError(w, bodyErrStatus(err), fmt.Errorf("reading snapshot: %w", err))
+			return
+		}
+		res, err := rt.local.InstallSnapshot(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
 	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		if r.Header.Get(forwardedHeader) != "" {
 			writeJSON(w, http.StatusOK, rt.local.Datasets())
@@ -291,15 +559,31 @@ func (rt *Router) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, rt.allDatasets())
 	})
 
-	// Dataset-keyed routes: served locally when owned (or when already
-	// forwarded once), relayed to the owner otherwise.
-	routeByName := func(w http.ResponseWriter, r *http.Request) {
+	// Dataset reads: served by any live replica holding the data, relayed
+	// with replica failover otherwise.
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
-		owner, peer := rt.owner(name)
-		if peer == nil || r.Header.Get(forwardedHeader) != "" {
+		owners := rt.owners(name)
+		if r.Header.Get(forwardedHeader) != "" || rt.serveLocallyRead(name, owners) {
 			rt.localH.ServeHTTP(w, r)
 			return
 		}
+		path := "/v1/datasets/" + url.PathEscape(name)
+		if q := r.URL.RawQuery; q != "" {
+			path += "?" + q
+		}
+		rt.relaySeq(w, r, rt.readTargets(owners), http.MethodGet, path, nil)
+	})
+
+	// Dataset uploads are writes: coordinated by the key's primary, which
+	// replicates the accepted snapshot before answering. A non-primary
+	// entry point relays to the primary only — no failover, because two
+	// coordinators accepting the same upload could assign the same version
+	// to different points. During the heartbeat's detection window after a
+	// primary death, writes fail fast; reads keep working off replicas.
+	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		owners := rt.owners(name)
 		// Uploads are buffered so the forward can retry; the same cap the
 		// local handler enforces bounds the buffer.
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUploadBytes))
@@ -307,20 +591,25 @@ func (rt *Router) Handler() http.Handler {
 			writeError(w, bodyErrStatus(err), fmt.Errorf("reading upload: %w", err))
 			return
 		}
+		if r.Header.Get(forwardedHeader) != "" || len(owners) == 0 || owners[0] == rt.self {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+			rt.serveWriteLocally(w, r, name)
+			return
+		}
 		path := "/v1/datasets/" + url.PathEscape(name)
 		if q := r.URL.RawQuery; q != "" {
 			path += "?" + q
 		}
-		rt.relay(w, r, peer, owner, r.Method, path, body)
-	}
-	mux.HandleFunc("PUT /v1/datasets/{name}", routeByName)
-	mux.HandleFunc("GET /v1/datasets/{name}", routeByName)
+		rt.relaySeq(w, r, owners[:1], http.MethodPut, path, body)
+	})
 
 	// Fit and assign carry the dataset name inside the body — the
 	// top-level JSON "dataset" field, or the leading header frame of a
-	// frame-encoded body; peek at it, then either replay the exact bytes
-	// into the local handler or relay them to the owner.
-	routeByBody := func(limit int64, path string) http.HandlerFunc {
+	// frame-encoded body; peek at it, then route: fits to the primary
+	// (writes — they create replicated model state), assigns to any live
+	// replica (reads).
+	routeByBody := func(limit int64, path string, write bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
 			// An over-limit body must surface as the same JSON 413 the owner
 			// itself would send, not a generic 400 or a torn connection —
@@ -340,26 +629,42 @@ func (rt *Router) Handler() http.Handler {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 				return
 			}
-			owner, peerC := rt.owner(name)
+			owners := rt.owners(name)
+			serveLocal := name == "" || r.Header.Get(forwardedHeader) != ""
+			if !serveLocal {
+				if write {
+					serveLocal = len(owners) == 0 || owners[0] == rt.self
+				} else {
+					serveLocal = rt.serveLocallyRead(name, owners)
+				}
+			}
 			// An absent or empty dataset name is served locally so the
 			// local handler produces its usual validation error instead of
 			// a peer paying to say the same thing.
-			if name == "" || peerC == nil || r.Header.Get(forwardedHeader) != "" {
+			if serveLocal {
 				r.Body = io.NopCloser(bytes.NewReader(body))
 				r.ContentLength = int64(len(body))
-				rt.localH.ServeHTTP(w, r)
+				if write && name != "" {
+					rt.serveWriteLocally(w, r, name)
+				} else {
+					rt.localH.ServeHTTP(w, r)
+				}
 				return
 			}
-			rt.relay(w, r, peerC, owner, http.MethodPost, path, body)
+			targets := rt.readTargets(owners)
+			if write {
+				targets = owners[:1]
+			}
+			rt.relaySeq(w, r, targets, http.MethodPost, path, body)
 		}
 	}
-	mux.HandleFunc("POST /v1/fit", routeByBody(maxFitBytes, "/v1/fit"))
-	mux.HandleFunc("POST /v1/assign", routeByBody(maxAssignBytes, "/v1/assign"))
+	mux.HandleFunc("POST /v1/fit", routeByBody(maxFitBytes, "/v1/fit", true))
+	mux.HandleFunc("POST /v1/assign", routeByBody(maxAssignBytes, "/v1/assign", false))
 
 	// The streaming assign is the one route that must NOT buffer: only
 	// the header line (or header frame) is read here, for the ring key;
-	// the rest of the chunked body is piped straight into the owner's
-	// request, and the owner's response is piped straight back — no
+	// the rest of the chunked body is piped straight into the replica's
+	// request, and the response is piped straight back — no
 	// decode-reencode in either direction, in either codec — so a relay
 	// hop adds O(chunk) memory, not O(stream).
 	mux.HandleFunc("POST /v1/assign/stream", func(w http.ResponseWriter, r *http.Request) {
@@ -393,14 +698,14 @@ func (rt *Router) Handler() http.Handler {
 			}
 			body = io.MultiReader(bytes.NewReader(append(header, '\n')), br)
 		}
-		owner, peerC := rt.owner(name)
-		if name == "" || peerC == nil || r.Header.Get(forwardedHeader) != "" {
+		owners := rt.owners(name)
+		if name == "" || r.Header.Get(forwardedHeader) != "" || rt.serveLocallyRead(name, owners) {
 			r.Body = io.NopCloser(body)
 			r.ContentLength = -1
 			rt.localH.ServeHTTP(w, r)
 			return
 		}
-		rt.relayStream(w, r, peerC, owner, body)
+		rt.relayStream(w, r, rt.readTargets(owners), body)
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -412,6 +717,65 @@ func (rt *Router) Handler() http.Handler {
 	})
 
 	return mux
+}
+
+// bufferedResponse captures a local handler's response so the router can
+// act on its status (replicate after a 2xx write) before releasing the
+// bytes to the client. Write bodies are already bounded and buffered on
+// entry, so buffering the (much smaller) response adds no new memory
+// class.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newBufferedResponse() *bufferedResponse {
+	return &bufferedResponse{header: make(http.Header), status: http.StatusOK}
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(status int) { b.status = status }
+
+func (b *bufferedResponse) Write(p []byte) (int, error) { return b.body.Write(p) }
+
+func (b *bufferedResponse) flushTo(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(b.status)
+	_, _ = w.Write(b.body.Bytes())
+}
+
+// serveWriteLocally runs a write (upload or fit) through the local
+// handler and, on success, ships the resulting snapshots to the key's
+// replicas before the response is released — by the time the client
+// sees the 2xx, every live replica can serve the state it names. A
+// cache-hit fit created nothing new and ships nothing.
+func (rt *Router) serveWriteLocally(w http.ResponseWriter, r *http.Request, name string) {
+	brw := newBufferedResponse()
+	rt.localH.ServeHTTP(brw, r)
+	if brw.status >= 200 && brw.status <= 299 && !cacheHitResponse(brw.body.Bytes()) {
+		rt.replicateDataset(name)
+	}
+	brw.flushTo(w)
+}
+
+// cacheHitResponse reports whether a successful write response body is a
+// fit answered from cache ("cache_hit": true) — the one 2xx write that
+// changes no state and therefore needs no replication. Upload responses
+// have no such field and report false.
+func cacheHitResponse(body []byte) bool {
+	var probe struct {
+		CacheHit *bool `json:"cache_hit"`
+	}
+	if json.Unmarshal(body, &probe) != nil || probe.CacheHit == nil {
+		return false
+	}
+	return *probe.CacheHit
 }
 
 // peekDataset extracts the top-level "dataset" field from a fit/assign
@@ -486,42 +850,106 @@ func relayContentType(r *http.Request) string {
 	return "application/json"
 }
 
-// relay forwards one buffered request to the owning peer and writes the
-// peer's exact status and bytes back — the response a client sees is
-// byte-identical whether it asked the owner or any other instance. The
-// inbound Content-Type and Accept travel with it, so codec negotiation
-// happens at the owner exactly as it would on a direct request.
-func (rt *Router) relay(w http.ResponseWriter, r *http.Request, peer *Client, owner, method, path string, body []byte) {
+// relaySeq forwards one buffered request across the target list in
+// order, failing over on transport errors only: the first replica that
+// answers — with any HTTP status — is the answer, byte-identical to what
+// a direct request would get. The body is a byte slice, so every attempt
+// replays identical bytes; this is what makes buffered-path failover
+// safe where the streaming path's is not. The inbound Content-Type and
+// Accept travel with it, so codec negotiation happens at the serving
+// replica exactly as it would on a direct request.
+func (rt *Router) relaySeq(w http.ResponseWriter, r *http.Request, targets []string, method, path string, body []byte) {
 	rt.forwarded.Add(1)
-	status, data, ct, err := peer.do(method, path, relayContentType(r), r.Header.Get("Accept"), body, true)
-	if err != nil {
-		rt.forwardErrors.Add(1)
-		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", owner, err))
+	var lastErr error
+	for _, o := range targets {
+		peer := rt.clientFor(o)
+		if peer == nil {
+			continue
+		}
+		status, data, ct, err := peer.do(method, path, relayContentType(r), r.Header.Get("Accept"), body, true)
+		if err != nil {
+			rt.forwardErrors.Add(1)
+			lastErr = fmt.Errorf("shard %s unreachable: %w", o, err)
+			continue
+		}
+		if ct == "" {
+			ct = "application/json"
+		}
+		w.Header().Set("Content-Type", ct)
+		w.WriteHeader(status)
+		_, _ = w.Write(data)
 		return
 	}
-	if ct == "" {
-		ct = "application/json"
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no live replica for this key")
 	}
-	w.Header().Set("Content-Type", ct)
-	w.WriteHeader(status)
-	_, _ = w.Write(data)
+	writeError(w, http.StatusBadGateway, lastErr)
 }
 
-// relayStream pipes a streaming assign to the owning shard: the request
-// body flows through without buffering or re-encoding — NDJSON lines and
-// binary frames alike are opaque bytes here — and the owner's response is
-// copied back chunk by chunk with a flush per write. If the owner dies
-// mid-stream the 200 header is already gone, so the failure is delivered
-// the only way left: a terminal error record in the response's codec.
-func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Client, owner string, body io.Reader) {
+// countingReader counts the bytes a failed stream attempt consumed — the
+// fact that decides whether failover is allowed.
+type countingReader struct {
+	r io.Reader
+	n atomic.Int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(int64(n))
+	return n, err
+}
+
+// relayStream pipes a streaming assign to a live replica of the key: the
+// request body flows through without buffering or re-encoding — NDJSON
+// lines and binary frames alike are opaque bytes here — and the replica's
+// response is copied back chunk by chunk with a flush per write.
+//
+// Failover follows the no-retry rule for unreplayable bodies (see
+// Client.stream): an attempt that consumed zero request-body bytes —
+// dial refused, connection reset before the body moved — may fail over
+// to the next replica, because the next attempt replays nothing; the
+// moment any body byte has been consumed the stream is committed to that
+// replica, and a failure is delivered as a terminal error, never a
+// silent resend. If the replica dies after the 200 went out, the failure
+// arrives the only way left: a terminal error record in the response's
+// codec.
+func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, targets []string, body io.Reader) {
 	rt.forwarded.Add(1)
-	// The inbound request context cancels the upstream leg when the
-	// client hangs up, so an abandoned stream cannot pin two connections.
-	resp, err := peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream",
-		relayContentType(r), r.Header.Get("Accept"), body, true)
-	if err != nil {
+	cr := &countingReader{r: body}
+	var (
+		resp    *http.Response
+		lastErr error
+		target  string
+	)
+	for _, o := range targets {
+		peer := rt.clientFor(o)
+		if peer == nil {
+			continue
+		}
+		var err error
+		// The inbound request context cancels the upstream leg when the
+		// client hangs up, so an abandoned stream cannot pin two connections.
+		resp, err = peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream",
+			relayContentType(r), r.Header.Get("Accept"), cr, true)
+		if err == nil {
+			target = o
+			break
+		}
 		rt.forwardErrors.Add(1)
-		writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s unreachable: %w", owner, err))
+		lastErr = fmt.Errorf("shard %s unreachable: %w", o, err)
+		if cr.n.Load() > 0 {
+			// The failed attempt consumed part of the inbound stream; a
+			// second attempt would replay a torn prefix. Fail loudly.
+			writeError(w, http.StatusBadGateway,
+				fmt.Errorf("stream not retried after partial send: %w", lastErr))
+			return
+		}
+	}
+	if resp == nil {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no live replica for this key")
+		}
+		writeError(w, http.StatusBadGateway, lastErr)
 		return
 	}
 	defer resp.Body.Close()
@@ -531,14 +959,14 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Clie
 	}
 	w.Header().Set("Content-Type", ct)
 	w.WriteHeader(resp.StatusCode)
-	flushResponse(w) // the owner's status is news; don't sit on it
+	flushResponse(w) // the replica's status is news; don't sit on it
 	fw := &flushWriter{w: w}
 	if isFrameMedia(ct) {
 		fw.track = &wire.Tracker{}
 	}
 	if _, err := io.Copy(fw, resp.Body); err != nil {
 		rt.forwardErrors.Add(1)
-		relayErr := fmt.Errorf("shard %s failed mid-stream: %v", owner, err)
+		relayErr := fmt.Errorf("shard %s failed mid-stream: %v", target, err)
 		if fw.track != nil {
 			// A binary error frame is only legal at a frame boundary;
 			// welded onto a torn frame it would corrupt the stream instead
@@ -550,7 +978,7 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Clie
 			}
 			return
 		}
-		// The owner may have died mid-record; start a fresh line so the
+		// The replica may have died mid-record; start a fresh line so the
 		// terminal error record stays parseable instead of being welded
 		// onto the torn bytes.
 		if !fw.atLineStart() {
@@ -561,7 +989,7 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, peer *Clie
 }
 
 // flushWriter flushes after every write so relayed label chunks reach
-// the client as the owner emits them instead of pooling in this hop. It
+// the client as the replica emits them instead of pooling in this hop. It
 // remembers the last byte so an NDJSON error record can be placed on a
 // fresh line after a torn copy, and (binary responses only) tracks frame
 // boundaries so an error frame is appended only where one may legally go.
@@ -587,19 +1015,24 @@ func (fw *flushWriter) Write(p []byte) (int, error) {
 
 func (fw *flushWriter) atLineStart() bool { return fw.last == 0 || fw.last == '\n' }
 
-// allDatasets fans the registry listing out across the ring and merges
-// it. Unreachable peers contribute nothing — the listing degrades to
-// what the live shards own, matching how their keys would serve.
+// allDatasets fans the registry listing out across the live ring and
+// merges it, deduplicating by name — with rf > 1 every dataset is
+// resident on several shards but is still one dataset. Dead peers are
+// skipped without probing; unreachable live peers contribute nothing —
+// the listing degrades to what the reachable shards hold.
 func (rt *Router) allDatasets() []DatasetInfo {
-	peers, clients := rt.peerClients()
+	rt.mu.RLock()
+	peers := rt.ring.Members()
+	clients := rt.clients
+	rt.mu.RUnlock()
 	var (
 		mu  sync.Mutex
-		out []DatasetInfo
+		all []DatasetInfo
 		wg  sync.WaitGroup
 	)
 	for _, p := range peers {
 		if p == rt.self {
-			out = append(out, rt.local.Datasets()...)
+			all = append(all, rt.local.Datasets()...)
 			continue
 		}
 		wg.Add(1)
@@ -610,44 +1043,63 @@ func (rt *Router) allDatasets() []DatasetInfo {
 				return
 			}
 			mu.Lock()
-			out = append(out, infos...)
+			all = append(all, infos...)
 			mu.Unlock()
 		}(clients[p])
 	}
 	wg.Wait()
-	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	sort.Slice(all, func(a, b int) bool { return all[a].Name < all[b].Name })
+	out := all[:0]
+	for i, d := range all {
+		if i == 0 || all[i-1].Name != d.Name {
+			out = append(out, d)
+		}
+	}
 	return out
 }
 
-// aggregateStats fans /v1/stats out to every peer and sums the
-// counters; unreachable peers are reported per-peer instead of failing
-// the aggregate.
+// aggregateStats fans /v1/stats out across the configured peer set and
+// sums the counters. Peers outside the live set are reported with the
+// unreachable marker and never probed — a dead shard must not add a
+// timeout to every stats call — and a live peer that fails its probe is
+// reported per-peer instead of failing the aggregate.
 func (rt *Router) aggregateStats() RingStatsResponse {
-	peers, clients := rt.peerClients()
+	rt.mu.RLock()
+	configured := rt.configured
+	live := rt.ring
+	clients := rt.clients
+	rt.mu.RUnlock()
 	resp := RingStatsResponse{
-		Self:          rt.self,
-		Peers:         peers,
-		Forwarded:     rt.forwarded.Load(),
-		ForwardErrors: rt.forwardErrors.Load(),
-		PerPeer:       make([]PeerStats, len(peers)),
+		Self:              rt.self,
+		Peers:             live.Members(),
+		RF:                rt.rf,
+		Forwarded:         rt.forwarded.Load(),
+		ForwardErrors:     rt.forwardErrors.Load(),
+		Replicated:        rt.replicated.Load(),
+		ReplicationErrors: rt.replicationErrors.Load(),
+		PerPeer:           make([]PeerStats, len(configured)),
 	}
 	var wg sync.WaitGroup
-	for i, p := range peers {
-		if p == rt.self {
+	for i, p := range configured {
+		switch {
+		case p == rt.self:
 			st := rt.local.Stats()
 			resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
-			continue
+		case !live.Has(p):
+			resp.PerPeer[i] = PeerStats{Peer: p, Unreachable: true}
+			resp.Down = append(resp.Down, p)
+		default:
+			wg.Add(1)
+			go func(i int, p string, c *Client) {
+				defer wg.Done()
+				st, err := c.LocalStats()
+				if err != nil {
+					resp.PerPeer[i] = PeerStats{Peer: p, Error: err.Error()}
+					return
+				}
+				resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
+			}(i, p, clients[p])
 		}
-		wg.Add(1)
-		go func(i int, p string, c *Client) {
-			defer wg.Done()
-			st, err := c.LocalStats()
-			if err != nil {
-				resp.PerPeer[i] = PeerStats{Peer: p, Error: err.Error()}
-				return
-			}
-			resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
-		}(i, p, clients[p])
 	}
 	wg.Wait()
 	for _, ps := range resp.PerPeer {

@@ -34,10 +34,16 @@ func testClientOptions() ClientOptions {
 	return ClientOptions{Retries: 1, Backoff: time.Millisecond}
 }
 
-// startRing boots n shards. dirs[i], when non-empty, gives shard i a
-// snapshot store. Listeners are created first so every router can be
-// born knowing the full (real) peer list.
+// startRing boots n shards at rf=1 — the pre-replication single-owner
+// ring. dirs[i], when non-empty, gives shard i a snapshot store.
 func startRing(t *testing.T, n int, dirs []string) *ringHarness {
+	return startRingRF(t, n, 1, dirs)
+}
+
+// startRingRF boots n shards with the given replication factor.
+// Listeners are created first so every router can be born knowing the
+// full (real) peer list.
+func startRingRF(t *testing.T, n, rf int, dirs []string) *ringHarness {
 	t.Helper()
 	h := &ringHarness{t: t}
 	for i := 0; i < n; i++ {
@@ -55,7 +61,7 @@ func startRing(t *testing.T, n int, dirs []string) *ringHarness {
 			}
 		}
 		svc := New(Options{Workers: 1, CacheSize: 16, Store: store})
-		rt, err := NewRouter(svc, h.addrs[i], h.addrs, 128, testClientOptions())
+		rt, err := NewRouter(svc, h.addrs[i], h.addrs, RouterOptions{Vnodes: 128, RF: rf, Client: testClientOptions()})
 		if err != nil {
 			t.Fatal(err)
 		}

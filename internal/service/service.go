@@ -96,6 +96,12 @@ type Service struct {
 	modelsRestored   atomic.Int64
 	persistErrors    atomic.Int64
 
+	// Replica installs (snapshot shipping from a key's primary). Like the
+	// restored counters these are warm-loads, never refits, and never
+	// touch the cache hit/miss counters.
+	datasetsReplicated atomic.Int64
+	modelsReplicated   atomic.Int64
+
 	fitRequests    atomic.Int64
 	assignRequests atomic.Int64
 	pointsAssigned atomic.Int64
@@ -429,6 +435,11 @@ type Stats struct {
 	DatasetsRestored int   `json:"datasets_restored"`
 	ModelsRestored   int   `json:"models_restored"`
 	PersistErrors    int64 `json:"persist_errors"`
+	// DatasetsReplicated and ModelsReplicated count snapshot installs
+	// shipped by a key's primary — warm-loads of replica state, disjoint
+	// from both the restored counters (disk) and cache misses (refits).
+	DatasetsReplicated int64 `json:"datasets_replicated"`
+	ModelsReplicated   int64 `json:"models_replicated"`
 }
 
 // Stats returns current counters.
@@ -451,6 +462,9 @@ func (s *Service) Stats() Stats {
 		DatasetsRestored: int(s.datasetsRestored.Load()),
 		ModelsRestored:   int(s.modelsRestored.Load()),
 		PersistErrors:    s.persistErrors.Load(),
+
+		DatasetsReplicated: s.datasetsReplicated.Load(),
+		ModelsReplicated:   s.modelsReplicated.Load(),
 	}
 	if total := hits + misses; total > 0 {
 		st.HitRate = float64(hits) / float64(total)

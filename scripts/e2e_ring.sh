@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
-# e2e_ring.sh — end-to-end proof of the dpcd consistent-hash ring against
-# real processes:
+# e2e_ring.sh — end-to-end proof of the replicated, self-healing dpcd
+# ring against real processes:
 #
-#   1. boots a single-node dpcd (the reference) and a 3-shard ring on
-#      localhost ports, each shard with its own -data-dir;
-#   2. uploads the same dataset under several names through ONE shard, so
-#      non-owned names must be forwarded to their owners;
-#   3. fits Ex-DPC everywhere and asserts /v1/assign answers from every
-#      ring instance are byte-identical to the single node's;
-#   4. kills one shard, posts the shrunk membership to the survivors, and
-#      asserts they still serve every key they own — from cache, with
-#      zero refits — while the dead shard's keys fail cleanly.
+#   1. boots a single-node dpcd (the reference) and a 3-shard rf=2 ring
+#      with a 250ms heartbeat, each shard with its own -data-dir;
+#   2. uploads the same dataset under several names through ONE shard
+#      (non-owned names are forwarded to their primaries, which ship
+#      snapshots to their replicas), fits Ex-DPC, and asserts /v1/assign
+#      answers from every ring instance are byte-identical to the single
+#      node's;
+#   3. chaos: SIGKILLs the primary of a key in the middle of a long
+#      label stream entering through that key's replica — the stream
+#      must finish with exit 0 and labels byte-identical to a healthy
+#      reference run, and batch assigns during the detection window must
+#      all succeed off the surviving replicas;
+#   4. waits for the heartbeat to evict the dead shard from the live
+#      ring — no manual POST /v1/ring anywhere — then asserts every key
+#      still answers byte-identically with cache hits and that the
+#      survivors performed zero refits through the whole ordeal.
 #
 # Requirements: go, curl, jq. Run from anywhere; `make e2e` wraps it.
-# Setting E2E_LOG_DIR preserves the daemon logs there (CI uploads them as
-# artifacts when the job fails).
+# CHAOS_N overrides the chaos stream's point count (CI uses 4194304).
+# Setting E2E_LOG_DIR preserves the daemon logs there (CI uploads them
+# as artifacts when the job fails).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -33,12 +41,17 @@ trap cleanup EXIT
 fail() { echo "e2e_ring: FAIL: $*" >&2; exit 1; }
 log()  { echo "e2e_ring: $*"; }
 
+CHAOS_N="${CHAOS_N:-200000}"
+
 cd "$ROOT"
-log "building dpcd and datagen"
+log "building dpcd, datagen, and dpcstream"
 go build -o "$TMP/dpcd" ./cmd/dpcd
 go build -o "$TMP/datagen" ./cmd/datagen
+go build -o "$TMP/dpcstream" ./cmd/dpcstream
 
 "$TMP/datagen" -dataset s2 -n 2000 -seed 7 -out "$TMP/points.csv"
+log "generating $CHAOS_N chaos query points"
+"$TMP/datagen" -dataset s2 -n "$CHAOS_N" -seed 9 -out "$TMP/chaos.csv"
 # Default parameters for the bundled S-set generators (internal/data).
 PARAMS='{"dcut":2500,"rho_min":5,"delta_min":12000}'
 NAMES=(e2e-00 e2e-01 e2e-02 e2e-03 e2e-04 e2e-05)
@@ -54,6 +67,7 @@ for i in 0 1 2; do
     port="${SHARD_PORTS[$i]}"
     "$TMP/dpcd" -addr "127.0.0.1:$port" -workers 2 \
         -self "http://127.0.0.1:$port" -peers "$PEERS" \
+        -rf 2 -heartbeat 250ms -dead-after 2 \
         -data-dir "$TMP/shard-$i" >"$TMP/shard-$i.log" 2>&1 &
     PIDS+=($!)
     SHARD_PID[$port]=$!
@@ -68,13 +82,24 @@ wait_ready() {
     fail "instance on port $1 never became healthy"
 }
 for port in "$SINGLE_PORT" "${SHARD_PORTS[@]}"; do wait_ready "$port"; done
-log "single node on :$SINGLE_PORT, ring on :${SHARD_PORTS[*]}"
+# Staggered startups can transiently evict a peer that had not bound yet;
+# wait for every heartbeat to converge on the full live ring.
+for port in "${SHARD_PORTS[@]}"; do
+    for _ in $(seq 1 50); do
+        n="$(curl -fsS "http://127.0.0.1:$port/v1/ring" | jq '.peers | length')"
+        [ "$n" -eq 3 ] && break
+        sleep 0.1
+    done
+    [ "$n" -eq 3 ] || fail "shard :$port live ring never converged to 3 peers"
+done
+log "single node on :$SINGLE_PORT, rf=2 ring on :${SHARD_PORTS[*]}"
 
 # --- upload + fit ---------------------------------------------------------
 for name in "${NAMES[@]}"; do
     curl -fsS -X PUT --data-binary "@$TMP/points.csv" \
         "http://127.0.0.1:$SINGLE_PORT/v1/datasets/$name" >/dev/null
-    # All ring uploads enter through shard 0: non-owned names are forwarded.
+    # All ring uploads enter through shard 0: non-owned names are forwarded
+    # to their primaries, which ship replica snapshots.
     curl -fsS -X PUT --data-binary "@$TMP/points.csv" \
         "http://127.0.0.1:${SHARD_PORTS[0]}/v1/datasets/$name" >/dev/null
 done
@@ -87,7 +112,7 @@ fit() { # host:port, name
 for i in "${!NAMES[@]}"; do
     fit "$SINGLE_PORT" "${NAMES[$i]}"
     # Round-robin the fitting instance; forwarding must land each fit on
-    # the owner regardless of the entry point.
+    # the primary regardless of the entry point.
     fit "${SHARD_PORTS[$((i % 3))]}" "${NAMES[$i]}"
 done
 
@@ -120,7 +145,8 @@ done
 log "assign answers byte-identical across all 3 instances for ${#NAMES[@]} keys"
 
 # Forwarding must actually have happened (shard 0 took every upload but
-# owns only some keys), and the aggregate must see the whole ring.
+# is primary for only some keys), replication must have placed every key
+# on exactly two shards, and the aggregate must see the whole ring.
 FWD=0
 for port in "${SHARD_PORTS[@]}"; do
     f="$(curl -fsS "http://127.0.0.1:$port/v1/stats" | jq '.forwarded')"
@@ -129,27 +155,25 @@ done
 [ "$FWD" -gt 0 ] || fail "no instance ever forwarded a request"
 AGG="$(curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/stats")"
 [ "$(jq '.peers_up' <<<"$AGG")" -eq 3 ] || fail "aggregate stats: peers_up != 3: $AGG"
-[ "$(jq '.total.datasets' <<<"$AGG")" -eq "${#NAMES[@]}" ] || \
-    fail "aggregate stats: total.datasets != ${#NAMES[@]}: $AGG"
-log "forwarding exercised ($FWD forwards), aggregate stats see 3 peers and ${#NAMES[@]} datasets"
+[ "$(jq '.rf' <<<"$AGG")" -eq 2 ] || fail "aggregate stats: rf != 2: $AGG"
+[ "$(jq '.total.datasets' <<<"$AGG")" -eq $((2 * ${#NAMES[@]})) ] || \
+    fail "aggregate stats: total.datasets != $((2 * ${#NAMES[@]})) (rf=2): $AGG"
+[ "$(jq '.total.cache_misses' <<<"$AGG")" -eq "${#NAMES[@]}" ] || \
+    fail "aggregate stats: replication caused refits: $AGG"
+log "forwarding exercised ($FWD forwards), every key on 2 shards, ${#NAMES[@]} fits ring-wide"
 
-# --- kill a shard, rebalance, survivors keep serving their keys -----------
-ring_owner() { # host:port, key
-    curl -fsS "http://127.0.0.1:$1/v1/ring?key=$2" | jq -r '.owner'
-}
-declare -A OWNER_OF=()
-for name in "${NAMES[@]}"; do
-    OWNER_OF[$name]="$(ring_owner "${SHARD_PORTS[0]}" "$name")"
-done
-VICTIM_ADDR="${OWNER_OF[${NAMES[0]}]}"
+# --- chaos: SIGKILL the primary mid-stream --------------------------------
+# The victim is the primary of NAMES[0]; the stream enters through that
+# key's replica, which serves it locally from the shipped model, so the
+# primary's death must be invisible to the stream.
+RING0="$(curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/ring?key=${NAMES[0]}")"
+VICTIM_ADDR="$(jq -r '.owners[0]' <<<"$RING0")"
+ENTRY_ADDR="$(jq -r '.owners[1]' <<<"$RING0")"
 VICTIM_PORT="${VICTIM_ADDR##*:}"
+ENTRY_PORT="${ENTRY_ADDR##*:}"
 SURVIVOR_PORTS=()
-SURVIVOR_ADDRS=()
 for port in "${SHARD_PORTS[@]}"; do
-    if [ "$port" != "$VICTIM_PORT" ]; then
-        SURVIVOR_PORTS+=("$port")
-        SURVIVOR_ADDRS+=("http://127.0.0.1:$port")
-    fi
+    [ "$port" != "$VICTIM_PORT" ] && SURVIVOR_PORTS+=("$port")
 done
 [ "${#SURVIVOR_PORTS[@]}" -eq 2 ] || fail "victim $VICTIM_ADDR not among the shard ports"
 
@@ -159,46 +183,82 @@ for port in "${SURVIVOR_PORTS[@]}"; do
         "http://127.0.0.1:$port/v1/stats" | jq '.cache_misses')"
 done
 
-log "killing shard $VICTIM_ADDR (owner of ${NAMES[0]})"
-kill "${SHARD_PID[$VICTIM_PORT]}"
+stream_chaos() { # host:port, out
+    "$TMP/dpcstream" -addr "http://127.0.0.1:$1" -dataset "${NAMES[0]}" \
+        -dcut 2500 -rhomin 5 -deltamin 12000 \
+        -in "$TMP/chaos.csv" -out "$2" -mode stream
+}
+log "healthy reference stream of $CHAOS_N points via replica :$ENTRY_PORT"
+stream_chaos "$ENTRY_PORT" "$TMP/labels.ref" || fail "healthy reference stream failed"
+
+log "streaming again and SIGKILLing primary $VICTIM_ADDR mid-stream"
+stream_chaos "$ENTRY_PORT" "$TMP/labels.chaos" &
+STREAM_PID=$!
+# Kill as soon as the first label chunks have landed, so the death is
+# genuinely mid-stream at any CHAOS_N.
+for _ in $(seq 1 200); do
+    [ -s "$TMP/labels.chaos" ] && break
+    sleep 0.05
+done
+kill -9 "${SHARD_PID[$VICTIM_PORT]}"
 wait "${SHARD_PID[$VICTIM_PORT]}" 2>/dev/null || true
 
-NEW_PEERS="$(printf '%s\n' "${SURVIVOR_ADDRS[@]}" | jq -R . | jq -cs '{peers: .}')"
-for port in "${SURVIVOR_PORTS[@]}"; do
-    curl -fsS -X POST -H 'Content-Type: application/json' -d "$NEW_PEERS" \
-        "http://127.0.0.1:$port/v1/ring" >/dev/null
-done
-
-dead_keys=0
+# Detection window: the heartbeat has not necessarily evicted the victim
+# yet, but batch assigns for every key must already fail over to live
+# replicas — zero failed assigns.
 for name in "${NAMES[@]}"; do
-    if [ "${OWNER_OF[$name]}" = "$VICTIM_ADDR" ]; then
-        # Remapped to a survivor that never held the data: clean 404.
-        dead_keys=$((dead_keys + 1))
-        status="$(curl -sS -o /dev/null -w '%{http_code}' -X POST \
-            -H 'Content-Type: application/json' -d "$(assign_body "$name")" \
-            "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/assign")"
-        [ "$status" = "404" ] || fail "dead key $name returned HTTP $status, want 404"
-        continue
+    for port in "${SURVIVOR_PORTS[@]}"; do
+        got="$(assign "$port" "$name")" || fail "assign $name via :$port failed during the detection window"
+        [ "$(jq '.cache_hit' <<<"$got")" = "true" ] || \
+            fail "assign $name via :$port refit during the detection window"
+    done
+done
+log "zero failed assigns during the detection window"
+
+wait "$STREAM_PID" || fail "chaos stream failed after the primary was SIGKILLed"
+cmp "$TMP/labels.ref" "$TMP/labels.chaos" \
+    || fail "labels from the chaos stream differ from the healthy reference"
+GOT_N="$(wc -l < "$TMP/labels.chaos")"
+[ "$GOT_N" -eq "$CHAOS_N" ] || fail "chaos stream returned $GOT_N labels, want $CHAOS_N"
+log "chaos stream finished: $CHAOS_N labels byte-identical to the healthy run"
+
+# --- heartbeat evicts the dead shard; nobody posts /v1/ring ---------------
+evicted=0
+for _ in $(seq 1 100); do
+    ring="$(curl -fsS "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/ring")"
+    if [ "$(jq '.peers | length' <<<"$ring")" -eq 2 ] && \
+       [ "$(jq -r '.down[0] // empty' <<<"$ring")" = "$VICTIM_ADDR" ]; then
+        evicted=1
+        break
     fi
-    # A survivor's key: every surviving instance still answers, and the
-    # answer is still byte-identical to the single node's.
+    sleep 0.1
+done
+[ "$evicted" -eq 1 ] || fail "heartbeat never evicted $VICTIM_ADDR from the live ring"
+log "heartbeat evicted $VICTIM_ADDR without any POST /v1/ring"
+
+# Post-eviction: every key — the victim's included — answers from the
+# surviving replicas, byte-identical, from cache.
+for name in "${NAMES[@]}"; do
     for port in "${SURVIVOR_PORTS[@]}"; do
         got="$(assign "$port" "$name")"
         [ "$got" = "${WANT[$name]}" ] || \
             fail "post-kill assign $name via :$port differs from single node"
-        hit="$(jq '.cache_hit' <<<"$got")"
-        [ "$hit" = "true" ] || fail "post-kill assign $name via :$port was not a cache hit"
+        [ "$(jq '.cache_hit' <<<"$got")" = "true" ] || \
+            fail "post-kill assign $name via :$port was not a cache hit"
     done
 done
-[ "$dead_keys" -ge 1 ] || fail "victim owned no keys; the kill test was vacuous"
 
 for port in "${SURVIVOR_PORTS[@]}"; do
     after="$(curl -fsS -H 'X-Dpcd-Forwarded: 1' \
         "http://127.0.0.1:$port/v1/stats" | jq '.cache_misses')"
     [ "$after" -eq "${MISSES_BEFORE[$port]}" ] || \
-        fail "survivor :$port refit models after the kill ($after vs ${MISSES_BEFORE[$port]} misses)"
+        fail "survivor :$port refit models across the chaos run ($after vs ${MISSES_BEFORE[$port]} misses)"
 done
 AGG="$(curl -fsS "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/stats")"
 [ "$(jq '.peers_up' <<<"$AGG")" -eq 2 ] || fail "aggregate after kill: peers_up != 2: $AGG"
+[ "$(jq -r '.down[0]' <<<"$AGG")" = "$VICTIM_ADDR" ] || fail "aggregate after kill: down list wrong: $AGG"
+[ "$(jq --arg v "$VICTIM_ADDR" \
+    '[.per_peer[] | select(.peer == $v)][0].unreachable' <<<"$AGG")" = "true" ] || \
+    fail "aggregate after kill: victim not marked unreachable: $AGG"
 
-log "PASS: survivors serve $(( ${#NAMES[@]} - dead_keys )) keys with zero refits; $dead_keys dead keys fail cleanly"
+log "PASS: SIGKILL mid-stream -> zero failed assigns, zero refits, byte-identical labels; heartbeat healed the ring"

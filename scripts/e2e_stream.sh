@@ -2,12 +2,13 @@
 # e2e_stream.sh — end-to-end proof of the chunked streaming assign path
 # against real processes:
 #
-#   1. boots a 3-shard dpcd ring on localhost ports;
-#   2. uploads a training dataset and fits Ex-DPC exactly once;
+#   1. boots a 3-shard rf=2 dpcd ring on localhost ports;
+#   2. uploads a training dataset and fits Ex-DPC exactly once (replicas
+#      receive the model as a shipped snapshot, never a refit);
 #   3. streams 4x the per-request batch cap (4,194,304 points by default)
-#      through a shard that does NOT own the dataset, so the chunked body
-#      is relayed to the owner without buffering — once over NDJSON and
-#      once over binary frames (application/x-dpc-frame);
+#      through the one shard that does NOT replicate the dataset, so the
+#      chunked body is relayed to a replica without buffering — once over
+#      NDJSON and once over binary frames (application/x-dpc-frame);
 #   4. sends the same points as four capped batch /v1/assign calls and
 #      asserts all three label files are byte-identical;
 #   5. asserts the whole run performed zero refits and that the non-owner
@@ -61,7 +62,7 @@ PEERS="http://127.0.0.1:${SHARD_PORTS[0]},http://127.0.0.1:${SHARD_PORTS[1]},htt
 for i in 0 1 2; do
     port="${SHARD_PORTS[$i]}"
     "$TMP/dpcd" -addr "127.0.0.1:$port" -workers 2 \
-        -self "http://127.0.0.1:$port" -peers "$PEERS" \
+        -self "http://127.0.0.1:$port" -peers "$PEERS" -rf 2 \
         >"$TMP/stream-shard-$i.log" 2>&1 &
     PIDS+=($!)
 done
@@ -84,13 +85,15 @@ curl -fsS -X POST -H 'Content-Type: application/json' \
     -d "{\"dataset\":\"$NAME\",\"algorithm\":\"Ex-DPC\",\"params\":$PARAMS}" \
     "http://127.0.0.1:${SHARD_PORTS[1]}/v1/fit" >/dev/null
 
-OWNER="$(curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/ring?key=$NAME" | jq -r '.owner')"
+# With rf=2 the key lives on two of the three shards; the one shard
+# outside .owners is the true non-owner that must relay the stream.
+OWNERS="$(curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/ring?key=$NAME" | jq -r '.owners[]')"
 NON_OWNER_PORT=""
 for port in "${SHARD_PORTS[@]}"; do
-    [ "http://127.0.0.1:$port" != "$OWNER" ] && { NON_OWNER_PORT="$port"; break; }
+    grep -qx "http://127.0.0.1:$port" <<<"$OWNERS" || NON_OWNER_PORT="$port"
 done
 [ -n "$NON_OWNER_PORT" ] || fail "could not find a non-owner shard for $NAME"
-log "$NAME owned by $OWNER; streaming through non-owner :$NON_OWNER_PORT"
+log "$NAME replicated on [$(tr '\n' ' ' <<<"$OWNERS")]; streaming through non-owner :$NON_OWNER_PORT"
 
 agg_misses() {
     curl -fsS "http://127.0.0.1:${SHARD_PORTS[0]}/v1/stats" | jq '.total.cache_misses'

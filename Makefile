@@ -54,24 +54,32 @@ e2e-stream:
 	$(if $(STREAM_N),STREAM_N=$(STREAM_N)) ./scripts/e2e_stream.sh
 
 # bench runs the memory-layout micro-benchmarks (flat Dataset vs row
-# slices; committed baseline in BENCH_flat_layout.json) and the serving
-# layer benchmarks (cached fit, assign batch, snapshot cold start).
+# slices; committed baseline in BENCH_flat_layout.json), the serving
+# layer benchmarks (cached fit, assign batch, snapshot cold start), and
+# the param-sweep experiment (one density index vs K fresh fits;
+# committed record in BENCH_param_sweep.json). SWEEPN sizes the sweep
+# dataset; CI smoke-runs it small.
+SWEEPN ?= 20000
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSqDist|ExDPC(Rows|Flat)' -benchmem -benchtime=$(BENCHTIME) .
 	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime=$(BENCHTIME) ./internal/service
+	$(GO) run ./cmd/dpcbench -exp sweep -n $(SWEEPN)
 
 # bench-json records a machine-readable harness run for before/after
 # comparisons.
 bench-json:
 	$(GO) run ./cmd/dpcbench -exp table3,table6 -n 10000 -json BENCH_dpcbench.json
+	$(GO) run ./cmd/dpcbench -exp sweep -n $(SWEEPN) -sweep-json BENCH_param_sweep.json
 
 # fuzz-smoke runs each fuzz target briefly over its committed corpus —
-# the upload parsers, the snapshot decoder, and the wire frame decoder.
-# `go test -fuzz` takes one target per invocation, hence the four runs.
+# the upload parsers, the snapshot decoders (generic and density-index),
+# and the wire frame decoder. `go test -fuzz` takes one target per
+# invocation, hence the five runs.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadCSV$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadBinary$$' -fuzztime $(FUZZTIME) ./internal/data
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime $(FUZZTIME) ./internal/persist
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeIndexSnapshot$$' -fuzztime $(FUZZTIME) ./internal/persist
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 # serve runs the dpcd clustering daemon on a bundled dataset; see the

@@ -1,0 +1,94 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// ErrorInfo is the payload of the uniform error envelope: a stable
+// machine-readable code plus a human-readable message.
+type ErrorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the body of every non-2xx response:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// Error codes carried in ErrorInfo.Code. Codes are part of the wire
+// contract: clients may switch on them, so new failure classes get new
+// codes rather than repurposed ones.
+const (
+	CodeBadRequest     = "bad_request"
+	CodeNotFound       = "not_found"
+	CodeTooLarge       = "too_large"
+	CodeTooManyStreams = "too_many_streams"
+	CodeBadGateway     = "bad_gateway"
+	CodeInternal       = "internal"
+)
+
+// CodeForStatus maps an HTTP status to its default error code. Handlers
+// that know a more specific code set it directly.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	case http.StatusTooManyRequests:
+		return CodeTooManyStreams
+	case http.StatusBadGateway:
+		return CodeBadGateway
+	}
+	if status >= 400 && status < 500 {
+		return CodeBadRequest
+	}
+	return CodeInternal
+}
+
+// APIError is a non-2xx response decoded client-side: the HTTP status
+// plus the envelope's code and message. Status is what retry and
+// failover logic switches on; Code is the stable discriminator within a
+// status class.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // machine-readable code from the envelope
+	Message string // human-readable message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+// DecodeError builds the *APIError for a non-2xx response body. It
+// understands the uniform envelope, falls back to the legacy flat
+// {"error":"msg"} shape, and finally to the raw body text, so a client
+// talking to an older daemon still surfaces something readable.
+func DecodeError(status int, body []byte) *APIError {
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Message != "" {
+		code := env.Error.Code
+		if code == "" {
+			code = CodeForStatus(status)
+		}
+		return &APIError{Status: status, Code: code, Message: env.Error.Message}
+	}
+	var legacy struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &legacy); err == nil && legacy.Error != "" {
+		return &APIError{Status: status, Code: CodeForStatus(status), Message: legacy.Error}
+	}
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = http.StatusText(status)
+	}
+	return &APIError{Status: status, Code: CodeForStatus(status), Message: msg}
+}

@@ -27,17 +27,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run: all, or comma list of "+strings.Join(bench.Names(), ","))
-		n        = flag.Int("n", 20000, "cardinality of the real-dataset stand-ins")
-		threads  = flag.Int("threads", 0, "worker count for timed runs (0 = all CPUs)")
-		seed     = flag.Int64("seed", 1, "dataset generation seed")
-		outdir   = flag.String("outdir", "", "directory for figure images (empty: skip rendering)")
-		jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json record of the run here")
-		wireJSON = flag.String("wire-json", "", "write the wire experiment's codec comparison record here (BENCH_wire_protocol.json)")
+		exp       = flag.String("exp", "all", "experiments to run: all, or comma list of "+strings.Join(bench.Names(), ","))
+		n         = flag.Int("n", 20000, "cardinality of the real-dataset stand-ins")
+		threads   = flag.Int("threads", 0, "worker count for timed runs (0 = all CPUs)")
+		seed      = flag.Int64("seed", 1, "dataset generation seed")
+		outdir    = flag.String("outdir", "", "directory for figure images (empty: skip rendering)")
+		jsonPath  = flag.String("json", "", "write a machine-readable BENCH_*.json record of the run here")
+		wireJSON  = flag.String("wire-json", "", "write the wire experiment's codec comparison record here (BENCH_wire_protocol.json)")
+		sweepJSON = flag.String("sweep-json", "", "write the sweep experiment's index-vs-fits record here (BENCH_param_sweep.json)")
 	)
 	flag.Parse()
 
-	cfg := bench.Config{N: *n, Threads: *threads, Seed: *seed, OutDir: *outdir, WireJSON: *wireJSON}
+	cfg := bench.Config{N: *n, Threads: *threads, Seed: *seed, OutDir: *outdir, WireJSON: *wireJSON, SweepJSON: *sweepJSON}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "dpcbench:", err)

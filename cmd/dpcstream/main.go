@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/api"
 	"repro/internal/service"
 	"repro/internal/wire"
 )
@@ -54,6 +55,7 @@ func main() {
 		batchSize = flag.Int("batch-size", 1<<20, "points per request in -mode batch (server caps at 1<<20)")
 		wireFmt   = flag.String("wire", "json", "wire codec: json (NDJSON/JSON) or binary (application/x-dpc-frame)")
 		f32       = flag.Bool("float32", false, "with -wire binary, send coordinates as float32 (half the bytes; lossy unless values round-trip)")
+		gz        = flag.Bool("gzip", false, "with -mode stream, gzip-compress both stream directions (worthwhile on slow links)")
 	)
 	flag.Parse()
 	if *dataset == "" {
@@ -72,6 +74,9 @@ func main() {
 	}
 	if *f32 && !binary {
 		log.Fatal("-float32 requires -wire binary")
+	}
+	if *gz && *mode != "stream" {
+		log.Fatal("-gzip requires -mode stream")
 	}
 
 	input := os.Stdin
@@ -93,15 +98,15 @@ func main() {
 		output = f
 	}
 
-	req := service.FitRequest{
+	req := api.FitRequest{
 		Dataset:   *dataset,
 		Algorithm: *algorithm,
-		Params: service.ParamsJSON{
+		Params: api.Params{
 			DCut: *dcut, RhoMin: *rhomin, DeltaMin: *deltamin,
 			Epsilon: *epsilon, Seed: *seed,
 		},
 	}
-	client := service.NewClient(*addr, service.ClientOptions{})
+	client := service.NewClient(*addr, service.ClientOptions{GzipStream: *gz})
 	points := bufio.NewScanner(input)
 	points.Buffer(make([]byte, 64<<10), 1<<20)
 	w := bufio.NewWriterSize(output, 1<<16)
@@ -134,7 +139,7 @@ func main() {
 // converts lines to NDJSON lines — or binary points frames with -wire
 // binary — as the response labels flow back, so memory stays bounded no
 // matter how long the input is.
-func runStream(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer, binary, f32 bool) (int64, error) {
+func runStream(client *service.Client, req api.FitRequest, points *bufio.Scanner, w *bufio.Writer, binary, f32 bool) (int64, error) {
 	pr, pw := io.Pipe()
 	go func() {
 		next := func() ([]float64, error) {
@@ -186,7 +191,7 @@ func runStream(client *service.Client, req service.FitRequest, points *bufio.Sca
 
 // runBatch sends the same points as consecutive capped /v1/assign calls
 // — the pre-streaming workaround, kept as the parity reference.
-func runBatch(client *service.Client, req service.FitRequest, points *bufio.Scanner, w *bufio.Writer, batchSize int, binary, f32 bool) (int64, error) {
+func runBatch(client *service.Client, req api.FitRequest, points *bufio.Scanner, w *bufio.Writer, batchSize int, binary, f32 bool) (int64, error) {
 	var labeled int64
 	batch := make([][]float64, 0, batchSize)
 	flush := func() error {
@@ -194,13 +199,13 @@ func runBatch(client *service.Client, req service.FitRequest, points *bufio.Scan
 			return nil
 		}
 		var (
-			resp service.AssignResponse
+			resp api.AssignResponse
 			err  error
 		)
 		if binary {
 			resp, err = client.AssignFrames(req, batch, f32)
 		} else {
-			resp, err = client.Assign(service.AssignRequest{FitRequest: req, Points: batch})
+			resp, err = client.Assign(api.AssignRequest{FitRequest: req, Points: batch})
 		}
 		if err != nil {
 			return err

@@ -38,6 +38,9 @@ type Config struct {
 	// WireJSON, when non-empty, is where the wire experiment writes its
 	// machine-readable BENCH_wire_protocol.json record.
 	WireJSON string
+	// SweepJSON, when non-empty, is where the sweep experiment writes
+	// its machine-readable BENCH_param_sweep.json record.
+	SweepJSON string
 	// W receives the printed tables; nil means os.Stdout.
 	W io.Writer
 }

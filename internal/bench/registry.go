@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{"abl-subsets", "Ablation: subset count s", Config.AblSubsets},
 		{"service", "Fit-once/assign-many serving latency and cache hit rate", Config.Service},
 		{"wire", "Binary frame codec vs JSON on the assign wire path", Config.Wire},
+		{"sweep", "Parameter sweep: one density index vs K fresh fits", Config.ParamSweep},
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/persist"
@@ -221,10 +222,10 @@ func (c Config) serviceStream(w io.Writer) error {
 	if _, err := cl.PutDataset("stream", "csv", csv.Bytes()); err != nil {
 		return err
 	}
-	req := service.FitRequest{
+	req := api.FitRequest{
 		Dataset:   "stream",
 		Algorithm: "Ex-DPC",
-		Params:    service.ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+		Params:    api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
 	}
 	if _, err := cl.Fit(req); err != nil {
 		return err
@@ -252,7 +253,7 @@ func (c Config) serviceStream(w io.Writer) error {
 		for i := range pts {
 			pts[i] = point(rng)
 		}
-		resp, err := cl.Assign(service.AssignRequest{FitRequest: req, Points: pts})
+		resp, err := cl.Assign(api.AssignRequest{FitRequest: req, Points: pts})
 		if err != nil {
 			return fmt.Errorf("stream bench: batch assign: %w", err)
 		}
@@ -433,14 +434,14 @@ func (c Config) serviceSharded(w io.Writer) error {
 				return 0, 0, err
 			}
 		}
-		toParams := func(p core.Params) service.ParamsJSON {
-			return service.ParamsJSON{DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin}
+		toParams := func(p core.Params) api.Params {
+			return api.Params{DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin}
 		}
 		start := time.Now()
 		errs := make(chan error, numDatasets)
 		for i, e := range entries {
 			go func(i int, e entry) {
-				_, err := cls[i%len(cls)].Fit(service.FitRequest{
+				_, err := cls[i%len(cls)].Fit(api.FitRequest{
 					Dataset: e.name, Algorithm: "Ex-DPC", Params: toParams(e.params)})
 				errs <- err
 			}(i, e)
@@ -461,8 +462,8 @@ func (c Config) serviceSharded(w io.Writer) error {
 				defer wg.Done()
 				for b := 0; b < batchesPer; b++ {
 					e := entries[(cl+b)%len(entries)]
-					_, err := cls[(cl+b)%len(cls)].Assign(service.AssignRequest{
-						FitRequest: service.FitRequest{
+					_, err := cls[(cl+b)%len(cls)].Assign(api.AssignRequest{
+						FitRequest: api.FitRequest{
 							Dataset: e.name, Algorithm: "Ex-DPC", Params: toParams(e.params)},
 						Points: e.batch,
 					})

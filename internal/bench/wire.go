@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/api"
 	"repro/internal/data"
 	"repro/internal/service"
 	"repro/internal/wire"
@@ -51,10 +52,10 @@ func (c Config) Wire() error {
 	if err := data.SaveCSV(&csv, d.Points); err != nil {
 		return err
 	}
-	req := service.FitRequest{
+	req := api.FitRequest{
 		Dataset:   "wire",
 		Algorithm: "Ex-DPC",
-		Params:    service.ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+		Params:    api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
 	}
 
 	// One instance behind a byte-counting listener: bytes/point includes
@@ -129,13 +130,13 @@ func (c Config) Wire() error {
 			for off := 0; off < total; off += batchSize {
 				pts := rows[off : off+batchSize]
 				var (
-					resp service.AssignResponse
+					resp api.AssignResponse
 					err  error
 				)
 				if binary {
 					resp, err = client.AssignFrames(req, pts, false)
 				} else {
-					resp, err = client.Assign(service.AssignRequest{FitRequest: req, Points: pts})
+					resp, err = client.Assign(api.AssignRequest{FitRequest: req, Points: pts})
 				}
 				if err != nil {
 					return labeled, err
@@ -302,7 +303,7 @@ func (c Config) Wire() error {
 // verifyBatch replays the reference workload through AssignFrames and
 // compares every label — the batch legs stream too many points to keep
 // two copies of the responses around during the timed run.
-func verifyBatch(client *service.Client, req service.FitRequest, rows [][]float64,
+func verifyBatch(client *service.Client, req api.FitRequest, rows [][]float64,
 	batchSize int, ref []int32) (bool, error) {
 	for off := 0; off < len(rows); off += batchSize {
 		resp, err := client.AssignFrames(req, rows[off:off+batchSize], false)
@@ -328,7 +329,7 @@ type wireRelayResult struct {
 // must still match the single-instance reference — the relay may not
 // touch the payload — and the summary must report a cache hit, proving
 // the forwarded stream reused the owner's fitted model.
-func (c Config) wireRelayLeg(params service.ParamsJSON, csv []byte,
+func (c Config) wireRelayLeg(params api.Params, csv []byte,
 	rows [][]float64, ref []int32) (wireRelayResult, error) {
 	shards, routers, err := startRingShards(3, c.threads())
 	if err != nil {
@@ -350,7 +351,7 @@ func (c Config) wireRelayLeg(params service.ParamsJSON, csv []byte,
 	if _, err := client.PutDataset("wire", "csv", csv); err != nil {
 		return wireRelayResult{}, err
 	}
-	req := service.FitRequest{Dataset: "wire", Algorithm: "Ex-DPC", Params: params}
+	req := api.FitRequest{Dataset: "wire", Algorithm: "Ex-DPC", Params: params}
 	if _, err := client.Fit(req); err != nil {
 		return wireRelayResult{}, err
 	}

@@ -49,12 +49,16 @@ func Fit(alg Algorithm, ds *geom.Dataset, p Params) (*Model, error) {
 	}, nil
 }
 
-// Restore rebuilds a fitted Model from persisted state without re-running
-// the algorithm: the dataset and Result are taken as-is and only the
-// kd-tree assignment index — the one piece a snapshot does not serialize —
-// is re-derived from the points. fitTime is the original fit cost, kept so
-// restored models report honest ModelStats. The algorithm name must
-// resolve against the registry and the result must match the dataset.
+// Restore rebuilds a fitted Model from an already-computed Result
+// without re-running the algorithm. It serves two construction paths:
+// persisted snapshots (the dataset and Result are taken as-is and only
+// the kd-tree assignment index — the one piece a snapshot does not
+// serialize — is re-derived from the points) and density-index re-cuts
+// (a parameter-flexible index derives the Result for new parameters,
+// then freezes it into a servable Model here). fitTime is the cost of
+// producing the Result — the original fit, or the re-cut — kept so such
+// models report honest ModelStats. The algorithm name must resolve
+// against the registry and the result must match the dataset.
 func Restore(algorithm string, ds *geom.Dataset, res *Result, p Params, fitTime time.Duration) (*Model, error) {
 	if _, ok := AlgorithmByName(algorithm); !ok {
 		return nil, fmt.Errorf("core: unknown algorithm %q", algorithm)

@@ -1,0 +1,434 @@
+// Package densindex implements a parameter-flexible density index for
+// density-peaks clustering, after the FINEX idea (index once, re-cut per
+// parameter setting): one per-dataset structure from which density rho,
+// dependent distance delta, the decision graph, and full label vectors
+// for any d_cut up to a build-time ceiling are derived with zero
+// distance recomputation.
+//
+// The structure is a CSR adjacency of every point's neighbors within
+// DCutMax, each list sorted by ascending squared distance: rho at any
+// d_cut <= DCutMax is a binary search (the strict count of stored
+// neighbors closer than d_cut, plus self and the framework jitter), and
+// delta/dep fall out of one ordered scan of the same lists, with a
+// brute-force fallback only for points that are local density maxima at
+// the DCutMax scale. Stored squared distances come straight out of the
+// kd-tree's full dimension-order accumulation — the same float
+// operations, in the same order, as the Scan kernels — so a re-cut's
+// Rho/Delta/Dep (and therefore its labels) are byte-identical to a
+// fresh fit of the covered algorithms.
+//
+// Covered algorithms: Scan, R-tree + Scan, and Ex-DPC — the framework's
+// exact algorithms, which share the strict-threshold density of
+// Definition 1 and the nearest-higher-density dependency of Definition
+// 2. Approximate and sampling algorithms (LSH-DDP, Approx-DPC, ...)
+// compute different quantities and are not reproducible from this
+// index.
+package densindex
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/partition"
+)
+
+// covered is the set of algorithms whose fits an index re-cut
+// reproduces byte-for-byte.
+var covered = map[string]bool{
+	"Scan":          true,
+	"R-tree + Scan": true,
+	"Ex-DPC":        true,
+}
+
+// Covers reports whether a re-cut of the index reproduces the named
+// algorithm's fit exactly.
+func Covers(algorithm string) bool { return covered[algorithm] }
+
+// CoveredAlgorithms lists the covered algorithm names, sorted.
+func CoveredAlgorithms() []string {
+	out := make([]string, 0, len(covered))
+	for name := range covered {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Index is the frozen per-dataset structure. It references the dataset
+// (no copy) and is immutable after Build/FromParts — safe for
+// concurrent Cut and Decision calls.
+type Index struct {
+	ds    *geom.Dataset
+	dcMax float64
+
+	// CSR neighbor lists: point i's neighbors strictly within dcMax are
+	// ids[start[i]:start[i+1]] with squared distances sq[...], sorted by
+	// (sq, id). Self is excluded; id order on equal sq keeps the layout
+	// deterministic across builds.
+	start []int64
+	ids   []int32
+	sq    []float64
+}
+
+// ErrTooDense is wrapped by Build when the neighbor lists would exceed
+// the edge budget; callers retry with a smaller d_cut ceiling or give
+// up.
+var ErrTooDense = fmt.Errorf("densindex: neighbor lists exceed the edge budget")
+
+// Build constructs the index with neighborhood ceiling dcMax: every
+// point pair closer than dcMax is materialized once per endpoint.
+// maxEdges caps the total stored entries (<= 0 means no cap) — each
+// entry costs 12 bytes, and a dcMax far above the useful d_cut range
+// degenerates toward n^2.
+func Build(ds *geom.Dataset, dcMax float64, workers int, maxEdges int64) (*Index, error) {
+	if ds == nil || ds.N == 0 {
+		return nil, fmt.Errorf("densindex: empty dataset")
+	}
+	if !(dcMax > 0) || math.IsInf(dcMax, 1) {
+		return nil, fmt.Errorf("densindex: dcut ceiling must be a positive finite number, got %g", dcMax)
+	}
+	n := ds.N
+	tree := kdtree.BuildAll(ds)
+
+	// Count pass: exact per-point neighbor counts size the CSR slabs, so
+	// the fill pass never reallocates and the edge budget is checked
+	// before the big allocation.
+	workers = core.Params{Workers: workers}.WorkerCount()
+	counts := make([]int64, n)
+	partition.DynamicChunked(n, workers, 4, func(i int) {
+		counts[i] = int64(tree.RangeCount(ds.At(i), dcMax)) - 1 // exclude self
+	})
+	start := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + counts[i]
+	}
+	total := start[n]
+	if maxEdges > 0 && total > maxEdges {
+		return nil, fmt.Errorf("%w: %d entries at dcut<=%g, budget %d — lower the requested dcut or raise the index edge budget",
+			ErrTooDense, total, dcMax, maxEdges)
+	}
+
+	x := &Index{
+		ds: ds, dcMax: dcMax,
+		start: start,
+		ids:   make([]int32, total),
+		sq:    make([]float64, total),
+	}
+	partition.DynamicChunked(n, workers, 4, func(i int) {
+		lo := start[i]
+		w := lo
+		tree.RangeSearch(ds.At(i), dcMax, func(id int32, d float64) {
+			if int(id) == i {
+				return
+			}
+			x.ids[w] = id
+			x.sq[w] = d
+			w++
+		})
+		x.sortRow(lo, w)
+	})
+	return x, nil
+}
+
+// edge pairs one CSR entry for sorting; sq values are finite and
+// non-negative so a plain < comparison is a total order.
+type edge struct {
+	sq float64
+	id int32
+}
+
+// edgeScratch recycles per-row sort buffers across the build workers.
+var edgeScratch = sync.Pool{
+	New: func() any { return new([]edge) },
+}
+
+// sortRow orders one CSR segment by (sq, id). The parallel id/sq pairs
+// are packed into a scratch slice and sorted by a concrete-typed
+// quicksort whose comparisons inline — both sort.Sort and the generic
+// slices.SortFunc pay an indirect call per comparison, which over the
+// index's millions of entries dominated the whole build.
+func (x *Index) sortRow(lo, hi int64) {
+	ids, sq := x.ids[lo:hi], x.sq[lo:hi]
+	bp := edgeScratch.Get().(*[]edge)
+	row := (*bp)[:0]
+	for j := range ids {
+		row = append(row, edge{sq: sq[j], id: ids[j]})
+	}
+	sortEdges(row)
+	for j, e := range row {
+		ids[j], sq[j] = e.id, e.sq
+	}
+	*bp = row
+	edgeScratch.Put(bp)
+}
+
+// edgeLess is the (sq, id) total order; (sq, id) pairs are unique within
+// a row, so every correct sort yields the same byte layout.
+func edgeLess(a, b edge) bool {
+	return a.sq < b.sq || (a.sq == b.sq && a.id < b.id)
+}
+
+// sortEdges is quicksort with median-of-three pivots and an insertion
+// sort floor, recursing into the smaller half so the stack stays
+// O(log n) even on adversarial rows.
+func sortEdges(e []edge) {
+	for len(e) > 24 {
+		p := partitionEdges(e)
+		if p < len(e)-p {
+			sortEdges(e[:p])
+			e = e[p+1:]
+		} else {
+			sortEdges(e[p+1:])
+			e = e[:p]
+		}
+	}
+	insertionEdges(e)
+}
+
+func insertionEdges(e []edge) {
+	for i := 1; i < len(e); i++ {
+		x := e[i]
+		j := i - 1
+		for j >= 0 && edgeLess(x, e[j]) {
+			e[j+1] = e[j]
+			j--
+		}
+		e[j+1] = x
+	}
+}
+
+// partitionEdges orders e[0], e[mid], e[hi], parks the median next to
+// the end as the pivot, and Hoare-scans the interior; the two outer
+// elements act as sentinels so the inner loops need no bounds checks.
+func partitionEdges(e []edge) int {
+	hi := len(e) - 1
+	m := len(e) / 2
+	if edgeLess(e[m], e[0]) {
+		e[0], e[m] = e[m], e[0]
+	}
+	if edgeLess(e[hi], e[0]) {
+		e[0], e[hi] = e[hi], e[0]
+	}
+	if edgeLess(e[hi], e[m]) {
+		e[m], e[hi] = e[hi], e[m]
+	}
+	e[m], e[hi-1] = e[hi-1], e[m]
+	pivot := e[hi-1]
+	i, j := 0, hi-1
+	for {
+		for i++; edgeLess(e[i], pivot); i++ {
+		}
+		for j--; edgeLess(pivot, e[j]); j-- {
+		}
+		if i >= j {
+			break
+		}
+		e[i], e[j] = e[j], e[i]
+	}
+	e[i], e[hi-1] = e[hi-1], e[i]
+	return i
+}
+
+// FromParts reassembles an index from persisted arrays, validating the
+// invariants an untrusted snapshot could violate: monotone row offsets,
+// in-range neighbor ids, and per-row squared distances ascending and
+// strictly below dcMax^2. The slices are adopted, not copied.
+func FromParts(ds *geom.Dataset, dcMax float64, start []int64, ids []int32, sq []float64) (*Index, error) {
+	if ds == nil || ds.N == 0 {
+		return nil, fmt.Errorf("densindex: empty dataset")
+	}
+	if !(dcMax > 0) || math.IsInf(dcMax, 1) {
+		return nil, fmt.Errorf("densindex: dcut ceiling must be a positive finite number, got %g", dcMax)
+	}
+	n := ds.N
+	if len(start) != n+1 {
+		return nil, fmt.Errorf("densindex: %d row offsets for %d points", len(start), n)
+	}
+	if start[0] != 0 || start[n] != int64(len(ids)) || len(ids) != len(sq) {
+		return nil, fmt.Errorf("densindex: offsets [%d,%d] do not frame %d ids / %d distances",
+			start[0], start[n], len(ids), len(sq))
+	}
+	limit := dcMax * dcMax
+	for i := 0; i < n; i++ {
+		lo, hi := start[i], start[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("densindex: row %d offsets decrease (%d > %d)", i, lo, hi)
+		}
+		prev := -1.0
+		for e := lo; e < hi; e++ {
+			id, d := ids[e], sq[e]
+			if id < 0 || int(id) >= n || int(id) == i {
+				return nil, fmt.Errorf("densindex: row %d has neighbor id %d (n=%d)", i, id, n)
+			}
+			if !(d >= 0) || d >= limit { // !(d>=0) also rejects NaN
+				return nil, fmt.Errorf("densindex: row %d has squared distance %g outside [0, %g)", i, d, limit)
+			}
+			if d < prev {
+				return nil, fmt.Errorf("densindex: row %d distances not ascending", i)
+			}
+			prev = d
+		}
+	}
+	return &Index{ds: ds, dcMax: dcMax, start: start, ids: ids, sq: sq}, nil
+}
+
+// DCutMax returns the neighborhood ceiling: Cut and Decision accept any
+// d_cut in (0, DCutMax].
+func (x *Index) DCutMax() float64 { return x.dcMax }
+
+// Edges returns the number of stored neighbor entries.
+func (x *Index) Edges() int64 { return x.start[len(x.start)-1] }
+
+// N returns the indexed point count.
+func (x *Index) N() int { return x.ds.N }
+
+// Parts exposes the persistable arrays (ceiling, row offsets, neighbor
+// ids, squared distances). Callers must not mutate them.
+func (x *Index) Parts() (dcMax float64, start []int64, ids []int32, sq []float64) {
+	return x.dcMax, x.start, x.ids, x.sq
+}
+
+// checkDC validates a requested cut distance against the ceiling.
+func (x *Index) checkDC(dcut float64) error {
+	if !(dcut > 0) || math.IsInf(dcut, 1) {
+		return fmt.Errorf("densindex: dcut must be a positive finite number, got %g", dcut)
+	}
+	if dcut > x.dcMax {
+		return fmt.Errorf("densindex: dcut %g exceeds the index ceiling %g", dcut, x.dcMax)
+	}
+	return nil
+}
+
+// rho computes the density vector at dcut: for each point, one binary
+// search for the strict squared-distance threshold, plus self and the
+// framework jitter — the exact value the Scan kernels compute from a
+// full distance pass.
+func (x *Index) rho(dcut float64, workers int) []float64 {
+	sqCut := dcut * dcut
+	out := make([]float64, x.ds.N)
+	partition.DynamicChunked(x.ds.N, workers, 64, func(i int) {
+		lo, hi := x.start[i], x.start[i+1]
+		row := x.sq[lo:hi]
+		k := sort.Search(len(row), func(e int) bool { return row[e] >= sqCut })
+		// k stored neighbors strictly within dcut, +1 for the point itself
+		// (the kernels' self-comparison accumulates 0 < dcut^2).
+		out[i] = float64(k+1) + core.Jitter(i)
+	})
+	return out
+}
+
+// deltaDep derives delta and dep from a density vector. For each
+// non-peak point the dependent is found in its stored list: the nearest
+// stored neighbor of higher density is the true nearest higher-density
+// point, because any closer higher-density point would itself be stored
+// (all pairs within dcMax are). Ties on squared distance resolve to the
+// earliest-in-density-order candidate, exactly like the framework's
+// scanDelta; tying with an unstored point is impossible (unstored
+// means >= dcMax^2, stored means < dcMax^2). Points with no stored
+// higher-density neighbor — local density maxima at the dcMax scale —
+// fall back to the scanDelta brute-force scan, which replicates its
+// float operations verbatim.
+func (x *Index) deltaDep(rho []float64, workers int) (delta []float64, dep []int32) {
+	n := x.ds.N
+	order := core.DensityOrder(rho)
+	rank := make([]int32, n)
+	for r, i := range order {
+		rank[i] = int32(r)
+	}
+	delta = make([]float64, n)
+	dep = make([]int32, n)
+	peak := order[0]
+	delta[peak] = math.Inf(1)
+	dep[peak] = core.NoDependent
+	partition.DynamicChunked(n-1, workers, 8, func(k int) {
+		r := k + 1
+		i := order[r]
+		lo, hi := x.start[i], x.start[i+1]
+		myRank := rank[i]
+		best := core.NoDependent
+		bestSq := math.Inf(1)
+		for e := lo; e < hi; e++ {
+			j := x.ids[e]
+			if rank[j] >= myRank {
+				continue
+			}
+			if best == core.NoDependent {
+				best, bestSq = j, x.sq[e]
+				continue
+			}
+			if x.sq[e] != bestSq {
+				break // rows are sq-ascending: no more ties possible
+			}
+			if rank[j] < rank[best] {
+				best = j
+			}
+		}
+		if best == core.NoDependent {
+			// Local maximum at the dcMax scale: scan all higher-density
+			// points the way scanDelta does. This is the only place a cut
+			// touches raw coordinates.
+			pi := x.ds.At(int(i))
+			for _, j := range order[:r] {
+				var s float64
+				pj := x.ds.At(int(j))
+				for t := range pi {
+					d := pi[t] - pj[t]
+					s += d * d
+					if s >= bestSq {
+						break
+					}
+				}
+				if s < bestSq {
+					bestSq = s
+					best = j
+				}
+			}
+			delta[i] = math.Sqrt(bestSq)
+			dep[i] = best
+			return
+		}
+		delta[i] = math.Sqrt(bestSq)
+		dep[i] = best
+	})
+	return delta, dep
+}
+
+// Decision computes the decision graph at dcut: per-point density and
+// dependent distance, without center selection or labeling.
+func (x *Index) Decision(dcut float64, workers int) (rho, delta []float64, err error) {
+	if err := x.checkDC(dcut); err != nil {
+		return nil, nil, err
+	}
+	workers = core.Params{Workers: workers}.WorkerCount()
+	rho = x.rho(dcut, workers)
+	delta, _ = x.deltaDep(rho, workers)
+	return rho, delta, nil
+}
+
+// Cut derives the full clustering for p — Rho, Delta, Dep, Centers,
+// Labels — byte-identical to a fresh fit of any covered algorithm at
+// the same parameters. p.DCut must be in (0, DCutMax]; p.Workers
+// follows core.Params semantics.
+func (x *Index) Cut(p core.Params) (*core.Result, error) {
+	if err := x.checkDC(p.DCut); err != nil {
+		return nil, err
+	}
+	workers := p.WorkerCount()
+	res := &core.Result{}
+	start := time.Now()
+	res.Rho = x.rho(p.DCut, workers)
+	res.Timing.Rho = time.Since(start)
+	start = time.Now()
+	res.Delta, res.Dep = x.deltaDep(res.Rho, workers)
+	res.Timing.Delta = time.Since(start)
+	start = time.Now()
+	core.Finalize(res, p)
+	res.Timing.Label = time.Since(start)
+	return res, nil
+}

@@ -7,7 +7,7 @@
 //
 //	magic      uint32  "DPS1"
 //	version    uint16  format version (currently 1)
-//	kind       uint8   1 = dataset, 2 = model
+//	kind       uint8   1 = dataset, 2 = model, 3 = density index
 //	reserved   uint8
 //	payloadLen uint64  must equal the bytes that follow the header
 //	crc        uint32  IEEE CRC-32 of the payload
@@ -40,6 +40,7 @@ const (
 
 	kindDataset = byte(1)
 	kindModel   = byte(2)
+	kindIndex   = byte(3)
 
 	headerSize = 20
 
@@ -142,6 +143,12 @@ func (e *encoder) i32s(vs []int32) {
 	}
 }
 
+func (e *encoder) i64s(vs []int64) {
+	for _, v := range vs {
+		e.i64(v)
+	}
+}
+
 // decoder walks a payload with a sticky error; every read is
 // bounds-checked against the bytes remaining, and the element-count
 // readers reject counts whose total size exceeds what is present before
@@ -218,6 +225,17 @@ func (d *decoder) i32s(n int) []int32 {
 	return out
 }
 
+func (d *decoder) i64s(n int) []int64 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.i64()
+	}
+	return out
+}
+
 func (d *decoder) done() error {
 	if d.err != nil {
 		return d.err
@@ -256,7 +274,7 @@ func decodeHeader(raw []byte) (kind byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("persist: unsupported format version %d (want %d)", v, snapVersion)
 	}
 	kind = raw[6]
-	if kind != kindDataset && kind != kindModel {
+	if kind != kindDataset && kind != kindModel && kind != kindIndex {
 		return 0, nil, fmt.Errorf("persist: unknown snapshot kind %d", kind)
 	}
 	if raw[7] != 0 {
@@ -273,16 +291,20 @@ func decodeHeader(raw []byte) (kind byte, payload []byte, err error) {
 	return kind, payload, nil
 }
 
-// DecodeSnapshot decodes one snapshot file image into a *DatasetSnapshot
-// or *ModelSnapshot. It is total: corrupt, truncated, or hostile inputs
-// return an error without panicking or allocating beyond the input size.
+// DecodeSnapshot decodes one snapshot file image into a
+// *DatasetSnapshot, *ModelSnapshot, or *IndexSnapshot. It is total:
+// corrupt, truncated, or hostile inputs return an error without
+// panicking or allocating beyond the input size.
 func DecodeSnapshot(raw []byte) (any, error) {
 	kind, payload, err := decodeHeader(raw)
 	if err != nil {
 		return nil, err
 	}
-	if kind == kindDataset {
+	switch kind {
+	case kindDataset:
 		return decodeDataset(payload)
+	case kindIndex:
+		return decodeIndex(payload)
 	}
 	return decodeModel(payload)
 }

@@ -15,6 +15,60 @@ import (
 // decode or error, never panic or allocate past the input size, and an
 // accepted snapshot must be internally consistent and re-encode to the
 // exact bytes it was decoded from (the codec is canonical).
+// FuzzDecodeIndexSnapshot targets the kind-3 (density index) snapshot
+// codec specifically: the CSR arrays carry three independently sized
+// slabs whose declared counts must be validated against the bytes
+// present before allocation, and an accepted image must re-encode
+// canonically. Structural CSR invariants (monotone offsets, sorted
+// rows) are *not* the codec's job — densindex.FromParts enforces those
+// on restore — so this fuzz only checks framing-level consistency.
+func FuzzDecodeIndexSnapshot(f *testing.F) {
+	good := EncodeIndex(&IndexSnapshot{
+		Dataset:            "s2",
+		Version:            3,
+		DatasetFingerprint: 0xfeedface,
+		DCutMax:            2500,
+		Start:              []int64{0, 2, 3, 3},
+		IDs:                []int32{1, 2, 0},
+		Sq:                 []float64{1.5, 4.25, 1.5},
+	})
+	empty := EncodeIndex(&IndexSnapshot{Dataset: "e", Version: 1, DCutMax: 1,
+		Start: []int64{0}, IDs: nil, Sq: nil})
+
+	f.Add(good)
+	f.Add(empty)
+	f.Add(good[:len(good)-8]) // truncated edge slab
+	f.Add(good[:headerSize])  // header only
+	hugeCounts := append([]byte(nil), good...)
+	for i := 0; i < 8; i++ { // declared row count far beyond the payload
+		hugeCounts[headerSize+4+len("s2")+24+i] = 0xff
+	}
+	f.Add(hugeCounts)
+	crc := append([]byte(nil), good...)
+	crc[len(crc)-1] ^= 0x01
+	f.Add(crc)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v, err := DecodeSnapshot(raw)
+		if err != nil {
+			return
+		}
+		snap, ok := v.(*IndexSnapshot)
+		if !ok {
+			return // a non-index snapshot kind; FuzzDecodeSnapshot covers those
+		}
+		if len(snap.IDs) != len(snap.Sq) {
+			t.Fatalf("ragged CSR slabs: %d ids, %d distances", len(snap.IDs), len(snap.Sq))
+		}
+		if len(snap.Start) == 0 {
+			t.Fatal("accepted index snapshot with no row offsets")
+		}
+		if !bytes.Equal(EncodeIndex(snap), raw) {
+			t.Fatal("accepted index snapshot did not re-encode canonically")
+		}
+	})
+}
+
 func FuzzDecodeSnapshot(f *testing.F) {
 	ds := geom.MustFromRows([][]float64{{1, 2}, {3, 4}, {5.5, -6.5}})
 	res := &core.Result{

@@ -27,6 +27,10 @@ type manifestFile struct {
 	Format   int               `json:"format"`
 	Datasets []manifestDataset `json:"datasets"`
 	Models   []manifestModel   `json:"models"`
+	// Indexes holds density-index snapshots (index.go). omitempty plus
+	// JSON's ignore-unknown-fields rule keeps the manifest readable in
+	// both directions across this addition, so Format stays 1.
+	Indexes []manifestIndex `json:"indexes,omitempty"`
 }
 
 type manifestDataset struct {
@@ -85,7 +89,7 @@ func Open(dir string, logf func(format string, args ...any)) (*Store, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	for _, d := range []string{dir, filepath.Join(dir, "datasets"), filepath.Join(dir, "models")} {
+	for _, d := range []string{dir, filepath.Join(dir, "datasets"), filepath.Join(dir, "models"), filepath.Join(dir, "indexes")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("persist: %w", err)
 		}
@@ -160,6 +164,15 @@ func (s *Store) SaveDataset(name string, version uint64, ds *geom.Dataset) error
 		keptM = append(keptM, e)
 	}
 	s.m.Models = keptM
+	keptI := s.m.Indexes[:0]
+	for _, e := range s.m.Indexes {
+		if e.Dataset == name && e.Version != version {
+			remove = append(remove, e.File)
+			continue
+		}
+		keptI = append(keptI, e)
+	}
+	s.m.Indexes = keptI
 	if err := s.saveManifestLocked(); err != nil {
 		return err
 	}

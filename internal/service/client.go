@@ -2,15 +2,18 @@ package service
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/api"
 	"repro/internal/wire"
 )
 
@@ -33,6 +36,10 @@ type ClientOptions struct {
 	// Backoff is the sleep before the first retry, doubling per attempt;
 	// <= 0 means 50ms.
 	Backoff time.Duration
+	// GzipStream compresses the request body of streaming assigns with
+	// gzip and asks for a gzip response — worthwhile on slow links, pure
+	// CPU overhead on localhost. Batch endpoints are unaffected.
+	GzipStream bool
 }
 
 func (o ClientOptions) timeout() time.Duration {
@@ -68,9 +75,10 @@ type Client struct {
 	// sc is the streaming client: no overall timeout, because a label
 	// stream legitimately outlives any fixed deadline — progress, not
 	// wall-clock, is the health signal. It shares hc's connection pool.
-	sc      *http.Client
-	retries int
-	backoff time.Duration
+	sc         *http.Client
+	retries    int
+	backoff    time.Duration
+	gzipStream bool
 }
 
 // NewClient returns a client for the instance at base (scheme://host:port,
@@ -87,28 +95,17 @@ func NewClient(base string, opts ClientOptions) *Client {
 		streamTransport = tc
 	}
 	return &Client{
-		base:    strings.TrimRight(base, "/"),
-		hc:      &http.Client{Timeout: opts.timeout()},
-		sc:      &http.Client{Transport: streamTransport},
-		retries: opts.retries(),
-		backoff: opts.backoff(),
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{Timeout: opts.timeout()},
+		sc:         &http.Client{Transport: streamTransport},
+		retries:    opts.retries(),
+		backoff:    opts.backoff(),
+		gzipStream: opts.GzipStream,
 	}
 }
 
 // Base returns the instance URL this client targets.
 func (c *Client) Base() string { return c.base }
-
-// StatusError is a non-2xx response from a peer with the decoded error
-// message. A forwarding router relays the code instead of flattening
-// everything to 502.
-type StatusError struct {
-	Code int
-	Msg  string
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("%s (HTTP %d)", e.Msg, e.Code)
-}
 
 // do performs one request with transport-level retries. Bodies are
 // byte slices, never streams, so every retry replays identical bytes.
@@ -177,15 +174,11 @@ func (c *Client) call(method, path string, contentType string, body []byte, forw
 	return nil
 }
 
-// statusError maps a non-2xx response body — a JSON error object on
-// every dpcd error path, regardless of the request codec — onto a
-// StatusError.
+// statusError maps a non-2xx response body — the JSON error envelope on
+// every dpcd error path, regardless of the request codec — onto a typed
+// *api.APIError (legacy flat bodies and plain text degrade gracefully).
 func statusError(status int, data []byte) error {
-	var er errorResponse
-	if json.Unmarshal(data, &er) == nil && er.Error != "" {
-		return &StatusError{Code: status, Msg: er.Error}
-	}
-	return &StatusError{Code: status, Msg: strings.TrimSpace(string(data))}
+	return api.DecodeError(status, data)
 }
 
 func marshal(v any) []byte {
@@ -204,27 +197,51 @@ func (c *Client) Health() error {
 
 // PutDataset uploads a dataset body in the given format ("csv" or
 // "binary").
-func (c *Client) PutDataset(name, format string, body []byte) (DatasetInfo, error) {
+func (c *Client) PutDataset(name, format string, body []byte) (api.DatasetInfo, error) {
 	path := "/v1/datasets/" + url.PathEscape(name)
 	if format != "" && format != "csv" {
 		path += "?format=" + url.QueryEscape(format)
 	}
-	var info DatasetInfo
+	var info api.DatasetInfo
 	err := c.call(http.MethodPut, path, "application/octet-stream", body, false, &info)
 	return info, err
 }
 
 // Fit requests (or fetches the cached) model for the triple in req.
-func (c *Client) Fit(req FitRequest) (FitResponse, error) {
-	var out FitResponse
+func (c *Client) Fit(req api.FitRequest) (api.FitResponse, error) {
+	var out api.FitResponse
 	err := c.call(http.MethodPost, "/v1/fit", "application/json", marshal(req), false, &out)
 	return out, err
 }
 
 // Assign labels req.Points against the model for the triple in req.
-func (c *Client) Assign(req AssignRequest) (AssignResponse, error) {
-	var out AssignResponse
+func (c *Client) Assign(req api.AssignRequest) (api.AssignResponse, error) {
+	var out api.AssignResponse
 	err := c.call(http.MethodPost, "/v1/assign", "application/json", marshal(req), false, &out)
+	return out, err
+}
+
+// DecisionGraph fetches the decision graph of a dataset at dcut — the
+// (rho, delta) pairs sorted by descending delta, from the instance's
+// density index. limit > 0 truncates to the top entries (a plot rarely
+// needs more than the head; the elbow is what the analyst reads).
+func (c *Client) DecisionGraph(dataset string, dcut float64, limit int) (api.DecisionGraphResponse, error) {
+	path := fmt.Sprintf("/v1/decision-graph?dataset=%s&dcut=%s",
+		url.QueryEscape(dataset), url.QueryEscape(strconv.FormatFloat(dcut, 'g', -1, 64)))
+	if limit > 0 {
+		path += fmt.Sprintf("&limit=%d", limit)
+	}
+	var out api.DecisionGraphResponse
+	err := c.call(http.MethodGet, path, "", nil, false, &out)
+	return out, err
+}
+
+// Sweep runs one parameter sweep: the server builds (or reuses) the
+// dataset's density index once and re-cuts it per setting, so K settings
+// cost far less than K fits and never touch the model cache.
+func (c *Client) Sweep(req api.SweepRequest) (api.SweepResponse, error) {
+	var out api.SweepResponse
+	err := c.call(http.MethodPost, "/v1/sweep", "application/json", marshal(req), false, &out)
 	return out, err
 }
 
@@ -237,24 +254,24 @@ const assignFrameChunk = 8192
 // a labels frame and its summary. float32w narrows coordinates to
 // float32 on the wire — half the bytes, lossless only when the values
 // round-trip.
-func (c *Client) AssignFrames(req FitRequest, pts [][]float64, float32w bool) (AssignResponse, error) {
+func (c *Client) AssignFrames(req api.FitRequest, pts [][]float64, float32w bool) (api.AssignResponse, error) {
 	body := wire.AppendHeader(nil, fitToHeader(req))
 	for i := 0; i < len(pts); i += assignFrameChunk {
 		body = wire.AppendPointsRows(body, pts[i:min(i+assignFrameChunk, len(pts))], float32w)
 	}
 	status, data, _, err := c.do(http.MethodPost, "/v1/assign", wire.ContentType, wire.ContentType, body, false)
 	if err != nil {
-		return AssignResponse{}, err
+		return api.AssignResponse{}, err
 	}
 	if status < 200 || status > 299 {
-		return AssignResponse{}, statusError(status, data)
+		return api.AssignResponse{}, statusError(status, data)
 	}
-	var out AssignResponse
+	var out api.AssignResponse
 	sawSummary := false
 	for len(data) > 0 {
 		f, rest, err := wire.DecodeFrame(data)
 		if err != nil {
-			return AssignResponse{}, fmt.Errorf("service: decoding assign response: %w", err)
+			return api.AssignResponse{}, fmt.Errorf("service: decoding assign response: %w", err)
 		}
 		data = rest
 		switch f.Kind {
@@ -265,13 +282,13 @@ func (c *Client) AssignFrames(req FitRequest, pts [][]float64, float32w bool) (A
 			out.CacheHit = f.Summary.CacheHit
 			sawSummary = true
 		case wire.KindError:
-			return AssignResponse{}, fmt.Errorf("service: %s", f.ErrMsg)
+			return api.AssignResponse{}, fmt.Errorf("service: %s", f.ErrMsg)
 		default:
-			return AssignResponse{}, fmt.Errorf("service: unexpected frame kind %d in assign response", f.Kind)
+			return api.AssignResponse{}, fmt.Errorf("service: unexpected frame kind %d in assign response", f.Kind)
 		}
 	}
 	if !sawSummary {
-		return AssignResponse{}, fmt.Errorf("service: assign response ended without a summary frame")
+		return api.AssignResponse{}, fmt.Errorf("service: assign response ended without a summary frame")
 	}
 	return out, nil
 }
@@ -285,7 +302,7 @@ func (c *Client) AssignFrames(req FitRequest, pts [][]float64, float32w bool) (A
 // terminal. ctx cancels the exchange at any point (a relay hop passes
 // its inbound request context, so a client hanging up tears down the
 // upstream leg too). The caller owns the response body.
-func (c *Client) stream(ctx context.Context, method, path, contentType, accept string, body io.Reader, forwarded bool) (*http.Response, error) {
+func (c *Client) stream(ctx context.Context, method, path, contentType, accept string, body io.Reader, forwarded bool, extra http.Header) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return nil, err
@@ -295,6 +312,11 @@ func (c *Client) stream(ctx context.Context, method, path, contentType, accept s
 	}
 	if accept != "" {
 		req.Header.Set("Accept", accept)
+	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if forwarded {
 		req.Header.Set(forwardedHeader, "1")
@@ -311,12 +333,12 @@ func (c *Client) stream(ctx context.Context, method, path, contentType, accept s
 // JSON coordinate array per line; the header line is prepended here. The
 // returned StreamReader yields label chunks as the server emits them, so
 // neither side ever holds more than one chunk in memory.
-func (c *Client) AssignStream(req FitRequest, points io.Reader) (*StreamReader, error) {
+func (c *Client) AssignStream(req api.FitRequest, points io.Reader) (*StreamReader, error) {
 	return c.AssignStreamContext(context.Background(), req, points)
 }
 
 // AssignStreamContext is AssignStream with caller-owned cancellation.
-func (c *Client) AssignStreamContext(ctx context.Context, req FitRequest, points io.Reader) (*StreamReader, error) {
+func (c *Client) AssignStreamContext(ctx context.Context, req api.FitRequest, points io.Reader) (*StreamReader, error) {
 	body := io.MultiReader(bytes.NewReader(append(marshal(req), '\n')), points)
 	return c.openStream(ctx, ndjsonContentType, body)
 }
@@ -324,13 +346,13 @@ func (c *Client) AssignStreamContext(ctx context.Context, req FitRequest, points
 // AssignStreamFrames is AssignStream over the binary frame codec in both
 // directions: points must be a stream of wire points frames (see
 // wire.EncodePoints); the header frame is prepended here.
-func (c *Client) AssignStreamFrames(req FitRequest, points io.Reader) (*StreamReader, error) {
+func (c *Client) AssignStreamFrames(req api.FitRequest, points io.Reader) (*StreamReader, error) {
 	return c.AssignStreamFramesContext(context.Background(), req, points)
 }
 
 // AssignStreamFramesContext is AssignStreamFrames with caller-owned
 // cancellation.
-func (c *Client) AssignStreamFramesContext(ctx context.Context, req FitRequest, points io.Reader) (*StreamReader, error) {
+func (c *Client) AssignStreamFramesContext(ctx context.Context, req api.FitRequest, points io.Reader) (*StreamReader, error) {
 	body := io.MultiReader(bytes.NewReader(wire.AppendHeader(nil, fitToHeader(req))), points)
 	return c.openStream(ctx, wire.ContentType, body)
 }
@@ -340,7 +362,29 @@ func (c *Client) AssignStreamFramesContext(ctx context.Context, req FitRequest, 
 // Content-Type decides — a relay hop may legitimately answer in the
 // request codec even if this client could read either).
 func (c *Client) openStream(ctx context.Context, contentType string, body io.Reader) (*StreamReader, error) {
-	resp, err := c.stream(ctx, http.MethodPost, "/v1/assign/stream", contentType, contentType, body, false)
+	var extra http.Header
+	if c.gzipStream {
+		// Compress through a pipe so memory stays O(chunk): the request
+		// goroutine pulls from pr as it sends, the copy goroutine feeds the
+		// compressor from the caller's stream. Setting Accept-Encoding
+		// explicitly also stops the transport's transparent gzip layer, so
+		// the response encoding below is ours to handle.
+		pr, pw := io.Pipe()
+		go func(src io.Reader) {
+			gz := gzip.NewWriter(pw)
+			_, err := io.Copy(gz, src)
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+			pw.CloseWithError(err)
+		}(body)
+		body = pr
+		extra = http.Header{
+			"Content-Encoding": {"gzip"},
+			"Accept-Encoding":  {"gzip"},
+		}
+	}
+	resp, err := c.stream(ctx, http.MethodPost, "/v1/assign/stream", contentType, contentType, body, false, extra)
 	if err != nil {
 		return nil, err
 	}
@@ -350,11 +394,21 @@ func (c *Client) openStream(ctx context.Context, contentType string, body io.Rea
 		resp.Body.Close()
 		return nil, statusError(resp.StatusCode, data)
 	}
+	rbody := io.Reader(resp.Body)
+	ce := resp.Header.Get("Content-Encoding")
+	if strings.EqualFold(ce, "gzip") || strings.EqualFold(ce, "x-gzip") {
+		zr, err := gzip.NewReader(resp.Body)
+		if err != nil {
+			resp.Body.Close()
+			return nil, fmt.Errorf("service: decoding gzip label stream: %w", err)
+		}
+		rbody = zr
+	}
 	sr := &StreamReader{body: resp.Body}
 	if isFrameMedia(resp.Header.Get("Content-Type")) {
-		sr.fr = wire.NewReader(resp.Body)
+		sr.fr = wire.NewReader(rbody)
 	} else {
-		sr.dec = json.NewDecoder(resp.Body)
+		sr.dec = json.NewDecoder(rbody)
 	}
 	return sr, nil
 }
@@ -374,7 +428,7 @@ type StreamReader struct {
 	body    io.ReadCloser
 	dec     *json.Decoder
 	fr      *wire.Reader
-	summary *StreamSummary
+	summary *api.StreamSummary
 	err     error
 }
 
@@ -392,7 +446,7 @@ func (sr *StreamReader) Next() ([]int32, error) {
 	if sr.fr != nil {
 		return sr.nextFrame()
 	}
-	var rec StreamRecord
+	var rec api.StreamRecord
 	switch err := sr.dec.Decode(&rec); {
 	case err == io.EOF:
 		// The summary is the success marker; EOF before it means the
@@ -424,7 +478,7 @@ func (sr *StreamReader) nextFrame() ([]int32, error) {
 	case f.Kind == wire.KindError:
 		sr.err = fmt.Errorf("service: %s", f.ErrMsg)
 	case f.Kind == wire.KindSummary:
-		sr.summary = &StreamSummary{
+		sr.summary = &api.StreamSummary{
 			Points: f.Summary.Points, Chunks: f.Summary.Chunks,
 			Clusters: f.Summary.Clusters, CacheHit: f.Summary.CacheHit,
 		}
@@ -439,9 +493,9 @@ func (sr *StreamReader) nextFrame() ([]int32, error) {
 
 // Summary returns the terminal summary record; ok is false until Next
 // has returned io.EOF.
-func (sr *StreamReader) Summary() (StreamSummary, bool) {
+func (sr *StreamReader) Summary() (api.StreamSummary, bool) {
 	if sr.summary == nil {
-		return StreamSummary{}, false
+		return api.StreamSummary{}, false
 	}
 	return *sr.summary, true
 }
@@ -449,7 +503,7 @@ func (sr *StreamReader) Summary() (StreamSummary, bool) {
 // Collect drains the stream into one label slice plus the summary —
 // convenience for callers that want streaming transport without
 // incremental consumption.
-func (sr *StreamReader) Collect() ([]int32, StreamSummary, error) {
+func (sr *StreamReader) Collect() ([]int32, api.StreamSummary, error) {
 	defer sr.Close()
 	var labels []int32
 	for {
@@ -459,7 +513,7 @@ func (sr *StreamReader) Collect() ([]int32, StreamSummary, error) {
 			return labels, sum, nil
 		}
 		if err != nil {
-			return labels, StreamSummary{}, err
+			return labels, api.StreamSummary{}, err
 		}
 		labels = append(labels, chunk...)
 	}
@@ -473,32 +527,32 @@ func (sr *StreamReader) Close() error { return sr.body.Close() }
 // to the instance's replication sink. The body is a byte slice, so the
 // usual transport retries replay identical bytes, and installs are
 // idempotent on the receiving side — a duplicate delivery is a no-op.
-func (c *Client) ShipSnapshot(raw []byte) (InstallResult, error) {
-	var out InstallResult
+func (c *Client) ShipSnapshot(raw []byte) (api.InstallResult, error) {
+	var out api.InstallResult
 	err := c.call(http.MethodPost, "/v1/replica/snapshot", snapshotContentType, raw, true, &out)
 	return out, err
 }
 
 // LocalStats fetches the instance's own counters, bypassing the ring
 // fan-out — the per-peer leg of the aggregate /v1/stats.
-func (c *Client) LocalStats() (Stats, error) {
-	var out Stats
+func (c *Client) LocalStats() (api.Stats, error) {
+	var out api.Stats
 	err := c.call(http.MethodGet, "/v1/stats", "", nil, true, &out)
 	return out, err
 }
 
 // LocalDatasets lists the datasets resident on the instance itself,
 // bypassing the ring fan-out.
-func (c *Client) LocalDatasets() ([]DatasetInfo, error) {
-	var out []DatasetInfo
+func (c *Client) LocalDatasets() ([]api.DatasetInfo, error) {
+	var out []api.DatasetInfo
 	err := c.call(http.MethodGet, "/v1/datasets", "", nil, true, &out)
 	return out, err
 }
 
 // RingStats fetches the ring-wide aggregated counters from a ring-mode
 // instance.
-func (c *Client) RingStats() (RingStatsResponse, error) {
-	var out RingStatsResponse
+func (c *Client) RingStats() (api.RingStats, error) {
+	var out api.RingStats
 	err := c.call(http.MethodGet, "/v1/stats", "", nil, false, &out)
 	return out, err
 }
@@ -506,9 +560,9 @@ func (c *Client) RingStats() (RingStatsResponse, error) {
 // SetRing replaces the instance's ring membership; the instance
 // reconciles its resident state (and snapshot directory) against the new
 // ring and reports what moved.
-func (c *Client) SetRing(peers []string) (RingUpdateResponse, error) {
-	var out RingUpdateResponse
+func (c *Client) SetRing(peers []string) (api.RingUpdateResponse, error) {
+	var out api.RingUpdateResponse
 	err := c.call(http.MethodPost, "/v1/ring", "application/json",
-		marshal(RingUpdateRequest{Peers: peers}), false, &out)
+		marshal(api.RingUpdateRequest{Peers: peers}), false, &out)
 	return out, err
 }

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/api"
 	"repro/internal/data"
 	"repro/internal/health"
 )
@@ -246,7 +247,7 @@ func TestChaosHeartbeatEvictsDeadShard(t *testing.T) {
 	cr := startChaosRing(t)
 	for _, e := range corpus {
 		cr.uploadCSV(0, e.name, e.csv)
-		if _, err := cr.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := cr.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -259,8 +260,8 @@ func TestChaosHeartbeatEvictsDeadShard(t *testing.T) {
 	assignAll := func(via int) {
 		t.Helper()
 		for _, e := range corpus {
-			resp, err := cr.clients[via].Assign(AssignRequest{
-				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			resp, err := cr.clients[via].Assign(api.AssignRequest{
+				FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 				Points:     e.probes,
 			})
 			if err != nil {
@@ -386,8 +387,8 @@ func TestChaosStreamNoRetryAfterPartialSend(t *testing.T) {
 		t.Fatal(err)
 	}
 	cr.uploadCSV(nonOwner, name, buf.Bytes())
-	params := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
-	req := FitRequest{Dataset: name, Algorithm: "Ex-DPC", Params: params}
+	params := api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
+	req := api.FitRequest{Dataset: name, Algorithm: "Ex-DPC", Params: params}
 	if _, err := cr.clients[nonOwner].Fit(req); err != nil {
 		t.Fatal(err)
 	}
@@ -408,9 +409,9 @@ func TestChaosStreamNoRetryAfterPartialSend(t *testing.T) {
 		sr.Close()
 		t.Fatal("stream against a mid-send failure succeeded")
 	}
-	var se *StatusError
-	if !errors.As(err, &se) || se.Code != http.StatusBadGateway ||
-		!strings.Contains(se.Msg, "stream not retried after partial send") {
+	var se *api.APIError
+	if !errors.As(err, &se) || se.Status != http.StatusBadGateway ||
+		!strings.Contains(se.Message, "stream not retried after partial send") {
 		t.Fatalf("stream failure = %v, want 502 refusing the partial-send retry", err)
 	}
 	if got := cr.counters[replica].streams.Load(); got != streamsBefore {
@@ -421,7 +422,7 @@ func TestChaosStreamNoRetryAfterPartialSend(t *testing.T) {
 	// outright, the dial fails before any byte moves, and now failover to
 	// the replica is legal — the stream must succeed with warm labels.
 	cr.proxy.refuse()
-	want, err := cr.clients[nonOwner].Assign(AssignRequest{FitRequest: req, Points: pts[:50]})
+	want, err := cr.clients[nonOwner].Assign(api.AssignRequest{FitRequest: req, Points: pts[:50]})
 	if err != nil {
 		t.Fatalf("batch assign with dead primary: %v", err)
 	}
@@ -483,14 +484,14 @@ func TestChaosMembershipChurnRace(t *testing.T) {
 	h := startRingRF(t, 3, 2, nil)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	want := make(map[string]AssignResponse, len(corpus))
+	want := make(map[string]api.AssignResponse, len(corpus))
 	for _, e := range corpus {
-		resp, err := h.clients[0].Assign(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		resp, err := h.clients[0].Assign(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
 		if err != nil {
@@ -541,7 +542,7 @@ func TestChaosMembershipChurnRace(t *testing.T) {
 				via := h.clients[(w+i)%3]
 				if i%4 == 3 {
 					sr, err := via.AssignStream(
-						FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+						api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 						bytes.NewReader(ndjsonPoints(t, e.probes)))
 					if err != nil {
 						continue
@@ -552,8 +553,8 @@ func TestChaosMembershipChurnRace(t *testing.T) {
 					}
 					continue
 				}
-				resp, err := via.Assign(AssignRequest{
-					FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+				resp, err := via.Assign(api.AssignRequest{
+					FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 					Points:     e.probes,
 				})
 				if err != nil {
@@ -598,8 +599,8 @@ func TestChaosMembershipChurnRace(t *testing.T) {
 	}
 	for _, e := range corpus {
 		for i := range h.clients {
-			resp, err := h.clients[i].Assign(AssignRequest{
-				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			resp, err := h.clients[i].Assign(api.AssignRequest{
+				FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 				Points:     e.probes,
 			})
 			if err != nil {

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/api"
+	"repro/internal/data"
+	"repro/internal/wire"
+)
+
+// gzipStreamFixture boots a single-node server with one dataset and
+// returns the fit request plus probe points and their expected labels.
+func gzipStreamFixture(t *testing.T) (*httptest.Server, api.FitRequest, [][]float64, []int32) {
+	t.Helper()
+	svc := New(Options{Workers: 2, StreamChunk: 16})
+	ts := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(ts.Close)
+
+	d := data.SSet(2, 600, 1)
+	c := NewClient(ts.URL, testClientOptions())
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PutDataset("s2", "csv", csv.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	req := api.FitRequest{
+		Dataset:   "s2",
+		Algorithm: "Ex-DPC",
+		Params:    api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+	}
+	probes := d.Points.Rows()[:90]
+	batch, err := c.Assign(api.AssignRequest{FitRequest: req, Points: probes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, req, probes, batch.Labels
+}
+
+// drainStream reads every label record and returns the flattened labels
+// and the summary.
+func drainGzipStream(t *testing.T, sr *StreamReader) ([]int32, api.StreamSummary) {
+	t.Helper()
+	var labels []int32
+	for {
+		part, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels = append(labels, part...)
+	}
+	sum, ok := sr.Summary()
+	if !ok {
+		t.Fatal("stream ended without a summary")
+	}
+	sr.Close()
+	return labels, sum
+}
+
+// TestGzipStreamClient: a client with GzipStream compresses the request
+// body and asks for a compressed response; labels must equal the batch
+// endpoint's, in both NDJSON and binary-frame modes.
+func TestGzipStreamClient(t *testing.T) {
+	ts, req, probes, want := gzipStreamFixture(t)
+
+	gz := NewClient(ts.URL, ClientOptions{Retries: 1, GzipStream: true})
+	sr, err := gz.AssignStream(req, bytes.NewReader(ndjsonPoints(t, probes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, sum := drainGzipStream(t, sr)
+	labelsEqual(t, "gzip ndjson stream", labels, want)
+	if sum.Points != int64(len(probes)) {
+		t.Errorf("summary points = %d, want %d", sum.Points, len(probes))
+	}
+
+	sr, err = gz.AssignStreamFrames(req, bytes.NewReader(wire.AppendPointsRows(nil, probes, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, sum = drainGzipStream(t, sr)
+	labelsEqual(t, "gzip frame stream", labels, want)
+	if sum.Points != int64(len(probes)) {
+		t.Errorf("frame summary points = %d, want %d", sum.Points, len(probes))
+	}
+}
+
+// TestGzipStreamRawHTTP drives the endpoint without the client wrapper
+// to pin the protocol itself: Content-Encoding gzip on the request is
+// decompressed, and the response is compressed only when the client's
+// own Accept-Encoding asks for it.
+func TestGzipStreamRawHTTP(t *testing.T) {
+	ts, req, probes, want := gzipStreamFixture(t)
+
+	body := wire.AppendHeader(nil, fitToHeader(req))
+	body = wire.AppendPointsRows(body, probes, false)
+	var zbody bytes.Buffer
+	zw := gzip.NewWriter(&zbody)
+	if _, err := zw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The transport must not inject its own Accept-Encoding (it would
+	// transparently decompress and hide the header we assert on).
+	do := func(acceptEncoding string) *http.Response {
+		t.Helper()
+		hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/assign/stream", bytes.NewReader(zbody.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", wire.ContentType)
+		hr.Header.Set("Content-Encoding", "gzip")
+		if acceptEncoding != "" {
+			hr.Header.Set("Accept-Encoding", acceptEncoding)
+		}
+		tr := &http.Transport{DisableCompression: true}
+		resp, err := tr.RoundTrip(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, raw)
+		}
+		return resp
+	}
+
+	decodeLabels := func(raw []byte) []int32 {
+		t.Helper()
+		var labels []int32
+		sawSummary := false
+		for len(raw) > 0 {
+			f, rest, err := wire.DecodeFrame(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch f.Kind {
+			case wire.KindLabels:
+				labels = append(labels, f.Labels...)
+			case wire.KindSummary:
+				sawSummary = true
+			}
+			raw = rest
+		}
+		if !sawSummary {
+			t.Fatal("stream ended without a summary frame")
+		}
+		return labels
+	}
+
+	// Plain Accept-Encoding: identity response for a gzip request.
+	resp := do("")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("response Content-Encoding %q without Accept-Encoding", enc)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelsEqual(t, "gzip-request identity-response", decodeLabels(raw), want)
+
+	// Accept-Encoding gzip: the response must be compressed.
+	resp = do("gzip")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("response Content-Encoding %q, want gzip", enc)
+	}
+	zr, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err = io.ReadAll(zr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labelsEqual(t, "gzip-request gzip-response", decodeLabels(raw), want)
+}
+
+// TestGzipStreamThroughRing: a compressed stream sent to a non-owner
+// shard must be relayed compressed to the owner and the compressed
+// response passed back — same labels as an uncompressed stream to the
+// owner, zero refits beyond the one fit.
+func TestGzipStreamThroughRing(t *testing.T) {
+	corpus := testCorpus(t, 3)
+	h := startRing(t, 3, nil)
+	for _, e := range corpus {
+		h.uploadCSV(0, e.name, e.csv)
+	}
+	e := corpus[0]
+	_, stranger := ownerAndStranger(t, h, e.name)
+	req := api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+
+	plain := NewClient(h.addrs[stranger], testClientOptions())
+	sr, err := plain.AssignStream(req, bytes.NewReader(ndjsonPoints(t, e.probes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := drainGzipStream(t, sr)
+
+	opts := testClientOptions()
+	opts.GzipStream = true
+	gz := NewClient(h.addrs[stranger], opts)
+
+	sr, err = gz.AssignStream(req, bytes.NewReader(ndjsonPoints(t, e.probes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, sum := drainGzipStream(t, sr)
+	labelsEqual(t, "gzip ndjson via ring", labels, want)
+	if sum.Points != int64(len(e.probes)) || !sum.CacheHit {
+		t.Errorf("summary = %+v, want %d points from cache", sum, len(e.probes))
+	}
+
+	sr, err = gz.AssignStreamFrames(req, bytes.NewReader(wire.AppendPointsRows(nil, e.probes, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _ = drainGzipStream(t, sr)
+	labelsEqual(t, "gzip frames via ring", labels, want)
+
+	// One fit total: the relay never refits, compressed or not.
+	misses := int64(0)
+	for _, svc := range h.svcs {
+		misses += svc.Stats().CacheMisses
+	}
+	if misses != 1 {
+		t.Errorf("%d cache misses across the ring, want 1", misses)
+	}
+}

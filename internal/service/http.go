@@ -7,62 +7,32 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/geom"
 	"repro/internal/wire"
 )
 
-// ParamsJSON is the wire form of core.Params. Workers is deliberately
-// absent: thread count is server policy, not model identity.
-type ParamsJSON struct {
-	DCut     float64 `json:"dcut"`
-	RhoMin   float64 `json:"rho_min"`
-	DeltaMin float64 `json:"delta_min"`
-	Epsilon  float64 `json:"epsilon,omitempty"`
-	Seed     int64   `json:"seed,omitempty"`
-}
-
-func (p ParamsJSON) core() core.Params {
+// coreParams converts the wire parameter shape into core's. Workers is
+// left zero: thread count is server policy, applied by normalize.
+func coreParams(p api.Params) core.Params {
 	return core.Params{
 		DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin,
 		Epsilon: p.Epsilon, Seed: p.Seed,
 	}
 }
 
-// FitRequest is the body of POST /v1/fit and the model half of
-// POST /v1/assign.
-type FitRequest struct {
-	Dataset   string     `json:"dataset"`
-	Algorithm string     `json:"algorithm"`
-	Params    ParamsJSON `json:"params"`
-}
-
-// FitResponse reports the fitted (or cached) model.
-type FitResponse struct {
-	Dataset   string          `json:"dataset"`
-	CacheHit  bool            `json:"cache_hit"`
-	Model     core.ModelStats `json:"model"`
-	ParamsUse ParamsJSON      `json:"params"`
-}
-
-// AssignRequest is the body of POST /v1/assign.
-type AssignRequest struct {
-	FitRequest
-	Points [][]float64 `json:"points"`
-}
-
-// AssignResponse carries one label per submitted point.
-type AssignResponse struct {
-	Labels   []int32 `json:"labels"`
-	Clusters int     `json:"clusters"`
-	CacheHit bool    `json:"cache_hit"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
+// wireParams is the inverse of coreParams; Workers does not cross the
+// wire.
+func wireParams(p core.Params) api.Params {
+	return api.Params{
+		DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin,
+		Epsilon: p.Epsilon, Seed: p.Seed,
+	}
 }
 
 // maxUploadBytes caps dataset upload bodies (per request).
@@ -83,7 +53,16 @@ var maxAssignBytes int64 = 192 << 20
 // few hundred bytes.
 const maxFitBytes = 1 << 20
 
-// NewHandler wires the dpcd JSON API onto a Service:
+// maxSweepBytes caps the /v1/sweep JSON body: settings lists are small,
+// but leave room for long ones.
+const maxSweepBytes = 4 << 20
+
+// maxSweepSettings caps one sweep request; each setting costs a full
+// re-cut, so an unbounded list would monopolize the pool.
+const maxSweepSettings = 256
+
+// NewHandler wires the dpcd JSON API onto a Service. The request and
+// response shapes are defined in the repro/api package:
 //
 //	GET  /healthz              liveness probe
 //	GET  /v1/datasets          list registered datasets
@@ -92,12 +71,16 @@ const maxFitBytes = 1 << 20
 //	POST /v1/fit               fit (or fetch cached) model
 //	POST /v1/assign            fit if needed, then label a point batch
 //	POST /v1/assign/stream     chunked: label an unbounded stream
+//	GET  /v1/decision-graph    (rho, delta) pairs for interactive tuning
+//	POST /v1/sweep             re-cut many parameter settings in one call
 //	GET  /v1/stats             cache and request counters
 //
 // /v1/assign and /v1/assign/stream speak JSON/NDJSON by default and the
 // binary frame codec under "application/x-dpc-frame", negotiated per
 // direction: Content-Type picks the request codec, Accept the response
-// codec (absent Accept mirrors the request).
+// codec (absent Accept mirrors the request). /v1/decision-graph honors
+// Accept the same way. Every non-2xx response is the uniform
+// {"error":{"code","message"}} envelope.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 
@@ -116,7 +99,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
 			return
 		}
-		writeJSON(w, http.StatusOK, DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim})
+		writeJSON(w, http.StatusOK, api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim})
 	})
 
 	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
@@ -154,11 +137,11 @@ func NewHandler(s *Service) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/fit", func(w http.ResponseWriter, r *http.Request) {
-		var req FitRequest
+		var req api.FitRequest
 		if !decodeJSON(w, r, &req, maxFitBytes) {
 			return
 		}
-		fr, err := s.Fit(req.Dataset, req.Algorithm, req.Params.core())
+		fr, err := s.Fit(req.Dataset, req.Algorithm, coreParams(req.Params))
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -168,7 +151,7 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("POST /v1/assign", func(w http.ResponseWriter, r *http.Request) {
 		var (
-			req AssignRequest
+			req api.AssignRequest
 			ok  bool
 		)
 		if frameRequest(r) {
@@ -184,7 +167,7 @@ func NewHandler(s *Service) http.Handler {
 				fmt.Errorf("batch of %d points exceeds the %d limit; split the request", len(req.Points), maxAssignPoints))
 			return
 		}
-		labels, fr, err := s.Assign(req.Dataset, req.Algorithm, req.Params.core(), req.Points)
+		labels, fr, err := s.Assign(req.Dataset, req.Algorithm, coreParams(req.Params), req.Points)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -194,6 +177,28 @@ func NewHandler(s *Service) http.Handler {
 
 	mux.HandleFunc("POST /v1/assign/stream", handleAssignStream(s))
 
+	mux.HandleFunc("GET /v1/decision-graph", func(w http.ResponseWriter, r *http.Request) {
+		handleDecisionGraph(s, w, r)
+	})
+
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var req api.SweepRequest
+		if !decodeJSON(w, r, &req, maxSweepBytes) {
+			return
+		}
+		if len(req.Settings) > maxSweepSettings {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("sweep of %d settings exceeds the %d limit; split the request", len(req.Settings), maxSweepSettings))
+			return
+		}
+		resp, err := s.Sweep(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -201,18 +206,56 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
+// handleDecisionGraph serves GET /v1/decision-graph?dataset=…&dcut=…
+// (&limit=… optional): the (rho, delta) pairs of the decision graph at
+// the requested cut distance, from the dataset's density index — built
+// on first use, re-cut afterwards. The response is JSON by default and
+// a decision frame sequence when Accept names the frame media type.
+func handleDecisionGraph(s *Service, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("dataset")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset query parameter"))
+		return
+	}
+	dcut, err := strconv.ParseFloat(q.Get("dcut"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dcut query parameter: %v", err))
+		return
+	}
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		if limit, err = strconv.Atoi(ls); err != nil || limit < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit query parameter %q", ls))
+			return
+		}
+	}
+	resp, err := s.DecisionGraph(name, dcut, limit)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if !frameResponse(r) {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(wire.AppendDecision(nil, resp.Points))
+}
+
 // decodeAssignFrames reads a frame-encoded batch assign body: one header
 // frame then points frames until EOF. Frames are decoded incrementally,
 // so memory is bounded by the body cap, and point rows are views into
 // each frame's coordinate slab — no per-point copies.
-func decodeAssignFrames(w http.ResponseWriter, r *http.Request) (AssignRequest, bool) {
+func decodeAssignFrames(w http.ResponseWriter, r *http.Request) (api.AssignRequest, bool) {
 	br := bufio.NewReaderSize(http.MaxBytesReader(w, r.Body, maxAssignBytes), 64<<10)
 	h, _, err := wire.ReadHeaderFrame(br)
 	if err != nil {
 		writeError(w, bodyErrStatus(err), fmt.Errorf("decode request: %w", err))
-		return AssignRequest{}, false
+		return api.AssignRequest{}, false
 	}
-	req := AssignRequest{FitRequest: headerToFit(h)}
+	req := api.AssignRequest{FitRequest: headerToFit(h)}
 	rd := wire.NewReader(br)
 	for {
 		f, err := rd.Next()
@@ -221,12 +264,12 @@ func decodeAssignFrames(w http.ResponseWriter, r *http.Request) (AssignRequest, 
 		}
 		if err != nil {
 			writeError(w, bodyErrStatus(err), fmt.Errorf("decode request: %w", err))
-			return AssignRequest{}, false
+			return api.AssignRequest{}, false
 		}
 		if f.Kind != wire.KindPoints {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("decode request: body must contain only points frames after the header, got kind %d", f.Kind))
-			return AssignRequest{}, false
+			return api.AssignRequest{}, false
 		}
 		for i := 0; i < f.N; i++ {
 			req.Points = append(req.Points, f.Row(i))
@@ -239,7 +282,7 @@ func decodeAssignFrames(w http.ResponseWriter, r *http.Request) (AssignRequest, 
 // request codec — names the frame media type, JSON otherwise.
 func writeAssign(w http.ResponseWriter, r *http.Request, labels []int32, fr FitResult) {
 	if !frameResponse(r) {
-		writeJSON(w, http.StatusOK, AssignResponse{
+		writeJSON(w, http.StatusOK, api.AssignResponse{
 			Labels:   labels,
 			Clusters: fr.Model.NumClusters(),
 			CacheHit: fr.CacheHit,
@@ -258,16 +301,13 @@ func writeAssign(w http.ResponseWriter, r *http.Request, labels []int32, fr FitR
 	_, _ = w.Write(buf)
 }
 
-func writeFit(w http.ResponseWriter, req FitRequest, fr FitResult) {
-	p := fr.Model.Params()
-	writeJSON(w, http.StatusOK, FitResponse{
-		Dataset:  req.Dataset,
-		CacheHit: fr.CacheHit,
-		Model:    fr.Model.Stats(),
-		ParamsUse: ParamsJSON{
-			DCut: p.DCut, RhoMin: p.RhoMin, DeltaMin: p.DeltaMin,
-			Epsilon: p.Epsilon, Seed: p.Seed,
-		},
+func writeFit(w http.ResponseWriter, req api.FitRequest, fr FitResult) {
+	writeJSON(w, http.StatusOK, api.FitResponse{
+		Dataset:   req.Dataset,
+		CacheHit:  fr.CacheHit,
+		IndexCut:  fr.IndexCut,
+		Model:     api.ModelStats(fr.Model.Stats()),
+		ParamsUse: wireParams(fr.Model.Params()),
 	})
 }
 
@@ -317,6 +357,11 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the uniform error envelope with the status's default
+// code (api.CodeForStatus).
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, api.ErrorEnvelope{Error: api.ErrorInfo{
+		Code:    api.CodeForStatus(status),
+		Message: err.Error(),
+	}})
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/data"
 )
@@ -60,7 +61,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if code := doJSON(t, client, "GET", ts.URL+"/healthz", nil, &health); code != 200 || health["status"] != "ok" {
 		t.Fatalf("healthz: code=%d body=%v", code, health)
 	}
-	var list []DatasetInfo
+	var list []api.DatasetInfo
 	if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets", nil, &list); code != 200 || len(list) != 0 {
 		t.Fatalf("empty registry: code=%d list=%v", code, list)
 	}
@@ -76,7 +77,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var info DatasetInfo
+	var info api.DatasetInfo
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		t.Fatal(err)
 	}
@@ -86,12 +87,12 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 
 	// Fit: first request is a miss, second a cache hit.
-	fitReq := FitRequest{
+	fitReq := api.FitRequest{
 		Dataset:   "s2",
 		Algorithm: "Approx-DPC",
-		Params:    ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Seed: 1},
+		Params:    api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin, Seed: 1},
 	}
-	var fit1, fit2 FitResponse
+	var fit1, fit2 api.FitResponse
 	if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", fitReq, &fit1); code != 200 {
 		t.Fatalf("fit 1: code=%d", code)
 	}
@@ -116,8 +117,8 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	assignReq := AssignRequest{FitRequest: fitReq, Points: d.Points.Rows()}
-	var ar AssignResponse
+	assignReq := api.AssignRequest{FitRequest: fitReq, Points: d.Points.Rows()}
+	var ar api.AssignResponse
 	if code := doJSON(t, client, "POST", ts.URL+"/v1/assign", assignReq, &ar); code != 200 {
 		t.Fatalf("assign: code=%d", code)
 	}
@@ -137,7 +138,7 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 
 	// Stats reflect the session.
-	var st Stats
+	var st api.Stats
 	if code := doJSON(t, client, "GET", ts.URL+"/v1/stats", nil, &st); code != 200 {
 		t.Fatalf("stats: code=%d", code)
 	}
@@ -169,7 +170,7 @@ func TestHTTPDatasetEndpoints(t *testing.T) {
 	if code := put("ok", "1,2\n3,4\n5,6\n", ""); code != http.StatusCreated {
 		t.Errorf("csv upload: code=%d", code)
 	}
-	var info DatasetInfo
+	var info api.DatasetInfo
 	if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets/ok", nil, &info); code != 200 || info.N != 3 {
 		t.Errorf("get dataset: code=%d info=%+v", code, info)
 	}
@@ -229,20 +230,20 @@ func TestHTTPErrorPaths(t *testing.T) {
 		resp.Body.Close()
 	}
 
-	good := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
+	good := api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
 	cases := []struct {
 		name string
-		req  FitRequest
+		req  api.FitRequest
 		code int
 	}{
-		{"unknown dataset", FitRequest{Dataset: "nope", Algorithm: "Ex-DPC", Params: good}, 404},
-		{"unknown algorithm", FitRequest{Dataset: "s2", Algorithm: "nope", Params: good}, 404},
-		{"bad params", FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: -1}}, 400},
+		{"unknown dataset", api.FitRequest{Dataset: "nope", Algorithm: "Ex-DPC", Params: good}, 404},
+		{"unknown algorithm", api.FitRequest{Dataset: "s2", Algorithm: "nope", Params: good}, 404},
+		{"bad params", api.FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: api.Params{DCut: -1}}, 400},
 	}
 	for _, tc := range cases {
-		var er errorResponse
+		var er api.ErrorEnvelope
 		if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", tc.req, &er); code != tc.code {
-			t.Errorf("%s: code=%d want %d (%s)", tc.name, code, tc.code, er.Error)
+			t.Errorf("%s: code=%d want %d (%s)", tc.name, code, tc.code, er.Error.Message)
 		}
 	}
 
@@ -259,7 +260,7 @@ func TestHTTPErrorPaths(t *testing.T) {
 	// Trailing garbage after a valid JSON object is a client bug the
 	// server must reject, not silently ignore; trailing whitespace is not
 	// garbage (curl and editors add newlines).
-	goodFit := string(marshal(FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good}))
+	goodFit := string(marshal(api.FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good}))
 	for name, body := range map[string]string{
 		"text":          goodFit + "garbage",
 		"second object": goodFit + goodFit,
@@ -284,18 +285,18 @@ func TestHTTPErrorPaths(t *testing.T) {
 	}
 
 	// Dimension-mismatched assign points.
-	bad := AssignRequest{
-		FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},
+	bad := api.AssignRequest{
+		FitRequest: api.FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},
 		Points:     [][]float64{{1, 2, 3}},
 	}
-	var er errorResponse
+	var er api.ErrorEnvelope
 	if code := doJSON(t, client, "POST", ts.URL+"/v1/assign", bad, &er); code != http.StatusBadRequest {
-		t.Errorf("mismatched assign: code=%d (%s)", code, er.Error)
+		t.Errorf("mismatched assign: code=%d (%s)", code, er.Error.Message)
 	}
 
 	// Empty assign batch responds with "labels":[] rather than null.
-	empty := AssignRequest{
-		FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},
+	empty := api.AssignRequest{
+		FitRequest: api.FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good},
 		Points:     [][]float64{},
 	}
 	b2, _ := json.Marshal(empty)
@@ -310,7 +311,7 @@ func TestHTTPErrorPaths(t *testing.T) {
 	}
 
 	// Oversized assign batch is rejected before any work happens.
-	huge := AssignRequest{FitRequest: FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good}}
+	huge := api.AssignRequest{FitRequest: api.FitRequest{Dataset: "s2", Algorithm: "Ex-DPC", Params: good}}
 	huge.Points = make([][]float64, maxAssignPoints+1)
 	b, _ := json.Marshal(huge)
 	resp, err = client.Post(ts.URL+"/v1/assign", "application/json", bytes.NewReader(b))
@@ -324,8 +325,8 @@ func TestHTTPErrorPaths(t *testing.T) {
 
 	// Every registered algorithm is reachable by its paper name over HTTP.
 	for _, alg := range core.Registered() {
-		freq := FitRequest{Dataset: "s2", Algorithm: alg.Name(), Params: good}
-		var fr FitResponse
+		freq := api.FitRequest{Dataset: "s2", Algorithm: alg.Name(), Params: good}
+		var fr api.FitResponse
 		if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", freq, &fr); code != 200 {
 			t.Errorf("fit %s over HTTP: code=%d", alg.Name(), code)
 		} else if fr.Model.Algorithm != alg.Name() {

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/api"
 	"repro/internal/data"
 	"repro/internal/persist"
 )
@@ -135,7 +136,7 @@ func TestRestartEndToEndHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ar AssignResponse
+	var ar api.AssignResponse
 	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestRestartEndToEndHTTP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var st Stats
+	var st api.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,9 @@ package service
 import (
 	"fmt"
 
+	"repro/api"
 	"repro/internal/core"
+	"repro/internal/densindex"
 	"repro/internal/persist"
 )
 
@@ -22,34 +24,26 @@ import (
 // snapshot files.
 const snapshotContentType = "application/x-dpc-snapshot"
 
-// InstallResult reports what installing one shipped snapshot did.
-type InstallResult struct {
-	Kind    string `json:"kind"` // "dataset" or "model"
-	Dataset string `json:"dataset"`
-	Version uint64 `json:"version"`
-	// Installed is false for the idempotent no-ops: the snapshot is
-	// already resident, or an equal-or-newer version is.
-	Installed bool `json:"installed"`
-}
-
 // InstallSnapshot decodes one shipped snapshot image (dataset or model)
 // and installs it as warm local state, exactly as a restart warm-load
 // would: no refit, no cache miss. Stale ships — an older dataset
 // version, a model for a version no longer resident — are refused or
 // no-oped rather than regressing local state, so replays from a lagging
 // primary are harmless.
-func (s *Service) InstallSnapshot(raw []byte) (InstallResult, error) {
+func (s *Service) InstallSnapshot(raw []byte) (api.InstallResult, error) {
 	snap, err := persist.DecodeSnapshot(raw)
 	if err != nil {
-		return InstallResult{}, fmt.Errorf("service: decoding shipped snapshot: %w", err)
+		return api.InstallResult{}, fmt.Errorf("service: decoding shipped snapshot: %w", err)
 	}
 	switch sn := snap.(type) {
 	case *persist.DatasetSnapshot:
 		return s.installDataset(sn)
 	case *persist.ModelSnapshot:
 		return s.installModel(sn)
+	case *persist.IndexSnapshot:
+		return s.installIndex(sn)
 	default:
-		return InstallResult{}, fmt.Errorf("service: unknown snapshot type %T", snap)
+		return api.InstallResult{}, fmt.Errorf("service: unknown snapshot type %T", snap)
 	}
 }
 
@@ -58,8 +52,8 @@ func (s *Service) InstallSnapshot(raw []byte) (InstallResult, error) {
 // primary and travel with every snapshot, so replicas order ships
 // without any clock. A fresh install purges cached models of older
 // versions, mirroring PutDataset.
-func (s *Service) installDataset(sn *persist.DatasetSnapshot) (InstallResult, error) {
-	res := InstallResult{Kind: "dataset", Dataset: sn.Name, Version: sn.Version}
+func (s *Service) installDataset(sn *persist.DatasetSnapshot) (api.InstallResult, error) {
+	res := api.InstallResult{Kind: "dataset", Dataset: sn.Name, Version: sn.Version}
 	s.mu.Lock()
 	if old, ok := s.datasets[sn.Name]; ok && old.version >= sn.Version {
 		s.mu.Unlock()
@@ -92,8 +86,8 @@ func (s *Service) installDataset(sn *persist.DatasetSnapshot) (InstallResult, er
 // resident at the snapshot's exact version with a matching fingerprint —
 // the primary always ships the dataset before its models, so a mismatch
 // means the ship is stale and is an error the primary's counters surface.
-func (s *Service) installModel(sn *persist.ModelSnapshot) (InstallResult, error) {
-	res := InstallResult{Kind: "model", Dataset: sn.Key.Dataset, Version: sn.Key.Version}
+func (s *Service) installModel(sn *persist.ModelSnapshot) (api.InstallResult, error) {
+	res := api.InstallResult{Kind: "model", Dataset: sn.Key.Dataset, Version: sn.Key.Version}
 	s.mu.RLock()
 	e, ok := s.datasets[sn.Key.Dataset]
 	s.mu.RUnlock()
@@ -127,6 +121,38 @@ func (s *Service) installModel(sn *persist.ModelSnapshot) (InstallResult, error)
 			s.store.Log("service: persisting replicated model %s/%s: %v", sn.Key.Dataset, sn.Key.Algorithm, err)
 		}
 	}
+	return res, nil
+}
+
+// installIndex adopts a shipped density-index snapshot as warm state,
+// the same way restart warm-loading does. The ring never ships indexes
+// proactively (a replica rebuilds on demand), but accepting them keeps
+// the snapshot sink total: any DPS1 image the store can hold installs.
+// Mismatched dataset version or fingerprint is a stale ship — refused.
+func (s *Service) installIndex(sn *persist.IndexSnapshot) (api.InstallResult, error) {
+	res := api.InstallResult{Kind: "index", Dataset: sn.Dataset, Version: sn.Version}
+	s.mu.RLock()
+	e, ok := s.datasets[sn.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		return res, fmt.Errorf("service: index snapshot for absent dataset %q", sn.Dataset)
+	}
+	if e.version != sn.Version {
+		return res, fmt.Errorf("service: index snapshot for %q v%d but resident version is v%d",
+			sn.Dataset, sn.Version, e.version)
+	}
+	if e.points.Fingerprint() != sn.DatasetFingerprint {
+		return res, fmt.Errorf("service: index snapshot for %q v%d built on different points (fingerprint mismatch)",
+			sn.Dataset, sn.Version)
+	}
+	idx, err := densindex.FromParts(e.points, sn.DCutMax, sn.Start, sn.IDs, sn.Sq)
+	if err != nil {
+		return res, fmt.Errorf("service: rebuilding shipped index for %q: %w", sn.Dataset, err)
+	}
+	if !s.adoptIndex(sn.Dataset, sn.Version, idx) {
+		return res, nil // a resident index already covers at least this ceiling
+	}
+	res.Installed = true
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"testing"
 
+	"repro/api"
 	"repro/internal/data"
 	"repro/internal/persist"
 )
@@ -38,7 +39,7 @@ func TestReplicatedWritePath(t *testing.T) {
 	h := startRingRF(t, 3, 2, nil)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -73,7 +74,7 @@ func TestReplicatedWritePath(t *testing.T) {
 	if infos.RF != 2 {
 		t.Errorf("aggregate rf = %d, want 2", infos.RF)
 	}
-	var listed []DatasetInfo
+	var listed []api.DatasetInfo
 	if err := h.clients[0].call(http.MethodGet, "/v1/datasets", "", nil, false, &listed); err != nil {
 		t.Fatal(err)
 	}
@@ -90,14 +91,14 @@ func TestReplicatedAssignAnyReplica(t *testing.T) {
 	h := startRingRF(t, 3, 2, nil)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[1].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[1].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	missesBefore := h.totalMisses()
 	for _, e := range corpus {
-		req := marshal(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		req := marshal(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
 		wantStatus, want := rawPost(t, h.addrs[0]+"/v1/assign", req)
@@ -127,7 +128,7 @@ func TestReplicaFailoverZeroRefit(t *testing.T) {
 	h := startRingRF(t, 3, 2, nil)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -138,8 +139,8 @@ func TestReplicaFailoverZeroRefit(t *testing.T) {
 	}
 	want := map[string]ref{}
 	for _, e := range corpus {
-		req := marshal(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		req := marshal(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
 		status, body := rawPost(t, h.addrs[0]+"/v1/assign", req)
@@ -179,8 +180,8 @@ func TestReplicaFailoverZeroRefit(t *testing.T) {
 	// Every key — the dead shard's included — answers byte-identically
 	// via both survivors, from warm models.
 	for _, e := range corpus {
-		req := marshal(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		req := marshal(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
 		for _, i := range alive {
@@ -224,7 +225,7 @@ func TestSelfHealRestoresReplicationFactor(t *testing.T) {
 	h := startRingRF(t, 3, 2, nil)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -264,8 +265,8 @@ func TestSelfHealRestoresReplicationFactor(t *testing.T) {
 	missesBefore := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses
 	for _, e := range corpus {
 		for _, i := range alive {
-			resp, err := h.clients[i].Assign(AssignRequest{
-				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			resp, err := h.clients[i].Assign(api.AssignRequest{
+				FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 				Points:     e.probes,
 			})
 			if err != nil {
@@ -291,7 +292,7 @@ func TestInstallSnapshotSemantics(t *testing.T) {
 	if _, err := primary.PutDataset("ds", d.Points); err != nil {
 		t.Fatal(err)
 	}
-	params := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}.core()
+	params := coreParams(api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin})
 	if _, err := primary.Fit("ds", "Ex-DPC", params); err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestReplicatedRestartWarmLoad(t *testing.T) {
 	h := startRingRF(t, 3, 2, dirs)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -407,7 +408,7 @@ func TestReplicatedRestartWarmLoad(t *testing.T) {
 		if !h.routers[target].Owns(e.name) {
 			continue
 		}
-		fr, err := restarted.Fit(e.name, "Ex-DPC", e.params.core())
+		fr, err := restarted.Fit(e.name, "Ex-DPC", coreParams(e.params))
 		if err != nil {
 			t.Fatal(err)
 		}

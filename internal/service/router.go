@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/api"
 	"repro/internal/ring"
 	"repro/internal/wire"
 )
@@ -238,12 +240,12 @@ func (rt *Router) LiveMembers() []string {
 // to all of it (a freshly posted peer gets the benefit of the doubt; the
 // heartbeat demotes it if it is not actually there). self must remain a
 // member — an instance cannot route itself out of existence.
-func (rt *Router) SetMembers(peers []string) (ReconcileStats, error) {
+func (rt *Router) SetMembers(peers []string) (api.ReconcileStats, error) {
 	rt.setMu.Lock()
 	defer rt.setMu.Unlock()
 	_, rg, err := buildRing(rt.self, peers, rt.vnodes)
 	if err != nil {
-		return ReconcileStats{}, err
+		return api.ReconcileStats{}, err
 	}
 	return rt.applyLocked(rg.Members(), rg), nil
 }
@@ -254,7 +256,7 @@ func (rt *Router) SetMembers(peers []string) (ReconcileStats, error) {
 // self. Unknown or malformed addresses are ignored rather than erroring:
 // the monitor's view may lag a concurrent SetMembers by one tick, and
 // the next tick converges.
-func (rt *Router) SetLive(live []string) ReconcileStats {
+func (rt *Router) SetLive(live []string) api.ReconcileStats {
 	rt.setMu.Lock()
 	defer rt.setMu.Unlock()
 	rt.mu.RLock()
@@ -276,13 +278,13 @@ func (rt *Router) SetLive(live []string) ReconcileStats {
 	if err != nil {
 		// Unreachable: members is non-empty and contains self. Keep the
 		// current ring rather than panicking a serving daemon.
-		return ReconcileStats{}
+		return api.ReconcileStats{}
 	}
 	rt.mu.RLock()
 	same := sameMembers(rt.ring.Members(), rg.Members())
 	rt.mu.RUnlock()
 	if same {
-		return ReconcileStats{}
+		return api.ReconcileStats{}
 	}
 	return rt.applyLocked(configured, rg)
 }
@@ -304,7 +306,7 @@ func sameMembers(a, b []string) bool {
 // this instance is now primary for. Clients are keyed by configured peer
 // and survive liveness flaps, so a recovered peer reuses its connection
 // pool.
-func (rt *Router) applyLocked(configured []string, rg *ring.Ring) ReconcileStats {
+func (rt *Router) applyLocked(configured []string, rg *ring.Ring) api.ReconcileStats {
 	sortedCfg := append([]string(nil), configured...)
 	sort.Strings(sortedCfg)
 	clients := make(map[string]*Client, len(sortedCfg))
@@ -381,81 +383,6 @@ func (rt *Router) replicate(name string, owners []string) {
 	}
 }
 
-// RingUpdateRequest is the body of POST /v1/ring.
-type RingUpdateRequest struct {
-	Peers []string `json:"peers"`
-}
-
-// RingUpdateResponse reports the applied membership and what the
-// reconcile moved.
-type RingUpdateResponse struct {
-	Self      string         `json:"self"`
-	Peers     []string       `json:"peers"`
-	Reconcile ReconcileStats `json:"reconcile"`
-}
-
-// ringInfoResponse is the body of GET /v1/ring. Peers is the live ring
-// membership; Configured is the full administered set and Down the
-// difference — what the heartbeat currently excludes.
-type ringInfoResponse struct {
-	Self       string   `json:"self"`
-	Peers      []string `json:"peers"`
-	Configured []string `json:"configured"`
-	Down       []string `json:"down,omitempty"`
-	RF         int      `json:"rf"`
-	Vnodes     int      `json:"vnodes"`
-	Owner      string   `json:"owner,omitempty"`  // primary of ?key=, when asked
-	Owners     []string `json:"owners,omitempty"` // full replica set of ?key=
-}
-
-// PeerStats is one shard's leg of the aggregated /v1/stats.
-type PeerStats struct {
-	Peer string `json:"peer"`
-	// Unreachable marks a configured peer outside the live set: it is
-	// reported without being probed, so one dead shard adds no latency to
-	// the fan-out and never fails it.
-	Unreachable bool   `json:"unreachable,omitempty"`
-	Error       string `json:"error,omitempty"`
-	Stats       *Stats `json:"stats,omitempty"`
-}
-
-// RingStatsResponse aggregates /v1/stats across the ring: summed
-// counters plus the per-peer breakdown. Forwarded/ForwardErrors and the
-// replication counters are this instance's routing counters (each
-// instance counts its own hops and ships).
-type RingStatsResponse struct {
-	Self              string      `json:"self"`
-	Peers             []string    `json:"peers"`
-	Down              []string    `json:"down,omitempty"`
-	PeersUp           int         `json:"peers_up"`
-	RF                int         `json:"rf"`
-	Forwarded         int64       `json:"forwarded"`
-	ForwardErrors     int64       `json:"forward_errors"`
-	Replicated        int64       `json:"replicated"`
-	ReplicationErrors int64       `json:"replication_errors"`
-	Total             Stats       `json:"total"`
-	PerPeer           []PeerStats `json:"per_peer"`
-}
-
-// accumulate folds another shard's counters into s; HitRate is
-// recomputed by the caller once every peer is in.
-func (s *Stats) accumulate(o Stats) {
-	s.Datasets += o.Datasets
-	s.ModelsCached += o.ModelsCached
-	s.CacheCapacity += o.CacheCapacity
-	s.FitRequests += o.FitRequests
-	s.CacheHits += o.CacheHits
-	s.CacheMisses += o.CacheMisses
-	s.Evictions += o.Evictions
-	s.AssignRequests += o.AssignRequests
-	s.PointsAssigned += o.PointsAssigned
-	s.DatasetsRestored += o.DatasetsRestored
-	s.ModelsRestored += o.ModelsRestored
-	s.PersistErrors += o.PersistErrors
-	s.DatasetsReplicated += o.DatasetsReplicated
-	s.ModelsReplicated += o.ModelsReplicated
-}
-
 // serveLocallyRead decides whether a read for name is answered by the
 // local service. True when this instance replicates the key and either
 // holds the dataset or is its primary (a primary without the dataset
@@ -498,7 +425,7 @@ func (rt *Router) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/ring", func(w http.ResponseWriter, r *http.Request) {
 		rt.mu.RLock()
-		resp := ringInfoResponse{
+		resp := api.RingInfo{
 			Self:       rt.self,
 			Peers:      rt.ring.Members(),
 			Configured: rt.configured,
@@ -519,7 +446,7 @@ func (rt *Router) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/ring", func(w http.ResponseWriter, r *http.Request) {
-		var req RingUpdateRequest
+		var req api.RingUpdateRequest
 		if !decodeJSON(w, r, &req, maxFitBytes) {
 			return
 		}
@@ -531,7 +458,7 @@ func (rt *Router) Handler() http.Handler {
 		rt.mu.RLock()
 		peers := rt.ring.Members()
 		rt.mu.RUnlock()
-		writeJSON(w, http.StatusOK, RingUpdateResponse{Self: rt.self, Peers: peers, Reconcile: rec})
+		writeJSON(w, http.StatusOK, api.RingUpdateResponse{Self: rt.self, Peers: peers, Reconcile: rec})
 	})
 
 	// The replication sink: a primary ships persist snapshot images here.
@@ -678,7 +605,40 @@ func (rt *Router) Handler() http.Handler {
 			name string
 			body io.Reader
 		)
-		if frameRequest(r) {
+		if gzipRequest(r) {
+			// The routing key is inside the compressed stream. Peek it
+			// through a decompressor that tees every raw byte it consumes,
+			// then reassemble the ORIGINAL compressed stream — captured
+			// prefix plus unread remainder — for the serving side, local or
+			// relayed, which sees exactly the bytes the client sent. (The
+			// decompressor may read ahead; the tee makes that harmless.)
+			var captured bytes.Buffer
+			zr, err := gzip.NewReader(io.TeeReader(br, &captured))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode gzip stream body: %w", err))
+				return
+			}
+			zbr := bufio.NewReaderSize(zr, 64<<10)
+			if frameRequest(r) {
+				h, _, err := wire.ReadHeaderFrame(zbr)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+					return
+				}
+				name = h.Dataset
+			} else {
+				header, err := readStreamLine(zbr)
+				if err != nil {
+					writeError(w, streamLineStatus(err), fmt.Errorf("decode stream header: %w", err))
+					return
+				}
+				if name, err = peekDataset(header); err != nil {
+					writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
+					return
+				}
+			}
+			body = io.MultiReader(bytes.NewReader(captured.Bytes()), br)
+		} else if frameRequest(r) {
 			h, raw, err := wire.ReadHeaderFrame(br)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("decode stream header: %w", err))
@@ -706,6 +666,47 @@ func (rt *Router) Handler() http.Handler {
 			return
 		}
 		rt.relayStream(w, r, rt.readTargets(owners), body)
+	})
+
+	// Decision graphs and sweeps build (or reuse) the dataset's density
+	// index, which lives only on the key's primary — indexes are derived
+	// state, cheap to rebuild, and are never replicated. Both routes
+	// therefore pin to the primary: served locally when this instance is
+	// it, relayed to it otherwise (no failover — a replica would pay a
+	// full index build just to answer one exploratory call).
+	mux.HandleFunc("GET /v1/decision-graph", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("dataset")
+		owners := rt.owners(name)
+		if name == "" || r.Header.Get(forwardedHeader) != "" || len(owners) == 0 || owners[0] == rt.self {
+			rt.localH.ServeHTTP(w, r)
+			return
+		}
+		path := "/v1/decision-graph"
+		if q := r.URL.RawQuery; q != "" {
+			path += "?" + q
+		}
+		rt.relaySeq(w, r, owners[:1], http.MethodGet, path, nil)
+	})
+
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSweepBytes))
+		if err != nil {
+			writeError(w, bodyErrStatus(err), fmt.Errorf("reading request: %w", err))
+			return
+		}
+		name, err := peekDataset(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		owners := rt.owners(name)
+		if name == "" || r.Header.Get(forwardedHeader) != "" || len(owners) == 0 || owners[0] == rt.self {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+			rt.localH.ServeHTTP(w, r)
+			return
+		}
+		rt.relaySeq(w, r, owners[:1], http.MethodPost, "/v1/sweep", body)
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -929,8 +930,22 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, targets []
 		var err error
 		// The inbound request context cancels the upstream leg when the
 		// client hangs up, so an abandoned stream cannot pin two connections.
+		// Encoding headers travel verbatim: the relay never re-compresses —
+		// gzip bodies pass through as opaque bytes. An explicit
+		// Accept-Encoding also disables the transport's transparent gzip,
+		// so the response encoding stays visible for the passthrough below.
+		var enc http.Header
+		if ce := r.Header.Get("Content-Encoding"); ce != "" {
+			enc = http.Header{"Content-Encoding": {ce}}
+		}
+		if ae := r.Header.Get("Accept-Encoding"); ae != "" {
+			if enc == nil {
+				enc = http.Header{}
+			}
+			enc.Set("Accept-Encoding", ae)
+		}
 		resp, err = peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream",
-			relayContentType(r), r.Header.Get("Accept"), cr, true)
+			relayContentType(r), r.Header.Get("Accept"), cr, true, enc)
 		if err == nil {
 			target = o
 			break
@@ -958,15 +973,26 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, targets []
 		ct = "application/json"
 	}
 	w.Header().Set("Content-Type", ct)
+	gzResp := false
+	if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+		w.Header().Set("Content-Encoding", ce)
+		gzResp = true
+	}
 	w.WriteHeader(resp.StatusCode)
 	flushResponse(w) // the replica's status is news; don't sit on it
 	fw := &flushWriter{w: w}
-	if isFrameMedia(ct) {
+	if isFrameMedia(ct) && !gzResp {
 		fw.track = &wire.Tracker{}
 	}
 	if _, err := io.Copy(fw, resp.Body); err != nil {
 		rt.forwardErrors.Add(1)
 		relayErr := fmt.Errorf("shard %s failed mid-stream: %v", target, err)
+		if gzResp {
+			// Welding anything onto a torn compressed stream would corrupt
+			// it; the truncation itself is the client's failure signal (its
+			// gzip reader errors before any summary record).
+			return
+		}
 		if fw.track != nil {
 			// A binary error frame is only legal at a frame boundary;
 			// welded onto a torn frame it would corrupt the stream instead
@@ -1020,14 +1046,14 @@ func (fw *flushWriter) atLineStart() bool { return fw.last == 0 || fw.last == '\
 // resident on several shards but is still one dataset. Dead peers are
 // skipped without probing; unreachable live peers contribute nothing —
 // the listing degrades to what the reachable shards hold.
-func (rt *Router) allDatasets() []DatasetInfo {
+func (rt *Router) allDatasets() []api.DatasetInfo {
 	rt.mu.RLock()
 	peers := rt.ring.Members()
 	clients := rt.clients
 	rt.mu.RUnlock()
 	var (
 		mu  sync.Mutex
-		all []DatasetInfo
+		all []api.DatasetInfo
 		wg  sync.WaitGroup
 	)
 	for _, p := range peers {
@@ -1063,13 +1089,13 @@ func (rt *Router) allDatasets() []DatasetInfo {
 // unreachable marker and never probed — a dead shard must not add a
 // timeout to every stats call — and a live peer that fails its probe is
 // reported per-peer instead of failing the aggregate.
-func (rt *Router) aggregateStats() RingStatsResponse {
+func (rt *Router) aggregateStats() api.RingStats {
 	rt.mu.RLock()
 	configured := rt.configured
 	live := rt.ring
 	clients := rt.clients
 	rt.mu.RUnlock()
-	resp := RingStatsResponse{
+	resp := api.RingStats{
 		Self:              rt.self,
 		Peers:             live.Members(),
 		RF:                rt.rf,
@@ -1077,16 +1103,16 @@ func (rt *Router) aggregateStats() RingStatsResponse {
 		ForwardErrors:     rt.forwardErrors.Load(),
 		Replicated:        rt.replicated.Load(),
 		ReplicationErrors: rt.replicationErrors.Load(),
-		PerPeer:           make([]PeerStats, len(configured)),
+		PerPeer:           make([]api.PeerStats, len(configured)),
 	}
 	var wg sync.WaitGroup
 	for i, p := range configured {
 		switch {
 		case p == rt.self:
 			st := rt.local.Stats()
-			resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
+			resp.PerPeer[i] = api.PeerStats{Peer: p, Stats: &st}
 		case !live.Has(p):
-			resp.PerPeer[i] = PeerStats{Peer: p, Unreachable: true}
+			resp.PerPeer[i] = api.PeerStats{Peer: p, Unreachable: true}
 			resp.Down = append(resp.Down, p)
 		default:
 			wg.Add(1)
@@ -1094,10 +1120,10 @@ func (rt *Router) aggregateStats() RingStatsResponse {
 				defer wg.Done()
 				st, err := c.LocalStats()
 				if err != nil {
-					resp.PerPeer[i] = PeerStats{Peer: p, Error: err.Error()}
+					resp.PerPeer[i] = api.PeerStats{Peer: p, Error: err.Error()}
 					return
 				}
-				resp.PerPeer[i] = PeerStats{Peer: p, Stats: &st}
+				resp.PerPeer[i] = api.PeerStats{Peer: p, Stats: &st}
 			}(i, p, clients[p])
 		}
 	}
@@ -1107,7 +1133,7 @@ func (rt *Router) aggregateStats() RingStatsResponse {
 			continue
 		}
 		resp.PeersUp++
-		resp.Total.accumulate(*ps.Stats)
+		resp.Total.Accumulate(*ps.Stats)
 	}
 	if total := resp.Total.CacheHits + resp.Total.CacheMisses; total > 0 {
 		resp.Total.HitRate = float64(resp.Total.CacheHits) / float64(total)

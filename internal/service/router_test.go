@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/api"
 	"repro/internal/data"
 	"repro/internal/persist"
 	"repro/internal/ring"
@@ -93,7 +94,7 @@ func (h *ringHarness) uploadCSV(via int, name string, csv []byte) {
 type corpusEntry struct {
 	name   string
 	csv    []byte
-	params ParamsJSON
+	params api.Params
 	probes [][]float64
 }
 
@@ -118,7 +119,7 @@ func testCorpus(t *testing.T, k int) []corpusEntry {
 		out = append(out, corpusEntry{
 			name:   fmt.Sprintf("ds-%02d", i),
 			csv:    buf.Bytes(),
-			params: ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+			params: api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
 			probes: probes,
 		})
 	}
@@ -180,7 +181,7 @@ func TestRingByteIdenticalAnswers(t *testing.T) {
 
 	// Warm both deployments so cache_hit agrees in the compared bodies.
 	for _, e := range corpus {
-		req := marshal(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
+		req := marshal(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
 		if status, body := rawPost(t, singleSrv.URL+"/v1/fit", req); status != http.StatusOK {
 			t.Fatalf("single fit %s: HTTP %d: %s", e.name, status, body)
 		}
@@ -190,8 +191,8 @@ func TestRingByteIdenticalAnswers(t *testing.T) {
 	}
 
 	for _, e := range corpus {
-		req := marshal(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		req := marshal(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
 		wantStatus, want := rawPost(t, singleSrv.URL+"/v1/assign", req)
@@ -208,11 +209,11 @@ func TestRingByteIdenticalAnswers(t *testing.T) {
 		}
 		// Fit responses carry wall-clock timings, so byte-identity is off
 		// the table; the model identity must still agree exactly.
-		wantFit, err := singleC.Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
+		wantFit, err := singleC.Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
 		if err != nil {
 			t.Fatal(err)
 		}
-		gotFit, err := h.clients[2].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
+		gotFit, err := h.clients[2].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -265,7 +266,7 @@ func TestRingShardDeath(t *testing.T) {
 	h := startRing(t, 3, nil)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -302,13 +303,13 @@ func TestRingShardDeath(t *testing.T) {
 
 	h.servers[dead].Close()
 	for _, e := range deadKeys {
-		_, err := h.clients[alive[0]].Assign(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		_, err := h.clients[alive[0]].Assign(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
-			t.Fatalf("assign %s with dead owner: err = %v, want StatusError 502", e.name, err)
+		var se *api.APIError
+		if !errors.As(err, &se) || se.Status != http.StatusBadGateway {
+			t.Fatalf("assign %s with dead owner: err = %v, want api.APIError 502", e.name, err)
 		}
 	}
 
@@ -327,8 +328,8 @@ func TestRingShardDeath(t *testing.T) {
 	// Survivors' keys: still served, from cache, via either survivor.
 	for _, e := range surviving {
 		for _, i := range alive {
-			resp, err := h.clients[i].Assign(AssignRequest{
-				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			resp, err := h.clients[i].Assign(api.AssignRequest{
+				FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 				Points:     e.probes,
 			})
 			if err != nil {
@@ -342,13 +343,13 @@ func TestRingShardDeath(t *testing.T) {
 	// The dead shard's keys remapped to survivors that never saw the
 	// data: a clean 404, not a hang, a loop, or a silent wrong answer.
 	for _, e := range deadKeys {
-		_, err := h.clients[alive[0]].Assign(AssignRequest{
-			FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+		_, err := h.clients[alive[0]].Assign(api.AssignRequest{
+			FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 			Points:     e.probes,
 		})
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusNotFound {
-			t.Fatalf("assign %s after remap: err = %v, want StatusError 404", e.name, err)
+		var se *api.APIError
+		if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+			t.Fatalf("assign %s after remap: err = %v, want api.APIError 404", e.name, err)
 		}
 	}
 	if misses := h.svcs[alive[0]].Stats().CacheMisses + h.svcs[alive[1]].Stats().CacheMisses; misses != missesBefore {
@@ -377,7 +378,7 @@ func TestRingRebalanceZeroRefit(t *testing.T) {
 	h := startRing(t, 2, dirs)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -450,8 +451,8 @@ func TestRingRebalanceZeroRefit(t *testing.T) {
 	// Every key serves again, from cache, through either instance.
 	for _, e := range corpus {
 		for i := 0; i < 2; i++ {
-			resp, err := h.clients[i].Assign(AssignRequest{
-				FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
+			resp, err := h.clients[i].Assign(api.AssignRequest{
+				FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params},
 				Points:     e.probes,
 			})
 			if err != nil {
@@ -480,7 +481,7 @@ func TestRingRestartWarmLoad(t *testing.T) {
 	h := startRing(t, 3, dirs)
 	for _, e := range corpus {
 		h.uploadCSV(0, e.name, e.csv)
-		if _, err := h.clients[0].Fit(FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
+		if _, err := h.clients[0].Fit(api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -519,7 +520,7 @@ func TestRingRestartWarmLoad(t *testing.T) {
 		if !h.routers[target].Owns(e.name) {
 			continue
 		}
-		fr, err := restarted.Fit(e.name, "Ex-DPC", e.params.core())
+		fr, err := restarted.Fit(e.name, "Ex-DPC", coreParams(e.params))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -542,12 +543,12 @@ func TestRingStreamForwarding(t *testing.T) {
 	h := startRing(t, 3, nil)
 	e := corpus[0]
 	h.uploadCSV(0, e.name, e.csv)
-	req := FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+	req := api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
 	if _, err := h.clients[0].Fit(req); err != nil {
 		t.Fatal(err)
 	}
 
-	want, err := h.clients[0].Assign(AssignRequest{FitRequest: req, Points: e.probes})
+	want, err := h.clients[0].Assign(api.AssignRequest{FitRequest: req, Points: e.probes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -621,7 +622,7 @@ func TestRelayOversizedAssignIs413(t *testing.T) {
 	e := corpus[0]
 	h.uploadCSV(0, e.name, e.csv)
 
-	big := AssignRequest{FitRequest: FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}}
+	big := api.AssignRequest{FitRequest: api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}}
 	for len(marshal(big)) <= int(maxAssignBytes) {
 		big.Points = append(big.Points, make([][]float64, 4096)...)
 		for i := len(big.Points) - 4096; i < len(big.Points); i++ {
@@ -634,8 +635,8 @@ func TestRelayOversizedAssignIs413(t *testing.T) {
 		if status != http.StatusRequestEntityTooLarge {
 			t.Errorf("shard %d: status %d, want 413", i, status)
 		}
-		var er errorResponse
-		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+		var er api.ErrorEnvelope
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error.Message == "" {
 			t.Errorf("shard %d: body %q is not a JSON error", i, raw)
 		}
 	}

@@ -8,13 +8,16 @@ package service
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/api"
 	"repro/internal/core"
+	"repro/internal/densindex"
 	"repro/internal/geom"
 	"repro/internal/persist"
 )
@@ -52,6 +55,11 @@ type Options struct {
 	// 1<<30. The breach surfaces as the stream's terminal error record —
 	// labels already emitted stay valid.
 	MaxStreamPoints int64
+	// IndexMaxEdges caps the stored entries of one dataset's density
+	// index (each costs 12 bytes); <= 0 means 1<<25 (~384 MiB). A
+	// decision-graph or sweep request whose d_cut would exceed the budget
+	// fails with a clear error instead of exhausting memory.
+	IndexMaxEdges int64
 }
 
 func (o Options) cacheSize() int {
@@ -75,6 +83,13 @@ func (o Options) maxStreamPoints() int64 {
 	return 1 << 30
 }
 
+func (o Options) indexMaxEdges() int64 {
+	if o.IndexMaxEdges > 0 {
+		return o.IndexMaxEdges
+	}
+	return 1 << 25
+}
+
 // Service owns the dataset registry and the model cache.
 type Service struct {
 	opts Options
@@ -83,6 +98,12 @@ type Service struct {
 	datasets map[string]*datasetEntry
 
 	cache *modelCache
+
+	// indexMu guards indexes: at most one density index per dataset,
+	// built single-flight (the entry is inserted before the build runs,
+	// so concurrent requests join it instead of building again).
+	indexMu sync.Mutex
+	indexes map[string]*indexEntry
 
 	// streamSem bounds concurrent label streams; each stream holds one
 	// slot from just after its fit until it finishes.
@@ -105,6 +126,10 @@ type Service struct {
 	fitRequests    atomic.Int64
 	assignRequests atomic.Int64
 	pointsAssigned atomic.Int64
+
+	indexBuilds     atomic.Int64
+	indexCuts       atomic.Int64
+	indexesRestored atomic.Int64
 }
 
 type datasetEntry struct {
@@ -124,6 +149,7 @@ func New(opts Options) *Service {
 		opts:      opts,
 		datasets:  make(map[string]*datasetEntry),
 		cache:     newModelCache(opts.cacheSize()),
+		indexes:   make(map[string]*indexEntry),
 		streamSem: make(chan struct{}, opts.maxStreams()),
 	}
 	if opts.Store != nil {
@@ -133,6 +159,7 @@ func New(opts Options) *Service {
 			s.datasets[d.Name] = &datasetEntry{points: d.Points, version: d.Version}
 			s.datasetsRestored.Add(1)
 		}
+		s.restoreIndexes(dss, opts.Owns)
 		// More snapshots than cache slots: keep the most recently
 		// persisted (manifest order is persist order), so ModelsRestored
 		// counts what is actually resident and no phantom evictions show
@@ -160,11 +187,193 @@ func (s *Service) restoredKey(k persist.ModelKey) modelKey {
 	}
 }
 
-// ReconcileStats reports one ring-rebalance pass over resident state.
-type ReconcileStats struct {
-	DatasetsLoaded  int `json:"datasets_loaded"`
-	ModelsLoaded    int `json:"models_loaded"`
-	DatasetsEvicted int `json:"datasets_evicted"`
+// indexEntry is one dataset's density index, single-flight like a cache
+// entry: it is inserted (with ready open) before the build runs, so
+// concurrent requests wait on ready instead of building twice. A failed
+// build removes the entry; the next request retries.
+type indexEntry struct {
+	version uint64
+	dcMax   float64 // build ceiling; == idx.DCutMax() once ready
+	ready   chan struct{}
+	idx     *densindex.Index
+	err     error
+}
+
+// restoreIndexes rebuilds warm-loaded index snapshots against the
+// restored datasets. Version and fingerprint must both match — an index
+// must never serve different points — and FromParts re-validates the
+// CSR invariants, so a damaged or forged snapshot costs one rebuild on
+// demand, nothing more.
+func (s *Service) restoreIndexes(dss []*persist.DatasetSnapshot, owns func(string) bool) {
+	byName := make(map[string]*persist.DatasetSnapshot, len(dss))
+	for _, d := range dss {
+		byName[d.Name] = d
+	}
+	for _, snap := range s.store.RestoreIndexesOwned(owns) {
+		d, ok := byName[snap.Dataset]
+		if !ok || d.Version != snap.Version || d.Fingerprint != snap.DatasetFingerprint {
+			s.store.Log("service: skipping index %s: its dataset v%d was not restored or changed", snap.Dataset, snap.Version)
+			continue
+		}
+		idx, err := densindex.FromParts(d.Points, snap.DCutMax, snap.Start, snap.IDs, snap.Sq)
+		if err != nil {
+			s.store.Log("service: skipping index %s: %v", snap.Dataset, err)
+			continue
+		}
+		ready := make(chan struct{})
+		close(ready)
+		s.indexMu.Lock()
+		s.indexes[snap.Dataset] = &indexEntry{
+			version: snap.Version, dcMax: idx.DCutMax(), ready: ready, idx: idx,
+		}
+		s.indexMu.Unlock()
+		s.indexesRestored.Add(1)
+	}
+}
+
+// dropIndex forgets a dataset's resident index (re-upload, eviction).
+// An in-flight build keeps running for its waiters but its result is no
+// longer reachable.
+func (s *Service) dropIndex(name string) {
+	s.indexMu.Lock()
+	delete(s.indexes, name)
+	s.indexMu.Unlock()
+}
+
+// adoptIndex installs an already-validated index as the dataset's
+// resident entry, unless one at least as capable (same version, ceiling
+// covering the newcomer's) is already resident or in flight. Reports
+// whether the index was adopted.
+func (s *Service) adoptIndex(name string, version uint64, idx *densindex.Index) bool {
+	ready := make(chan struct{})
+	close(ready)
+	s.indexMu.Lock()
+	defer s.indexMu.Unlock()
+	if ent := s.indexes[name]; ent != nil && ent.version == version && ent.dcMax >= idx.DCutMax() {
+		return false
+	}
+	s.indexes[name] = &indexEntry{version: version, dcMax: idx.DCutMax(), ready: ready, idx: idx}
+	return true
+}
+
+// residentIndex returns the dataset's index only if it is already built
+// for this version and covers dcut — the condition under which a fit
+// request may be satisfied by a re-cut without ever paying a build.
+func (s *Service) residentIndex(name string, version uint64, dcut float64) (*densindex.Index, bool) {
+	s.indexMu.Lock()
+	ent := s.indexes[name]
+	s.indexMu.Unlock()
+	if ent == nil || ent.version != version || ent.dcMax < dcut {
+		return nil, false
+	}
+	select {
+	case <-ent.ready:
+	default:
+		return nil, false // still building; a fit should not wait on it
+	}
+	if ent.err != nil || ent.idx == nil {
+		return nil, false
+	}
+	return ent.idx, true
+}
+
+// indexHeadroom scales a requested d_cut up to the build ceiling, so an
+// analyst nudging d_cut upward re-cuts the existing index instead of
+// triggering a rebuild per nudge.
+const indexHeadroom = 1.5
+
+// ensureIndex returns the dataset's density index, building it (or
+// rebuilding it with a larger ceiling) if the resident one does not
+// cover needDC. reused reports whether the caller joined an index that
+// was already resident or in flight — false means this request
+// initiated the build it waited on.
+func (s *Service) ensureIndex(name string, needDC float64) (idx *densindex.Index, version uint64, reused bool, err error) {
+	// The headroom absorbs an analyst nudging d_cut upward without a
+	// rebuild per nudge.
+	return s.ensureIndexCeil(name, needDC, needDC*indexHeadroom)
+}
+
+// ensureIndexCeil is ensureIndex with an explicit build ceiling: a sweep
+// knows its whole grid up front, so it builds at exactly the grid
+// maximum instead of paying the interactive-nudge headroom (edge counts
+// grow with the ceiling's square).
+func (s *Service) ensureIndexCeil(name string, needDC, buildDC float64) (idx *densindex.Index, version uint64, reused bool, err error) {
+	if !(needDC > 0) {
+		return nil, 0, false, fmt.Errorf("service: dcut must be positive, got %g", needDC)
+	}
+	for attempts := 0; ; attempts++ {
+		s.mu.RLock()
+		e, ok := s.datasets[name]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, 0, false, fmt.Errorf("service: unknown dataset %q", name)
+		}
+
+		s.indexMu.Lock()
+		ent := s.indexes[name]
+		if ent != nil && ent.version == e.version && ent.dcMax >= needDC {
+			s.indexMu.Unlock()
+			<-ent.ready
+			if ent.err == nil {
+				return ent.idx, e.version, true, nil
+			}
+			// The build this caller joined failed; its owner already removed
+			// the entry. Retry once from scratch, then surface the error.
+			if attempts > 0 {
+				return nil, 0, false, ent.err
+			}
+			continue
+		}
+		ent = &indexEntry{version: e.version, dcMax: buildDC, ready: make(chan struct{})}
+		s.indexes[name] = ent
+		s.indexMu.Unlock()
+
+		// Build outside both locks; joiners block on ready. The headroom
+		// build is retried at exactly needDC when it blows the edge budget —
+		// the analyst asked for needDC, not for the convenience margin.
+		ent.idx, ent.err = densindex.Build(e.points, ent.dcMax, s.opts.Workers, s.opts.indexMaxEdges())
+		if errors.Is(ent.err, densindex.ErrTooDense) {
+			ent.dcMax = needDC
+			ent.idx, ent.err = densindex.Build(e.points, needDC, s.opts.Workers, s.opts.indexMaxEdges())
+		}
+		if ent.err != nil {
+			s.indexMu.Lock()
+			if s.indexes[name] == ent {
+				delete(s.indexes, name)
+			}
+			s.indexMu.Unlock()
+			close(ent.ready)
+			return nil, 0, false, ent.err
+		}
+		ent.dcMax = ent.idx.DCutMax()
+		close(ent.ready)
+		s.indexBuilds.Add(1)
+		if s.store != nil {
+			s.persistIndex(name, e.version, ent.idx)
+		}
+		return ent.idx, e.version, false, nil
+	}
+}
+
+// persistIndex snapshots a freshly built index so a restart warm-loads
+// it. Failures degrade durability, not serving.
+func (s *Service) persistIndex(name string, version uint64, idx *densindex.Index) {
+	s.mu.RLock()
+	e, ok := s.datasets[name]
+	s.mu.RUnlock()
+	if !ok || e.version != version {
+		return // replaced while building; nothing worth persisting
+	}
+	dcMax, start, ids, sq := idx.Parts()
+	snap := &persist.IndexSnapshot{
+		Dataset: name, Version: version,
+		DatasetFingerprint: e.points.Fingerprint(),
+		DCutMax:            dcMax, Start: start, IDs: ids, Sq: sq,
+	}
+	if err := s.store.SaveIndex(snap); err != nil {
+		s.persistErrors.Add(1)
+		s.store.Log("service: persisting index %q v%d: %v", name, version, err)
+	}
 }
 
 // Reconcile aligns resident state with ring ownership after a membership
@@ -174,8 +383,8 @@ type ReconcileStats struct {
 // and snapshots it now owns are warm-loaded, so a rebalance costs zero
 // refits. A nil filter owns everything (single-instance mode) and
 // reconciling is a no-op.
-func (s *Service) Reconcile(owns func(dataset string) bool) ReconcileStats {
-	var st ReconcileStats
+func (s *Service) Reconcile(owns func(dataset string) bool) api.ReconcileStats {
+	var st api.ReconcileStats
 	if owns == nil {
 		return st
 	}
@@ -193,6 +402,7 @@ func (s *Service) Reconcile(owns func(dataset string) bool) ReconcileStats {
 	s.mu.Unlock()
 	for _, name := range gone {
 		s.cache.purgeStale(name, 0)
+		s.dropIndex(name)
 	}
 	st.DatasetsEvicted = len(gone)
 	if s.store == nil {
@@ -230,14 +440,19 @@ func (s *Service) Reconcile(owns func(dataset string) bool) ReconcileStats {
 			s.modelsRestored.Add(1)
 		}
 	}
+	// Index snapshots ride the same rebalance: only those matching a
+	// dataset that landed in this pass are rebuilt.
+	landed := dss[:0]
+	for _, d := range dss {
+		if v, ok := restored[d.Name]; ok && v == d.Version {
+			landed = append(landed, d)
+		}
+	}
+	s.restoreIndexes(landed, func(name string) bool {
+		_, ok := restored[name]
+		return ok
+	})
 	return st
-}
-
-// DatasetInfo describes one registered dataset.
-type DatasetInfo struct {
-	Name string `json:"name"`
-	N    int    `json:"n"`
-	Dim  int    `json:"dim"`
 }
 
 // PutDataset registers (or replaces) a named dataset. The dataset is
@@ -248,15 +463,15 @@ type DatasetInfo struct {
 // bit-identical points is a no-op that keeps the version, the cached
 // models, and the snapshots (an idempotent provisioning script must not
 // throw away the warm cache).
-func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error) {
+func (s *Service) PutDataset(name string, ds *geom.Dataset) (api.DatasetInfo, error) {
 	if name == "" {
-		return DatasetInfo{}, fmt.Errorf("service: empty dataset name")
+		return api.DatasetInfo{}, fmt.Errorf("service: empty dataset name")
 	}
 	if ds == nil || ds.N == 0 {
-		return DatasetInfo{}, fmt.Errorf("service: dataset %q is empty", name)
+		return api.DatasetInfo{}, fmt.Errorf("service: dataset %q is empty", name)
 	}
 	if err := ds.Validate(); err != nil {
-		return DatasetInfo{}, fmt.Errorf("service: dataset %q: %w", name, err)
+		return api.DatasetInfo{}, fmt.Errorf("service: dataset %q: %w", name, err)
 	}
 	s.mu.Lock()
 	version := uint64(1)
@@ -276,7 +491,7 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error)
 					s.store.Log("service: re-persisting dataset %q v%d: %v", name, ver, err)
 				}
 			}
-			return DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
+			return api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
 		}
 		version = old.version + 1
 	}
@@ -284,6 +499,8 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error)
 	s.mu.Unlock()
 	if version > 1 {
 		s.cache.purgeStale(name, version)
+		// The replaced points' index must never re-cut for the new name.
+		s.dropIndex(name)
 	}
 	if s.store != nil {
 		// SaveDataset also drops the replaced version's snapshots — the
@@ -293,7 +510,7 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (DatasetInfo, error)
 			s.store.Log("service: persisting dataset %q v%d: %v", name, version, err)
 		}
 	}
-	return DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
+	return api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
 }
 
 // Dataset returns a registered dataset.
@@ -308,11 +525,11 @@ func (s *Service) Dataset(name string) (*geom.Dataset, bool) {
 }
 
 // Datasets lists the registry sorted by name.
-func (s *Service) Datasets() []DatasetInfo {
+func (s *Service) Datasets() []api.DatasetInfo {
 	s.mu.RLock()
-	out := make([]DatasetInfo, 0, len(s.datasets))
+	out := make([]api.DatasetInfo, 0, len(s.datasets))
 	for name, e := range s.datasets {
-		out = append(out, DatasetInfo{Name: name, N: e.points.N, Dim: e.points.Dim})
+		out = append(out, api.DatasetInfo{Name: name, N: e.points.N, Dim: e.points.Dim})
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
@@ -330,16 +547,24 @@ func (s *Service) normalize(algorithm string, p core.Params) core.Params {
 	return p
 }
 
-// FitResult is the outcome of one fit request.
+// FitResult is the outcome of one fit request. IndexCut reports that
+// the model was derived by re-cutting the dataset's density index
+// instead of running the algorithm — byte-identical labels, a fraction
+// of the cost, and no cache-miss accounting (no fit happened).
 type FitResult struct {
 	Model    *core.Model
 	CacheHit bool
+	IndexCut bool
 }
 
 // Fit returns the model for (dataset, algorithm, params), fitting it at
 // most once: concurrent requests for the same key share a single
 // ClusterDataset pass, later requests hit the LRU cache. algorithm is a
-// paper name resolved against the full ten-algorithm registry.
+// paper name resolved against the full ten-algorithm registry. When the
+// dataset's density index is already resident (built by an earlier
+// decision-graph or sweep request, or warm-loaded from a snapshot) and
+// covers the requested d_cut, a covered algorithm's model is derived by
+// an index re-cut instead of a fresh fit.
 func (s *Service) Fit(dataset, algorithm string, p core.Params) (FitResult, error) {
 	s.fitRequests.Add(1)
 	alg, ok := core.AlgorithmByName(algorithm)
@@ -357,9 +582,19 @@ func (s *Service) Fit(dataset, algorithm string, p core.Params) (FitResult, erro
 		return FitResult{}, err
 	}
 	key := modelKey{dataset: dataset, version: e.version, algorithm: algorithm, params: p}
-	model, hit, err := s.cache.getOrFit(key, func() (*core.Model, error) {
+	fill := func() (*core.Model, error) {
 		return core.Fit(alg, e.points, p)
-	})
+	}
+	indexCut := false
+	if densindex.Covers(algorithm) {
+		if idx, ok := s.residentIndex(dataset, e.version, p.DCut); ok {
+			indexCut = true
+			fill = func() (*core.Model, error) {
+				return s.cutModel(idx, algorithm, e.points, p)
+			}
+		}
+	}
+	model, hit, err := s.cache.getOrFit(key, !indexCut, fill)
 	if err != nil {
 		return FitResult{}, err
 	}
@@ -386,7 +621,19 @@ func (s *Service) Fit(dataset, algorithm string, p core.Params) (FitResult, erro
 			s.store.Log("service: persisting model %s/%s: %v", dataset, algorithm, err)
 		}
 	}
-	return FitResult{Model: model, CacheHit: hit}, nil
+	return FitResult{Model: model, CacheHit: hit, IndexCut: indexCut && !hit}, nil
+}
+
+// cutModel derives a covered algorithm's model from the density index:
+// one re-cut plus the kd-tree rebuild core.Restore performs. The re-cut
+// Result is byte-identical to what the algorithm would compute.
+func (s *Service) cutModel(idx *densindex.Index, algorithm string, ds *geom.Dataset, p core.Params) (*core.Model, error) {
+	res, err := idx.Cut(p)
+	if err != nil {
+		return nil, err
+	}
+	s.indexCuts.Add(1)
+	return core.Restore(algorithm, ds, res, p, res.Timing.Total())
 }
 
 // Assign labels a batch of points against the model for (dataset,
@@ -417,38 +664,13 @@ func (s *Service) assignChunk(m *core.Model, pts [][]float64) ([]int32, error) {
 	return labels, nil
 }
 
-// Stats is a point-in-time snapshot of service counters.
-type Stats struct {
-	Datasets       int     `json:"datasets"`
-	ModelsCached   int     `json:"models_cached"`
-	CacheCapacity  int     `json:"cache_capacity"`
-	FitRequests    int64   `json:"fit_requests"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	Evictions      int64   `json:"evictions"`
-	AssignRequests int64   `json:"assign_requests"`
-	PointsAssigned int64   `json:"points_assigned"`
-	HitRate        float64 `json:"hit_rate"`
-	// DatasetsRestored and ModelsRestored count what New warm-loaded from
-	// the snapshot store; PersistErrors counts snapshot writes that
-	// failed (serving continued, durability did not).
-	DatasetsRestored int   `json:"datasets_restored"`
-	ModelsRestored   int   `json:"models_restored"`
-	PersistErrors    int64 `json:"persist_errors"`
-	// DatasetsReplicated and ModelsReplicated count snapshot installs
-	// shipped by a key's primary — warm-loads of replica state, disjoint
-	// from both the restored counters (disk) and cache misses (refits).
-	DatasetsReplicated int64 `json:"datasets_replicated"`
-	ModelsReplicated   int64 `json:"models_replicated"`
-}
-
-// Stats returns current counters.
-func (s *Service) Stats() Stats {
+// Stats returns current counters (shape: api.Stats).
+func (s *Service) Stats() api.Stats {
 	s.mu.RLock()
 	nds := len(s.datasets)
 	s.mu.RUnlock()
 	hits, misses, evictions, cached := s.cache.counters()
-	st := Stats{
+	st := api.Stats{
 		Datasets:       nds,
 		ModelsCached:   cached,
 		CacheCapacity:  s.cache.capacity,
@@ -458,6 +680,10 @@ func (s *Service) Stats() Stats {
 		Evictions:      evictions,
 		AssignRequests: s.assignRequests.Load(),
 		PointsAssigned: s.pointsAssigned.Load(),
+
+		IndexBuilds:     s.indexBuilds.Load(),
+		IndexCuts:       s.indexCuts.Load(),
+		IndexesRestored: int(s.indexesRestored.Load()),
 
 		DatasetsRestored: int(s.datasetsRestored.Load()),
 		ModelsRestored:   int(s.modelsRestored.Load()),
@@ -470,6 +696,105 @@ func (s *Service) Stats() Stats {
 		st.HitRate = float64(hits) / float64(total)
 	}
 	return st
+}
+
+// DecisionGraph computes the decision graph of a dataset at dcut from
+// its density index (built on first use), returning the (rho, delta)
+// pairs sorted by descending delta — density peaks first, the order an
+// analyst reads to pick rho_min and delta_min. limit > 0 truncates the
+// point list after sorting; N always reports the full dataset size.
+func (s *Service) DecisionGraph(dataset string, dcut float64, limit int) (*api.DecisionGraphResponse, error) {
+	idx, _, reused, err := s.ensureIndex(dataset, dcut)
+	if err != nil {
+		return nil, err
+	}
+	rho, delta, err := idx.Decision(dcut, s.opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.indexCuts.Add(1)
+	pts := make([]api.DecisionPoint, len(rho))
+	for i := range pts {
+		pts[i] = api.DecisionPoint{ID: int32(i), Rho: rho[i], Delta: delta[i]}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Delta > pts[b].Delta })
+	if limit > 0 && len(pts) > limit {
+		pts = pts[:limit]
+	}
+	return &api.DecisionGraphResponse{
+		Dataset: dataset, DCut: dcut, N: len(rho),
+		IndexReused: reused, Points: pts,
+	}, nil
+}
+
+// Sweep re-cuts one dataset's density index for every requested
+// parameter setting: the index is built (or reused) once, each setting
+// then costs an O(n log n)-ish cut instead of a fit, and nothing enters
+// the model cache — a K-setting sweep must not evict K models. The
+// algorithm (default "Ex-DPC") must be covered by the index; every
+// result is byte-identical to fitting that algorithm at the setting.
+func (s *Service) Sweep(req api.SweepRequest) (*api.SweepResponse, error) {
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = "Ex-DPC"
+	}
+	if _, ok := core.AlgorithmByName(algorithm); !ok {
+		return nil, fmt.Errorf("service: unknown algorithm %q", algorithm)
+	}
+	if !densindex.Covers(algorithm) {
+		return nil, fmt.Errorf("service: algorithm %q is not covered by the density index (covered: %v)",
+			algorithm, densindex.CoveredAlgorithms())
+	}
+	if len(req.Settings) == 0 {
+		return nil, fmt.Errorf("service: sweep needs at least one parameter setting")
+	}
+	maxDC := 0.0
+	for i, set := range req.Settings {
+		if !(set.DCut > 0) {
+			return nil, fmt.Errorf("service: setting %d: dcut must be positive, got %g", i, set.DCut)
+		}
+		if set.DCut > maxDC {
+			maxDC = set.DCut
+		}
+	}
+	// The grid is known in full, so build at exactly its maximum — the
+	// interactive-nudge headroom would square the edge count for nothing.
+	idx, _, reused, err := s.ensureIndexCeil(req.Dataset, maxDC, maxDC)
+	if err != nil {
+		return nil, err
+	}
+	resp := &api.SweepResponse{
+		Dataset: req.Dataset, Algorithm: algorithm, N: idx.N(),
+		IndexReused: reused, Results: make([]api.SweepResult, len(req.Settings)),
+	}
+	for i, set := range req.Settings {
+		p := s.normalize(algorithm, core.Params{DCut: set.DCut, RhoMin: set.RhoMin, DeltaMin: set.DeltaMin})
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("service: setting %d: %w", i, err)
+		}
+		res, err := idx.Cut(p)
+		if err != nil {
+			return nil, fmt.Errorf("service: setting %d: %w", i, err)
+		}
+		s.indexCuts.Add(1)
+		noise := 0
+		for _, l := range res.Labels {
+			if l == core.NoCluster {
+				noise++
+			}
+		}
+		r := api.SweepResult{
+			Params:   wireParams(p),
+			Clusters: res.NumClusters(),
+			Noise:    noise,
+			Centers:  append([]int32{}, res.Centers...),
+		}
+		if req.IncludeLabels {
+			r.Labels = res.Labels
+		}
+		resp.Results[i] = r
+	}
+	return resp, nil
 }
 
 // modelKey identifies one fitted model. core.Params is a flat struct of
@@ -514,8 +839,11 @@ func newModelCache(capacity int) *modelCache {
 
 // getOrFit returns the cached model for key, joining an in-flight fit or
 // performing the fit itself when absent. hit reports whether the caller
-// avoided a fresh fit (cached or joined).
-func (c *modelCache) getOrFit(key modelKey, fit func() (*core.Model, error)) (model *core.Model, hit bool, err error) {
+// avoided a fresh fit (cached or joined). countMiss controls whether a
+// fresh fill counts as a cache miss: true for real fits, false for
+// index re-cuts, which are not fits and must not skew the hit rate the
+// misses counter implies.
+func (c *modelCache) getOrFit(key modelKey, countMiss bool, fit func() (*core.Model, error)) (model *core.Model, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
@@ -535,7 +863,9 @@ func (c *modelCache) getOrFit(key modelKey, fit func() (*core.Model, error)) (mo
 	c.entries[key] = c.ll.PushFront(e)
 	c.evictLocked()
 	c.mu.Unlock()
-	c.misses.Add(1)
+	if countMiss {
+		c.misses.Add(1)
+	}
 
 	e.model, e.err = fit()
 	if e.err != nil {

@@ -247,7 +247,7 @@ func TestPurgeStaleKeepsCurrentVersion(t *testing.T) {
 	mk := func(ds string, v uint64) modelKey { return modelKey{dataset: ds, version: v, algorithm: "a"} }
 	fit := func() (*core.Model, error) { return &core.Model{}, nil }
 	for _, k := range []modelKey{mk("x", 1), mk("x", 2), mk("y", 1)} {
-		if _, _, err := c.getOrFit(k, fit); err != nil {
+		if _, _, err := c.getOrFit(k, true, fit); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -309,10 +309,10 @@ func TestCacheFailedFitRetries(t *testing.T) {
 		}
 		return &core.Model{}, nil
 	}
-	if _, _, err := c.getOrFit(key, fit); !errors.Is(err, boom) {
+	if _, _, err := c.getOrFit(key, true, fit); !errors.Is(err, boom) {
 		t.Fatalf("first call: %v", err)
 	}
-	m, hit, err := c.getOrFit(key, fit)
+	m, hit, err := c.getOrFit(key, true, fit)
 	if err != nil || hit || m == nil {
 		t.Fatalf("retry after failure: m=%v hit=%v err=%v", m, hit, err)
 	}

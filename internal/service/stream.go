@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,13 +13,14 @@ import (
 	"runtime"
 	"strings"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/wire"
 )
 
 // The streaming assign wire format (POST /v1/assign/stream) is NDJSON in
 // both directions by default. The request is one header line — a
-// FitRequest object — followed by one point per line, each a JSON array
+// api.FitRequest object — followed by one point per line, each a JSON array
 // of coordinates:
 //
 //	{"dataset":"s2","algorithm":"Ex-DPC","params":{"dcut":2500,...}}
@@ -26,7 +28,7 @@ import (
 //	[61300.0,20018.7]
 //	...
 //
-// The response is a sequence of StreamRecord lines: one {"labels":[...]}
+// The response is a sequence of api.StreamRecord lines: one {"labels":[...]}
 // record per labeled chunk, in input order, terminated by exactly one of
 // {"summary":{...}} (success) or {"error":"..."} (failure after the
 // stream began; failures before any labeling use plain JSON statuses like
@@ -78,27 +80,57 @@ func frameResponse(r *http.Request) bool {
 	return false
 }
 
+// gzipRequest reports whether the request body arrives gzip-compressed
+// (Content-Encoding negotiation; "x-gzip" is its HTTP/1.0 alias).
+func gzipRequest(r *http.Request) bool {
+	ce := strings.TrimSpace(r.Header.Get("Content-Encoding"))
+	return strings.EqualFold(ce, "gzip") || strings.EqualFold(ce, "x-gzip")
+}
+
+// wantsGzipResponse reports whether the client asked for a gzip response
+// body via an explicit Accept-Encoding. Only explicit opt-in counts: the
+// Go transport silently injects its own Accept-Encoding: gzip and then
+// transparently decompresses, so honoring that default would gain
+// nothing while hiding the encoding from relays.
+func wantsGzipResponse(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := part
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc = enc[:i]
+		}
+		enc = strings.TrimSpace(enc)
+		if strings.EqualFold(enc, "gzip") || strings.EqualFold(enc, "x-gzip") {
+			return true
+		}
+	}
+	return false
+}
+
+// gzipResponseWriter compresses a label stream on the way out. Flush
+// must flush the compressor first — a gzip.Writer buffers a whole
+// deflate block — or the per-chunk flush discipline of the stream
+// handlers would stop delivering chunks promptly.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (g *gzipResponseWriter) Write(p []byte) (int, error) { return g.gz.Write(p) }
+
+func (g *gzipResponseWriter) Flush() {
+	_ = g.gz.Flush()
+	if f, ok := g.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // maxStreamLineBytes caps one NDJSON line (header or point). A point line
 // is a single coordinate array, so 1 MiB allows ~65k dimensions — far
 // beyond any real dataset — while bounding what a hostile stream can make
-// the server buffer per line.
+// the server buffer per line. Gzip request bodies are capped after
+// decompression — the limit bounds buffered memory, which a compressed
+// transport does not change.
 const maxStreamLineBytes = 1 << 20
-
-// StreamSummary is the trailing record of a successful label stream.
-type StreamSummary struct {
-	Points   int64 `json:"points"`
-	Chunks   int64 `json:"chunks"`
-	Clusters int   `json:"clusters"`
-	CacheHit bool  `json:"cache_hit"`
-}
-
-// StreamRecord is one NDJSON line of the response stream: exactly one of
-// Labels, Summary, or Error is set.
-type StreamRecord struct {
-	Labels  []int32        `json:"labels,omitempty"`
-	Summary *StreamSummary `json:"summary,omitempty"`
-	Error   string         `json:"error,omitempty"`
-}
 
 // streamChunk resolves the chunk size: Options.StreamChunk when set,
 // otherwise scaled to the worker pool so every chunk can spread across
@@ -146,13 +178,13 @@ func (s *Service) releaseStream() { <-s.streamSem }
 // labels in input order and may abort the stream by returning an error.
 // Memory is bounded by the chunk size regardless of stream length. The
 // stream counts against Options.MaxStreams and MaxStreamPoints.
-func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next func() ([]float64, error), emit func([]int32) error) (StreamSummary, error) {
+func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
 	fr, err := s.Fit(dataset, algorithm, p)
 	if err != nil {
-		return StreamSummary{}, err
+		return api.StreamSummary{}, err
 	}
 	if !s.acquireStream() {
-		return StreamSummary{}, errTooManyStreams
+		return api.StreamSummary{}, errTooManyStreams
 	}
 	defer s.releaseStream()
 	return s.assignStream(fr, next, emit)
@@ -161,9 +193,9 @@ func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next fu
 // assignStream is the chunked labeling loop shared by AssignStream and
 // the HTTP handler (which performs the Fit itself so pre-stream errors
 // keep their HTTP statuses).
-func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emit func([]int32) error) (StreamSummary, error) {
+func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
 	s.assignRequests.Add(1)
-	sum := StreamSummary{Clusters: fr.Model.NumClusters(), CacheHit: fr.CacheHit}
+	sum := api.StreamSummary{Clusters: fr.Model.NumClusters(), CacheHit: fr.CacheHit}
 	dim := fr.Model.Dim()
 	limit := s.opts.maxStreamPoints()
 	chunk := make([][]float64, 0, s.opts.streamChunk())
@@ -209,11 +241,11 @@ func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emi
 
 // headerToFit converts a decoded binary header frame into the FitRequest
 // it mirrors.
-func headerToFit(h wire.Header) FitRequest {
-	return FitRequest{
+func headerToFit(h wire.Header) api.FitRequest {
+	return api.FitRequest{
 		Dataset:   h.Dataset,
 		Algorithm: h.Algorithm,
-		Params: ParamsJSON{
+		Params: api.Params{
 			DCut: h.DCut, RhoMin: h.RhoMin, DeltaMin: h.DeltaMin,
 			Epsilon: h.Epsilon, Seed: h.Seed,
 		},
@@ -222,7 +254,7 @@ func headerToFit(h wire.Header) FitRequest {
 
 // fitToHeader is headerToFit's inverse — the client half of the frame
 // codec.
-func fitToHeader(req FitRequest) wire.Header {
+func fitToHeader(req api.FitRequest) wire.Header {
 	return wire.Header{
 		Dataset:   req.Dataset,
 		Algorithm: req.Algorithm,
@@ -240,11 +272,11 @@ func fitToHeader(req FitRequest) wire.Header {
 type streamEmitter interface {
 	contentType() string
 	labels([]int32) error
-	summary(StreamSummary)
+	summary(api.StreamSummary)
 	terminalError(error)
 }
 
-// ndjsonEmitter writes StreamRecord lines with a flush per record.
+// ndjsonEmitter writes api.StreamRecord lines with a flush per record.
 type ndjsonEmitter struct {
 	w   http.ResponseWriter
 	enc *json.Encoder
@@ -257,15 +289,15 @@ func newNDJSONEmitter(w http.ResponseWriter) *ndjsonEmitter {
 func (e *ndjsonEmitter) contentType() string { return ndjsonContentType }
 
 func (e *ndjsonEmitter) labels(labels []int32) error {
-	if err := e.enc.Encode(StreamRecord{Labels: labels}); err != nil {
+	if err := e.enc.Encode(api.StreamRecord{Labels: labels}); err != nil {
 		return err
 	}
 	flushResponse(e.w)
 	return nil
 }
 
-func (e *ndjsonEmitter) summary(sum StreamSummary) {
-	_ = e.enc.Encode(StreamRecord{Summary: &sum})
+func (e *ndjsonEmitter) summary(sum api.StreamSummary) {
+	_ = e.enc.Encode(api.StreamRecord{Summary: &sum})
 	flushResponse(e.w)
 }
 
@@ -289,7 +321,7 @@ func (e *frameEmitter) labels(labels []int32) error {
 	return nil
 }
 
-func (e *frameEmitter) summary(sum StreamSummary) {
+func (e *frameEmitter) summary(sum api.StreamSummary) {
 	e.buf = wire.AppendSummary(e.buf[:0], wire.Summary{
 		Points: sum.Points, Chunks: sum.Chunks,
 		Clusters: sum.Clusters, CacheHit: sum.CacheHit,
@@ -322,10 +354,20 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 		// writing labels for the stream's whole life, so it must opt in to
 		// full duplex. (HTTP/2 is duplex natively and reports unsupported.)
 		_ = http.NewResponseController(w).EnableFullDuplex()
-		br := bufio.NewReaderSize(r.Body, 64<<10)
+		bodySrc := io.Reader(r.Body)
+		if gzipRequest(r) {
+			zr, err := gzip.NewReader(r.Body)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decode gzip request body: %w", err))
+				return
+			}
+			defer zr.Close()
+			bodySrc = zr
+		}
+		br := bufio.NewReaderSize(bodySrc, 64<<10)
 
 		var (
-			req  FitRequest
+			req  api.FitRequest
 			next func() ([]float64, error)
 		)
 		if frameRequest(r) {
@@ -348,7 +390,7 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 			}
 			next = ndjsonNext(br)
 		}
-		fr, err := s.Fit(req.Dataset, req.Algorithm, req.Params.core())
+		fr, err := s.Fit(req.Dataset, req.Algorithm, coreParams(req.Params))
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -359,17 +401,24 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 		}
 		defer s.releaseStream()
 
+		out := http.ResponseWriter(w)
+		if wantsGzipResponse(r) {
+			gz := gzip.NewWriter(w)
+			defer gz.Close()
+			out = &gzipResponseWriter{ResponseWriter: w, gz: gz}
+			w.Header().Set("Content-Encoding", "gzip")
+		}
 		var emitter streamEmitter
 		if frameResponse(r) {
-			emitter = &frameEmitter{w: w}
+			emitter = &frameEmitter{w: out}
 		} else {
-			emitter = newNDJSONEmitter(w)
+			emitter = newNDJSONEmitter(out)
 		}
 		w.Header().Set("Content-Type", emitter.contentType())
 		w.WriteHeader(http.StatusOK)
 		// Flush the 200 now: a full-duplex client is allowed to wait for
 		// the status before it commits to streaming the whole body.
-		flushResponse(w)
+		flushResponse(out)
 
 		sum, err := s.assignStream(fr, next, emitter.labels)
 		if err != nil {
@@ -433,7 +482,7 @@ func frameNext(fr *wire.Reader) func() ([]float64, error) {
 // writeStreamError emits the terminal NDJSON error record — the failure
 // channel once the 200 header and some labels are already on the wire.
 func writeStreamError(w http.ResponseWriter, err error) {
-	_ = json.NewEncoder(w).Encode(StreamRecord{Error: err.Error()})
+	_ = json.NewEncoder(w).Encode(api.StreamRecord{Error: err.Error()})
 	if flusher, ok := w.(http.Flusher); ok {
 		flusher.Flush()
 	}

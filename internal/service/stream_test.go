@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/api"
 	"repro/internal/data"
 )
 
@@ -49,14 +50,14 @@ func TestStreamAssignParity(t *testing.T) {
 	if _, err := c.PutDataset("s2", "csv", csv.Bytes()); err != nil {
 		t.Fatal(err)
 	}
-	req := FitRequest{
+	req := api.FitRequest{
 		Dataset:   "s2",
 		Algorithm: "Ex-DPC",
-		Params:    ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+		Params:    api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
 	}
 	probes := d.Points.Rows()[:100]
 
-	batch, err := c.Assign(AssignRequest{FitRequest: req, Points: probes})
+	batch, err := c.Assign(api.AssignRequest{FitRequest: req, Points: probes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestStreamAssignEmpty(t *testing.T) {
 	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n")); err != nil {
 		t.Fatal(err)
 	}
-	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	req := api.FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: api.Params{DCut: 10, RhoMin: 0, DeltaMin: 11}}
 	sr, err := c.AssignStream(req, strings.NewReader(""))
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +147,7 @@ func TestStreamAssignPreStreamErrors(t *testing.T) {
 	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n")); err != nil {
 		t.Fatal(err)
 	}
-	good := ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}
+	good := api.Params{DCut: 10, RhoMin: 0, DeltaMin: 11}
 
 	post := func(body string) (int, []byte) {
 		t.Helper()
@@ -162,12 +163,12 @@ func TestStreamAssignPreStreamErrors(t *testing.T) {
 		return resp.StatusCode, raw
 	}
 
-	if _, err := c.AssignStream(FitRequest{Dataset: "nope", Algorithm: "Ex-DPC", Params: good}, strings.NewReader("")); err == nil {
+	if _, err := c.AssignStream(api.FitRequest{Dataset: "nope", Algorithm: "Ex-DPC", Params: good}, strings.NewReader("")); err == nil {
 		t.Error("unknown dataset accepted")
 	} else {
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusNotFound {
-			t.Errorf("unknown dataset: err = %v, want StatusError 404", err)
+		var se *api.APIError
+		if !errors.As(err, &se) || se.Status != http.StatusNotFound {
+			t.Errorf("unknown dataset: err = %v, want api.APIError 404", err)
 		}
 	}
 	if code, body := post("not json\n[1,2]\n"); code != http.StatusBadRequest {
@@ -200,7 +201,7 @@ func TestStreamAssignMidStreamErrors(t *testing.T) {
 	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
 		t.Fatal(err)
 	}
-	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	req := api.FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: api.Params{DCut: 10, RhoMin: 0, DeltaMin: 11}}
 
 	cases := []struct {
 		name   string
@@ -251,7 +252,7 @@ func TestStreamReaderTruncated(t *testing.T) {
 	}))
 	defer ts.Close()
 	c := NewClient(ts.URL, testClientOptions())
-	sr, err := c.AssignStream(FitRequest{Dataset: "x", Algorithm: "Ex-DPC"}, strings.NewReader(""))
+	sr, err := c.AssignStream(api.FitRequest{Dataset: "x", Algorithm: "Ex-DPC"}, strings.NewReader(""))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestServiceAssignStreamDirect(t *testing.T) {
 	if _, err := svc.PutDataset("s2", d.Points); err != nil {
 		t.Fatal(err)
 	}
-	p := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}.core()
+	p := coreParams(api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin})
 	probes := d.Points.Rows()[:10]
 	i := 0
 	next := func() ([]float64, error) {

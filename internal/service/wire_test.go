@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/api"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/wire"
@@ -60,13 +61,13 @@ func TestCrossCodecEquivalence(t *testing.T) {
 		t.Fatalf("frame upload registered %dx%d, want %dx%d", info.N, info.Dim, d.Points.N, d.Points.Dim)
 	}
 
-	params := ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
-	reqJSON := FitRequest{Dataset: "ds-json", Algorithm: "Ex-DPC", Params: params}
-	reqFrame := FitRequest{Dataset: "ds-frame", Algorithm: "Ex-DPC", Params: params}
+	params := api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin}
+	reqJSON := api.FitRequest{Dataset: "ds-json", Algorithm: "Ex-DPC", Params: params}
+	reqFrame := api.FitRequest{Dataset: "ds-frame", Algorithm: "Ex-DPC", Params: params}
 	probes := d.Points.Rows()[:120]
 
 	// The JSON batch on the CSV upload is the reference labeling.
-	base, err := c.Assign(AssignRequest{FitRequest: reqJSON, Points: probes})
+	base, err := c.Assign(api.AssignRequest{FitRequest: reqJSON, Points: probes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestCrossCodecEquivalence(t *testing.T) {
 	check("frames stream on csv upload", drainStream(t, sr))
 
 	// Upload binary / assign stream JSON (and batch JSON).
-	jb, err := c.Assign(AssignRequest{FitRequest: reqFrame, Points: probes})
+	jb, err := c.Assign(api.AssignRequest{FitRequest: reqFrame, Points: probes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,15 +139,15 @@ func TestCrossCodecAllAlgorithms(t *testing.T) {
 	}
 	probes := d.Points.Rows()[:50]
 	for _, alg := range core.Registered() {
-		req := FitRequest{
+		req := api.FitRequest{
 			Dataset:   "algs",
 			Algorithm: alg.Name(),
-			Params: ParamsJSON{
+			Params: api.Params{
 				DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin,
 				Epsilon: 1.0, Seed: 42,
 			},
 		}
-		base, err := c.Assign(AssignRequest{FitRequest: req, Points: probes})
+		base, err := c.Assign(api.AssignRequest{FitRequest: req, Points: probes})
 		if err != nil {
 			t.Fatalf("%s: json assign: %v", alg.Name(), err)
 		}
@@ -179,10 +180,10 @@ func TestAssignContentNegotiation(t *testing.T) {
 	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
 		t.Fatal(err)
 	}
-	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	req := api.FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: api.Params{DCut: 10, RhoMin: 0, DeltaMin: 11}}
 	probes := [][]float64{{1, 2}, {9, 9}}
 
-	jsonBody := marshal(AssignRequest{FitRequest: req, Points: probes})
+	jsonBody := marshal(api.AssignRequest{FitRequest: req, Points: probes})
 	frameBody := wire.AppendHeader(nil, fitToHeader(req))
 	frameBody = wire.AppendPointsRows(frameBody, probes, false)
 
@@ -245,7 +246,7 @@ func TestAssignContentNegotiation(t *testing.T) {
 			if isFrameMedia(ct) {
 				t.Fatalf("CT=%s Accept=%s: response Content-Type %q, want JSON", tc.contentType, tc.accept, ct)
 			}
-			var ar AssignResponse
+			var ar api.AssignResponse
 			if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
 				t.Fatal(err)
 			}
@@ -278,9 +279,9 @@ func TestCrossCodecEquivalenceRing(t *testing.T) {
 		t.Fatal("every shard claims ownership")
 	}
 	c := h.clients[via]
-	req := FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+	req := api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
 
-	base, err := c.Assign(AssignRequest{FitRequest: req, Points: e.probes})
+	base, err := c.Assign(api.AssignRequest{FitRequest: req, Points: e.probes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,11 +326,11 @@ func TestCrossCodecEquivalenceRing(t *testing.T) {
 	if _, err := c.PutDataset("ring-frame", "frame", framePoints(t, d.Points.Rows(), false)); err != nil {
 		t.Fatal(err)
 	}
-	req2 := FitRequest{
+	req2 := api.FitRequest{
 		Dataset: "ring-frame", Algorithm: "Ex-DPC",
-		Params: ParamsJSON{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+		Params: api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
 	}
-	jb, err := c.Assign(AssignRequest{FitRequest: req2, Points: d.Points.Rows()[:20]})
+	jb, err := c.Assign(api.AssignRequest{FitRequest: req2, Points: d.Points.Rows()[:20]})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +356,7 @@ func TestStreamConcurrencyCap(t *testing.T) {
 	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
 		t.Fatal(err)
 	}
-	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	req := api.FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: api.Params{DCut: 10, RhoMin: 0, DeltaMin: 11}}
 
 	// Hold one stream open: write a point, read its label record, leave
 	// the request body unfinished so the slot stays claimed.
@@ -371,8 +372,8 @@ func TestStreamConcurrencyCap(t *testing.T) {
 
 	// The second concurrent stream must be refused up front.
 	_, err = c.AssignStream(req, strings.NewReader("[1,2]\n"))
-	var se *StatusError
-	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+	var se *api.APIError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
 		t.Fatalf("second stream: err = %v, want HTTP 429", err)
 	}
 
@@ -390,7 +391,7 @@ func TestStreamConcurrencyCap(t *testing.T) {
 			}
 			break
 		}
-		if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests || time.Now().After(deadline) {
+		if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests || time.Now().After(deadline) {
 			t.Fatalf("stream after release: %v", err)
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -408,7 +409,7 @@ func TestStreamPointCap(t *testing.T) {
 	if _, err := c.PutDataset("tiny", "csv", []byte("1,2\n3,4\n5,6\n9,9\n")); err != nil {
 		t.Fatal(err)
 	}
-	req := FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: ParamsJSON{DCut: 10, RhoMin: 0, DeltaMin: 11}}
+	req := api.FitRequest{Dataset: "tiny", Algorithm: "Ex-DPC", Params: api.Params{DCut: 10, RhoMin: 0, DeltaMin: 11}}
 	pts := make([][]float64, 20)
 	for i := range pts {
 		pts[i] = []float64{1, 2}
@@ -470,7 +471,7 @@ func TestStreamReaderTruncatedBinary(t *testing.T) {
 			// No full summary, no error frame: the connection just ends.
 		}))
 		c := NewClient(ts.URL, testClientOptions())
-		sr, err := c.AssignStreamFrames(FitRequest{Dataset: "x", Algorithm: "Ex-DPC"}, strings.NewReader(""))
+		sr, err := c.AssignStreamFrames(api.FitRequest{Dataset: "x", Algorithm: "Ex-DPC"}, strings.NewReader(""))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -508,7 +509,7 @@ func TestRelayBinaryTerminalErrorFrame(t *testing.T) {
 	if owner == -1 || via == -1 {
 		t.Fatal("could not split owner from non-owner")
 	}
-	req := FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
+	req := api.FitRequest{Dataset: e.name, Algorithm: "Ex-DPC", Params: e.params}
 	// Fit once so the stream starts answering immediately.
 	if _, err := h.clients[via].Fit(req); err != nil {
 		t.Fatal(err)

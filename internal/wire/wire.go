@@ -12,6 +12,7 @@
 //	magic      uint32  "DPCF"
 //	version    uint8   format version (currently 1)
 //	kind       uint8   1=header 2=points 3=labels 4=summary 5=error
+//	                   6=decision
 //	flags      uint8   bit0: float32 coordinates (points frames only)
 //	reserved   uint8   must be 0
 //	payloadLen uint32  bytes that follow, <= MaxPayload
@@ -26,6 +27,7 @@
 //	labels   n u32, n labels i32
 //	summary  points i64, chunks i64, clusters u32, cache_hit u8
 //	error    message str
+//	decision n u32, n ids i32, n rho f64, n delta f64 (columnar)
 //
 // str is u32 length + bytes. A request stream is one header frame then
 // any number of points frames; a response stream is any number of labels
@@ -43,6 +45,7 @@ import (
 	"io"
 	"math"
 
+	"repro/api"
 	"repro/internal/geom"
 )
 
@@ -78,6 +81,10 @@ const (
 	KindLabels  = byte(3)
 	KindSummary = byte(4)
 	KindError   = byte(5)
+	// KindDecision carries decision-graph points — the binary response
+	// body of GET /v1/decision-graph, for plotting clients that want the
+	// (rho, delta) columns without JSON float parsing.
+	KindDecision = byte(6)
 )
 
 // FlagFloat32 marks a points frame whose coordinates are float32 on the
@@ -114,6 +121,10 @@ type Frame struct {
 	Labels  []int32   // KindLabels
 	Summary Summary   // KindSummary
 	ErrMsg  string    // KindError
+
+	// Decision holds KindDecision points in the frame's order (the
+	// encoder preserves the caller's, conventionally descending delta).
+	Decision []api.DecisionPoint
 }
 
 // Row returns points-frame row i as a view into Coords (no copy).
@@ -249,6 +260,38 @@ func AppendError(dst []byte, msg string) []byte {
 	return endFrame(dst, mark)
 }
 
+// maxDecisionPerFrame keeps one decision frame (4-byte count plus 20
+// bytes per point, columnar) under MaxPayload.
+const maxDecisionPerFrame = (MaxPayload - 4) / 20
+
+// AppendDecision appends pts as one or more decision frames, chunked so
+// each frame respects MaxPayload, preserving order across frames.
+func AppendDecision(dst []byte, pts []api.DecisionPoint) []byte {
+	for {
+		chunk := pts
+		if len(chunk) > maxDecisionPerFrame {
+			chunk = chunk[:maxDecisionPerFrame]
+		}
+		var mark int
+		dst, mark = beginFrame(dst, KindDecision, 0)
+		dst = appendU32(dst, uint32(len(chunk)))
+		for _, p := range chunk {
+			dst = appendU32(dst, uint32(p.ID))
+		}
+		for _, p := range chunk {
+			dst = appendU64(dst, math.Float64bits(p.Rho))
+		}
+		for _, p := range chunk {
+			dst = appendU64(dst, math.Float64bits(p.Delta))
+		}
+		dst = endFrame(dst, mark)
+		pts = pts[len(chunk):]
+		if len(pts) == 0 {
+			return dst
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Decoding.
 
@@ -324,7 +367,7 @@ func parseFrameHeader(b []byte) (kind, flags byte, payloadLen int, err error) {
 		return 0, 0, 0, fmt.Errorf("wire: unsupported frame version %d (want %d)", b[4], frameVersion)
 	}
 	kind, flags = b[5], b[6]
-	if kind < KindHeader || kind > KindError {
+	if kind < KindHeader || kind > KindDecision {
 		return 0, 0, 0, fmt.Errorf("wire: unknown frame kind %d", kind)
 	}
 	if flags&^FlagFloat32 != 0 {
@@ -420,6 +463,24 @@ func decodePayload(kind, flags byte, payload []byte) (*Frame, error) {
 		}
 	case KindError:
 		f.ErrMsg = d.str()
+	case KindDecision:
+		n := d.u32()
+		if d.err == nil && uint64(n)*20 != uint64(len(d.b)) {
+			d.fail("wire: %d decision points declare %d payload bytes, frame holds %d", n, 20*n, len(d.b))
+		}
+		if d.err == nil {
+			f.Decision = make([]api.DecisionPoint, n)
+			ids, rhos := d.b, d.b[4*n:]
+			deltas := rhos[8*n:]
+			for i := range f.Decision {
+				f.Decision[i] = api.DecisionPoint{
+					ID:    int32(binary.LittleEndian.Uint32(ids[4*i:])),
+					Rho:   math.Float64frombits(binary.LittleEndian.Uint64(rhos[8*i:])),
+					Delta: math.Float64frombits(binary.LittleEndian.Uint64(deltas[8*i:])),
+				}
+			}
+			d.b = nil
+		}
 	}
 	if err := d.done(); err != nil {
 		return nil, err

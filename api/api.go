@@ -91,11 +91,16 @@ type AssignResponse struct {
 	CacheHit bool    `json:"cache_hit"`
 }
 
-// DatasetInfo describes one registered dataset.
+// DatasetInfo describes one registered dataset. Precision is the
+// storage width of its coordinates — PrecisionF32 or PrecisionF64 —
+// negotiated at upload via ?precision= and echoed everywhere the
+// dataset is listed. Empty means f64 (responses from daemons predating
+// the precision surface).
 type DatasetInfo struct {
-	Name string `json:"name"`
-	N    int    `json:"n"`
-	Dim  int    `json:"dim"`
+	Name      string `json:"name"`
+	N         int    `json:"n"`
+	Dim       int    `json:"dim"`
+	Precision string `json:"precision,omitempty"`
 }
 
 // StreamSummary is the trailing record of a successful label stream.
@@ -219,7 +224,11 @@ type SweepResponse struct {
 // Stats is a point-in-time snapshot of one instance's service counters
 // (GET /v1/stats; in ring mode the per-peer legs of RingStats).
 type Stats struct {
-	Datasets       int     `json:"datasets"`
+	Datasets int `json:"datasets"`
+	// DatasetsF32 is how many resident datasets are stored at float32
+	// precision (the rest are float64) — the stats echo of the
+	// per-dataset Precision field.
+	DatasetsF32    int     `json:"datasets_f32"`
 	ModelsCached   int     `json:"models_cached"`
 	CacheCapacity  int     `json:"cache_capacity"`
 	FitRequests    int64   `json:"fit_requests"`
@@ -289,6 +298,10 @@ type RingInfo struct {
 	Vnodes     int      `json:"vnodes"`
 	Owner      string   `json:"owner,omitempty"`  // primary of ?key=, when asked
 	Owners     []string `json:"owners,omitempty"` // full replica set of ?key=
+	// Dataset echoes the resident dataset the queried key names — size,
+	// dimensionality, and storage precision — when the answering
+	// instance replicates it; nil when the key is unknown here.
+	Dataset *DatasetInfo `json:"dataset,omitempty"`
 }
 
 // PeerStats is one shard's leg of the aggregated /v1/stats.
@@ -324,6 +337,7 @@ type RingStats struct {
 // caller's to recompute once every peer is in.
 func (s *Stats) Accumulate(o Stats) {
 	s.Datasets += o.Datasets
+	s.DatasetsF32 += o.DatasetsF32
 	s.ModelsCached += o.ModelsCached
 	s.CacheCapacity += o.CacheCapacity
 	s.FitRequests += o.FitRequests

@@ -30,7 +30,22 @@ const (
 	CodeTooManyStreams = "too_many_streams"
 	CodeBadGateway     = "bad_gateway"
 	CodeInternal       = "internal"
+	// CodeUnsupportedPrecision rejects a ?precision= value other than
+	// "f32" or "f64" — its own code, not bad_request, so clients can
+	// distinguish "fix the parameter" from "this daemon predates the
+	// precision surface" (older daemons ignore the parameter entirely).
+	CodeUnsupportedPrecision = "unsupported_precision"
 )
+
+// ErrUnsupportedPrecision is the typed form of a precision violation:
+// handlers wrap it (or build a *APIError with CodeUnsupportedPrecision)
+// and the error writer unwraps via errors.As to emit the right status
+// and envelope code; clients compare the decoded *APIError.Code.
+var ErrUnsupportedPrecision = &APIError{
+	Status:  http.StatusBadRequest,
+	Code:    CodeUnsupportedPrecision,
+	Message: `unsupported precision (want "f32" or "f64")`,
+}
 
 // CodeForStatus maps an HTTP status to its default error code. Handlers
 // that know a more specific code set it directly.

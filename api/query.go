@@ -1,0 +1,170 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Dataset precision values (the ?precision= upload parameter and the
+// DatasetInfo.Precision echo). PrecisionF64 is the default and the only
+// behavior that existed before the parameter; PrecisionF32 stores the
+// dataset as float32 — half the memory, with the distance kernels
+// reading the narrow values directly.
+const (
+	PrecisionF32 = "f32"
+	PrecisionF64 = "f64"
+)
+
+// QueryRequest is implemented by the typed query structs below. Every
+// dpcd handler that reads URL query parameters decodes them through
+// ParseQuery into one of these instead of ad-hoc r.URL.Query() calls,
+// so each parameter is validated in exactly one place and every
+// violation produces the uniform error envelope.
+type QueryRequest interface {
+	bindQuery(b *queryBinder)
+}
+
+// ParseQuery binds req's fields from v. It returns nil or a *APIError
+// (status 400, a stable envelope code) describing the first invalid
+// parameter.
+func ParseQuery(v url.Values, req QueryRequest) error {
+	b := &queryBinder{v: v}
+	req.bindQuery(b)
+	if b.err != nil {
+		return b.err
+	}
+	return nil
+}
+
+// UploadQuery is the query half of PUT /v1/datasets/{name}. Format ""
+// means "decide by Content-Type, default csv" — the handler's historical
+// negotiation, which must stay outside the validator.
+type UploadQuery struct {
+	Format    string // "", "csv", "binary", or "frame"
+	Precision string // PrecisionF32 or PrecisionF64 (defaulted)
+}
+
+func (q *UploadQuery) bindQuery(b *queryBinder) {
+	b.enum("format", &q.Format, "", "csv", "binary", "frame")
+	b.precision(&q.Precision)
+}
+
+// DecisionGraphQuery is the query string of GET /v1/decision-graph.
+type DecisionGraphQuery struct {
+	Dataset string
+	DCut    float64
+	Limit   int // 0 = no truncation
+}
+
+func (q *DecisionGraphQuery) bindQuery(b *queryBinder) {
+	b.require("dataset", &q.Dataset)
+	b.float("dcut", &q.DCut)
+	b.intMin("limit", &q.Limit, 0)
+}
+
+// StreamQuery is the query string of POST /v1/assign/stream. Chunk > 0
+// asks for at most that many points per label record — smaller chunks
+// mean earlier first results on slow streams; the server clamps the
+// value to its own configured chunk, so a client can lower latency but
+// never raise the server's memory bound.
+type StreamQuery struct {
+	Chunk int
+}
+
+func (q *StreamQuery) bindQuery(b *queryBinder) {
+	b.intMin("chunk", &q.Chunk, 0)
+}
+
+// RingQuery is the query string of GET /v1/ring: an optional key to
+// resolve to its replica set.
+type RingQuery struct {
+	Key string
+}
+
+func (q *RingQuery) bindQuery(b *queryBinder) {
+	q.Key = b.v.Get("key")
+}
+
+// queryBinder walks one query string with a sticky first error, the
+// same discipline as the wire codec's payloadDecoder.
+type queryBinder struct {
+	v   url.Values
+	err *APIError
+}
+
+func (b *queryBinder) fail(code, format string, args ...any) {
+	if b.err == nil {
+		b.err = &APIError{Status: http.StatusBadRequest, Code: code, Message: fmt.Sprintf(format, args...)}
+	}
+}
+
+// require binds a parameter that must be present and non-empty.
+func (b *queryBinder) require(name string, dst *string) {
+	*dst = b.v.Get(name)
+	if *dst == "" {
+		b.fail(CodeBadRequest, "missing %s query parameter", name)
+	}
+}
+
+// enum binds a parameter that must be one of allowed; absent means def.
+func (b *queryBinder) enum(name string, dst *string, def string, allowed ...string) {
+	s := b.v.Get(name)
+	if s == "" {
+		*dst = def
+		return
+	}
+	for _, a := range allowed {
+		if s == a {
+			*dst = s
+			return
+		}
+	}
+	b.fail(CodeBadRequest, "unknown %s %q (want %s)", name, s, strings.Join(allowed, ", "))
+}
+
+// precision binds the ?precision= parameter; absent means f64. The
+// violation carries CodeUnsupportedPrecision, not the generic
+// bad-request code, so clients can switch on it.
+func (b *queryBinder) precision(dst *string) {
+	switch s := b.v.Get("precision"); s {
+	case "":
+		*dst = PrecisionF64
+	case PrecisionF32, PrecisionF64:
+		*dst = s
+	default:
+		*dst = ""
+		b.fail(CodeUnsupportedPrecision, "unsupported precision %q (want %q or %q)", s, PrecisionF32, PrecisionF64)
+	}
+}
+
+// float binds a required float parameter; it must parse and be finite.
+func (b *queryBinder) float(name string, dst *float64) {
+	s := b.v.Get(name)
+	if s == "" {
+		b.fail(CodeBadRequest, "missing %s query parameter", name)
+		return
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.fail(CodeBadRequest, "bad %s query parameter %q", name, s)
+		return
+	}
+	*dst = v
+}
+
+// intMin binds an optional integer parameter with a floor.
+func (b *queryBinder) intMin(name string, dst *int, min int) {
+	s := b.v.Get(name)
+	if s == "" {
+		return
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < min {
+		b.fail(CodeBadRequest, "bad %s query parameter %q", name, s)
+		return
+	}
+	*dst = v
+}

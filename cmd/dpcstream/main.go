@@ -56,6 +56,8 @@ func main() {
 		wireFmt   = flag.String("wire", "json", "wire codec: json (NDJSON/JSON) or binary (application/x-dpc-frame)")
 		f32       = flag.Bool("float32", false, "with -wire binary, send coordinates as float32 (half the bytes; lossy unless values round-trip)")
 		gz        = flag.Bool("gzip", false, "with -mode stream, gzip-compress both stream directions (worthwhile on slow links)")
+		upload    = flag.String("upload", "", "CSV file to upload as -dataset before fitting (empty: dataset must already exist)")
+		precision = flag.String("precision", "f64", "storage precision for -upload: f32 (halves resident memory) or f64")
 	)
 	flag.Parse()
 	if *dataset == "" {
@@ -63,6 +65,12 @@ func main() {
 	}
 	if *batchSize <= 0 {
 		log.Fatal("-batch-size must be positive")
+	}
+	if *precision != "f32" && *precision != "f64" {
+		log.Fatalf("unknown -precision %q (want f32 or f64)", *precision)
+	}
+	if *precision == "f32" && *upload == "" {
+		log.Fatal("-precision f32 requires -upload (precision is chosen at upload time)")
 	}
 	binary := false
 	switch *wireFmt {
@@ -107,6 +115,22 @@ func main() {
 		},
 	}
 	client := service.NewClient(*addr, service.ClientOptions{GzipStream: *gz})
+	if *upload != "" {
+		csv, err := os.ReadFile(*upload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info, err := client.PutDatasetPrecision(*dataset, "csv", *precision, csv)
+		if err != nil {
+			log.Fatalf("uploading %s: %v", *upload, err)
+		}
+		echoed := info.Precision
+		if echoed == "" {
+			echoed = "f64 (daemon predates the precision surface)"
+		}
+		fmt.Fprintf(os.Stderr, "dpcstream: uploaded %s as %q: n=%d dim=%d precision=%s\n",
+			*upload, *dataset, info.N, info.Dim, echoed)
+	}
 	points := bufio.NewScanner(input)
 	points.Buffer(make([]byte, 64<<10), 1<<20)
 	w := bufio.NewWriterSize(output, 1<<16)

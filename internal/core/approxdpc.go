@@ -127,7 +127,7 @@ func jointRangeSearch(ds *geom.Dataset, tree *kdtree.Tree, g *grid.Grid, p Param
 		cp := g.Center(int32(c))
 		var maxSq float64
 		for _, m := range cell.Points {
-			if sq := geom.SqDist(cp, ds.At(int(m))); sq > maxSq {
+			if sq := geom.SqDistToIdx(ds, cp, m); sq > maxSq {
 				maxSq = sq
 			}
 		}
@@ -161,7 +161,7 @@ func computeDensities(ds *geom.Dataset, g *grid.Grid, rangeResults [][]int32, rh
 			pm := ds.At(int(m))
 			count := 0
 			for _, x := range r {
-				if v, ok := geom.SqDistPartial(pm, ds.At(int(x)), sq); ok && v < sq {
+				if v, ok := geom.SqDistToIdxPartial(ds, pm, x, sq); ok && v < sq {
 					count++
 				}
 			}
@@ -187,7 +187,7 @@ func computeDensities(ds *geom.Dataset, g *grid.Grid, rangeResults [][]int32, rh
 			if _, ok := seen[xc]; ok {
 				continue
 			}
-			if geom.SqDist(pb, ds.At(int(x))) < sq {
+			if geom.SqDistToIdx(ds, pb, x) < sq {
 				seen[xc] = struct{}{}
 				cell.Neighbors = append(cell.Neighbors, xc)
 			}
@@ -311,7 +311,7 @@ func exactDependentsOpt(ds *geom.Dataset, rho []float64, queries []int32, delta 
 			if rho[j] <= rho[i] {
 				continue
 			}
-			if sq, ok := geom.SqDistPartial(pi, ds.At(int(j)), bestSq); ok && sq < bestSq {
+			if sq, ok := geom.SqDistToIdxPartial(ds, pi, j, bestSq); ok && sq < bestSq {
 				bestSq, best = sq, j
 			}
 		}

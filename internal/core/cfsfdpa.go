@@ -97,7 +97,7 @@ func (a CFSFDPA) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 				if dj >= center+p.DCut {
 					break // window end: |d_i - d_j| >= d_cut ⇒ dist >= d_cut
 				}
-				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), sq); ok && v < sq {
+				if v, ok := geom.SqDistToIdxPartial(ds, pi, j, sq); ok && v < sq {
 					count++
 				}
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/partition"
@@ -66,16 +67,92 @@ func finalize(res *Result, p Params) {
 	}
 }
 
-// densityOrder returns point indices sorted by descending rho. Every
-// algorithm that scans "points with higher density" uses this order;
-// densities are all distinct thanks to the jitter.
-func densityOrder(rho []float64) []int32 {
-	order := make([]int32, len(rho))
+// densityOrder returns point indices sorted by descending rho (ties —
+// impossible after jitter, but harmless — break on ascending index).
+// Every algorithm that scans "points with higher density" uses this
+// order. The comparator is a strict total order, so the sorted
+// permutation is unique and the parallel chunk-sort + pairwise-merge
+// below returns byte-identical output for every worker count.
+func densityOrder(rho []float64, workers int) []int32 {
+	n := len(rho)
+	order := make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool { return rho[order[a]] > rho[order[b]] })
-	return order
+	less := func(a, b int32) bool {
+		if rho[a] != rho[b] {
+			return rho[a] > rho[b]
+		}
+		return a < b
+	}
+	if workers <= 1 || n < 1<<14 {
+		sort.Slice(order, func(x, y int) bool { return less(order[x], order[y]) })
+		return order
+	}
+
+	// Sort `workers` contiguous chunks concurrently…
+	step := (n + workers - 1) / workers
+	bounds := make([]int, 0, workers+1)
+	for lo := 0; lo < n; lo += step {
+		bounds = append(bounds, lo)
+	}
+	bounds = append(bounds, n)
+	var wg sync.WaitGroup
+	for c := 0; c+1 < len(bounds); c++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			s := order[lo:hi]
+			sort.Slice(s, func(x, y int) bool { return less(s[x], s[y]) })
+		}(bounds[c], bounds[c+1])
+	}
+	wg.Wait()
+
+	// …then merge adjacent runs pairwise until one remains, ping-ponging
+	// between the two buffers.
+	buf := make([]int32, n)
+	src, dst := order, buf
+	for len(bounds) > 2 {
+		nb := make([]int, 0, len(bounds)/2+2)
+		var mg sync.WaitGroup
+		for c := 0; c+2 < len(bounds); c += 2 {
+			lo, mid, hi := bounds[c], bounds[c+1], bounds[c+2]
+			nb = append(nb, lo)
+			mg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mg.Done()
+				mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+			}(lo, mid, hi)
+		}
+		if len(bounds)%2 == 0 {
+			// Odd run count: the last run has no partner this round.
+			lo, hi := bounds[len(bounds)-2], bounds[len(bounds)-1]
+			nb = append(nb, lo)
+			copy(dst[lo:hi], src[lo:hi])
+		}
+		nb = append(nb, n)
+		mg.Wait()
+		bounds = nb
+		src, dst = dst, src
+	}
+	return src
+}
+
+// mergeRuns merges two sorted runs into dst (len(dst) == len(a)+len(b)).
+func mergeRuns(dst, a, b []int32, less func(x, y int32) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(dst[k:], a[i:])
+	copy(dst[k+len(a)-i:], b[j:])
 }
 
 // scanDelta computes exact dependent points the straightforward way
@@ -89,27 +166,17 @@ func scanDelta(ds *geom.Dataset, rho []float64, workers int) (delta []float64, d
 	n := ds.N
 	delta = make([]float64, n)
 	dep = make([]int32, n)
-	order := densityOrder(rho)
+	order := densityOrder(rho, workers)
 	peak := order[0]
 	delta[peak] = math.Inf(1)
 	dep[peak] = NoDependent
 	partition.DynamicChunked(n-1, workers, 8, func(k int) {
 		r := k + 1 // rank in the density order
 		i := order[r]
-		pi := ds.At(int(i))
 		bestSq := math.Inf(1)
 		best := NoDependent
 		for _, j := range order[:r] {
-			var s float64
-			pj := ds.At(int(j))
-			for t := range pi {
-				d := pi[t] - pj[t]
-				s += d * d
-				if s >= bestSq {
-					break
-				}
-			}
-			if s < bestSq {
+			if s, ok := geom.SqDistIdxPartial(ds, i, j, bestSq); ok && s < bestSq {
 				bestSq = s
 				best = j
 			}

@@ -67,7 +67,7 @@ func (a LSHDDP) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 			pi := ds.At(i)
 			count := 1 // self
 			forest.Candidates(int32(i), stamp, int32(i)+1, func(j int32) {
-				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), sq); ok && v < sq {
+				if v, ok := geom.SqDistToIdxPartial(ds, pi, j, sq); ok && v < sq {
 					count++
 				}
 			})
@@ -89,7 +89,7 @@ func (a LSHDDP) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 				if res.Rho[j] <= res.Rho[i] {
 					return
 				}
-				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), bestSq); ok && v < bestSq {
+				if v, ok := geom.SqDistToIdxPartial(ds, pi, j, bestSq); ok && v < bestSq {
 					bestSq, best = v, j
 				}
 			})
@@ -101,7 +101,7 @@ func (a LSHDDP) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 					if res.Rho[j] <= res.Rho[i] {
 						continue
 					}
-					if v, ok := geom.SqDistPartial(pi, ds.At(j), bestSq); ok && v < bestSq {
+					if v, ok := geom.SqDistToIdxPartial(ds, pi, int32(j), bestSq); ok && v < bestSq {
 						bestSq, best = v, int32(j)
 					}
 				}

@@ -155,7 +155,7 @@ func (DPCG) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 		count := 0
 		scan := func(c int32) {
 			for _, j := range g.Cells[c].Points {
-				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), sq); ok && v < sq {
+				if v, ok := geom.SqDistToIdxPartial(ds, pi, j, sq); ok && v < sq {
 					count++
 				}
 			}
@@ -177,7 +177,7 @@ func (DPCG) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 				if res.Rho[j] <= res.Rho[i] {
 					continue
 				}
-				if v, ok := geom.SqDistPartial(pi, ds.At(int(j)), bestSq); ok && v < bestSq {
+				if v, ok := geom.SqDistToIdxPartial(ds, pi, j, bestSq); ok && v < bestSq {
 					bestSq, best = v, j
 				}
 			}

@@ -16,9 +16,11 @@ package core
 func Finalize(res *Result, p Params) { finalize(res, p) }
 
 // DensityOrder returns point indices sorted by descending rho — the
-// order every "points of higher density" scan uses. Densities must be
-// distinct (guaranteed by Jitter) for the order to be deterministic.
-func DensityOrder(rho []float64) []int32 { return densityOrder(rho) }
+// order every "points of higher density" scan uses — sorting with up to
+// `workers` goroutines. The comparator (rho descending, index
+// ascending) is a strict total order, so the permutation is identical
+// for every worker count.
+func DensityOrder(rho []float64, workers int) []int32 { return densityOrder(rho, workers) }
 
 // WorkerCount resolves p.Workers to an effective thread count (<= 0
 // means all CPUs) — the same policy the algorithms apply internally.

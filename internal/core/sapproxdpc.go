@@ -113,7 +113,7 @@ func (SApproxDPC) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 			if res.Rho[pj] <= res.Rho[pi] {
 				continue
 			}
-			if v := geom.SqDist(ds.At(int(pi)), ds.At(int(pj))); v < bestSq {
+			if v := geom.SqDistIdx(ds, pi, pj); v < bestSq {
 				bestSq, best = v, pj
 			}
 		}

@@ -37,19 +37,9 @@ func (Scan) ClusterDataset(ds *geom.Dataset, p Params) (*Result, error) {
 
 	start := time.Now()
 	partition.DynamicChunked(n, workers, 4, func(i int) {
-		pi := ds.At(i)
 		count := 0
 		for j := 0; j < n; j++ {
-			pj := ds.At(j)
-			var s float64
-			for t := range pi {
-				d := pi[t] - pj[t]
-				s += d * d
-				if s >= sq {
-					break
-				}
-			}
-			if s < sq {
+			if s, ok := geom.SqDistIdxPartial(ds, int32(i), int32(j), sq); ok && s < sq {
 				count++
 			}
 		}

@@ -336,7 +336,7 @@ func (x *Index) rho(dcut float64, workers int) []float64 {
 // float operations verbatim.
 func (x *Index) deltaDep(rho []float64, workers int) (delta []float64, dep []int32) {
 	n := x.ds.N
-	order := core.DensityOrder(rho)
+	order := core.DensityOrder(rho, workers)
 	rank := make([]int32, n)
 	for r, i := range order {
 		rank[i] = int32(r)
@@ -373,18 +373,8 @@ func (x *Index) deltaDep(rho []float64, workers int) (delta []float64, dep []int
 			// Local maximum at the dcMax scale: scan all higher-density
 			// points the way scanDelta does. This is the only place a cut
 			// touches raw coordinates.
-			pi := x.ds.At(int(i))
 			for _, j := range order[:r] {
-				var s float64
-				pj := x.ds.At(int(j))
-				for t := range pi {
-					d := pi[t] - pj[t]
-					s += d * d
-					if s >= bestSq {
-						break
-					}
-				}
-				if s < bestSq {
+				if s, ok := geom.SqDistIdxPartial(x.ds, i, j, bestSq); ok && s < bestSq {
 					bestSq = s
 					best = j
 				}

@@ -16,9 +16,21 @@ import (
 // existing flat buffer (zero copy) or FromRows over row slices (one
 // copy). Mutating Coords after handing the Dataset to an index is the
 // caller's responsibility, exactly as it was for shared [][]float64.
+//
+// A dataset stores its coordinates at one of two precisions. The
+// default is float64 in Coords. The opt-in float32 mode (NewDataset32,
+// ToFloat32) stores them in Coords32 instead — halving memory and
+// bandwidth for embedding-like workloads — and leaves Coords nil; the
+// distance kernels read the f32 rows directly, widening each element to
+// float64 exactly, so all derived quantities stay float64. Exactly one
+// of Coords/Coords32 is non-nil on a non-empty dataset.
 type Dataset struct {
-	// Coords is the row-major backing array; len(Coords) == N*Dim.
+	// Coords is the float64 row-major backing array; len(Coords) ==
+	// N*Dim. Nil when the dataset is stored at float32 precision.
 	Coords []float64
+	// Coords32 is the float32 backing array of an f32-precision
+	// dataset; len(Coords32) == N*Dim. Nil in the default f64 mode.
+	Coords32 []float32
 	// N is the number of points.
 	N int
 	// Dim is the dimensionality of every point.
@@ -36,6 +48,72 @@ func NewDataset(coords []float64, dim int) *Dataset {
 		panic(fmt.Sprintf("geom: NewDataset with %d coords not divisible by dim %d", len(coords), dim))
 	}
 	return &Dataset{Coords: coords, N: len(coords) / dim, Dim: dim}
+}
+
+// NewDataset32 wraps an existing flat float32 buffer without copying —
+// the f32-precision counterpart of NewDataset.
+func NewDataset32(coords []float32, dim int) *Dataset {
+	if dim < 1 {
+		panic(fmt.Sprintf("geom: NewDataset32 with dim %d", dim))
+	}
+	if len(coords)%dim != 0 {
+		panic(fmt.Sprintf("geom: NewDataset32 with %d coords not divisible by dim %d", len(coords), dim))
+	}
+	return &Dataset{Coords32: coords, N: len(coords) / dim, Dim: dim}
+}
+
+// Float32 reports whether the dataset stores its coordinates at float32
+// precision.
+func (ds *Dataset) Float32() bool { return ds.Coords32 != nil }
+
+// Precision returns the dataset's storage precision as the API-facing
+// string: "f32" or "f64".
+func (ds *Dataset) Precision() string {
+	if ds.Coords32 != nil {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ToFloat32 returns an f32-precision copy of the dataset, narrowing
+// each coordinate with float32(x) (round to nearest). The receiver is
+// returned unchanged when already f32. Narrowing is lossy; it is the
+// explicit opt-in the upload ?precision=f32 parameter performs.
+func (ds *Dataset) ToFloat32() *Dataset {
+	if ds.Coords32 != nil {
+		return ds
+	}
+	coords := make([]float32, len(ds.Coords))
+	for i, x := range ds.Coords {
+		coords[i] = float32(x)
+	}
+	return &Dataset{Coords32: coords, N: ds.N, Dim: ds.Dim}
+}
+
+// ToFloat64 returns an f64-precision copy of an f32 dataset (widening
+// is exact). The receiver is returned unchanged when already f64.
+func (ds *Dataset) ToFloat64() *Dataset {
+	if ds.Coords32 == nil {
+		return ds
+	}
+	coords := make([]float64, len(ds.Coords32))
+	for i, x := range ds.Coords32 {
+		coords[i] = float64(x)
+	}
+	return &Dataset{Coords: coords, N: ds.N, Dim: ds.Dim}
+}
+
+// row64 returns the float64 row of point i, capacity-clipped. Callers
+// must know the dataset is f64 (the kernels branch on Coords32 first).
+func (ds *Dataset) row64(i int32) []float64 {
+	o := int(i) * ds.Dim
+	return ds.Coords[o : o+ds.Dim : o+ds.Dim]
+}
+
+// row32 returns the float32 row of point i, capacity-clipped.
+func (ds *Dataset) row32(i int32) []float32 {
+	o := int(i) * ds.Dim
+	return ds.Coords32[o : o+ds.Dim : o+ds.Dim]
 }
 
 // PackRows copies row-slice points into a fresh flat Dataset, checking
@@ -86,20 +164,53 @@ func MustFromRows(rows [][]float64) *Dataset {
 	return ds
 }
 
-// At returns point i as a zero-copy subslice of the backing array. The
-// capacity is clipped to Dim so an append through the returned slice can
-// never bleed into the next point.
+// At returns point i as a float64 row. On the default f64 precision it
+// is a zero-copy subslice of the backing array with the capacity
+// clipped to Dim, so an append through the returned slice can never
+// bleed into the next point. On an f32 dataset it allocates a widened
+// copy (widening is exact) — correct everywhere, but hot per-point code
+// should use the Idx kernels or AtBuf instead.
 func (ds *Dataset) At(i int) Point {
+	if ds.Coords32 != nil {
+		return ds.widen(i, make(Point, ds.Dim))
+	}
 	o := i * ds.Dim
 	return ds.Coords[o : o+ds.Dim : o+ds.Dim]
+}
+
+// AtBuf is At reusing buf (when it has capacity Dim) for the widened
+// row of an f32 dataset; on f64 datasets it returns the zero-copy view
+// and ignores buf. The returned slice aliases the dataset on f64 and
+// buf on f32 — callers that loop must not hold rows across iterations.
+func (ds *Dataset) AtBuf(i int, buf Point) Point {
+	if ds.Coords32 != nil {
+		if cap(buf) < ds.Dim {
+			buf = make(Point, ds.Dim)
+		}
+		return ds.widen(i, buf[:ds.Dim])
+	}
+	o := i * ds.Dim
+	return ds.Coords[o : o+ds.Dim : o+ds.Dim]
+}
+
+func (ds *Dataset) widen(i int, dst Point) Point {
+	row := ds.Coords32[i*ds.Dim : (i+1)*ds.Dim]
+	for t, x := range row {
+		dst[t] = float64(x)
+	}
+	return dst
 }
 
 // Len returns the number of points.
 func (ds *Dataset) Len() int { return ds.N }
 
 // Coord returns coordinate j of point i straight from the flat buffer —
-// the single place that knows the row-major indexing arithmetic.
+// the single place that knows the row-major indexing arithmetic. On an
+// f32 dataset the value is widened exactly.
 func (ds *Dataset) Coord(i int32, j int) float64 {
+	if ds.Coords32 != nil {
+		return float64(ds.Coords32[int(i)*ds.Dim+j])
+	}
 	return ds.Coords[int(i)*ds.Dim+j]
 }
 
@@ -116,9 +227,16 @@ func (ds *Dataset) Rows() [][]float64 {
 }
 
 // Select gather-copies the given point indices into a new compact
-// Dataset, preserving order. Used when an algorithm re-indexes a subset
-// of points into its own dense id space.
+// Dataset, preserving order and precision. Used when an algorithm
+// re-indexes a subset of points into its own dense id space.
 func (ds *Dataset) Select(ids []int32) *Dataset {
+	if ds.Coords32 != nil {
+		coords := make([]float32, 0, len(ids)*ds.Dim)
+		for _, id := range ids {
+			coords = append(coords, ds.row32(id)...)
+		}
+		return &Dataset{Coords32: coords, N: len(ids), Dim: ds.Dim}
+	}
 	coords := make([]float64, 0, len(ids)*ds.Dim)
 	for _, id := range ids {
 		coords = append(coords, ds.At(int(id))...)
@@ -135,6 +253,20 @@ func (ds *Dataset) Validate() error {
 	}
 	if ds.Dim == 0 {
 		return fmt.Errorf("geom: zero-dimensional point at index 0")
+	}
+	if ds.Coords32 != nil {
+		if ds.Coords != nil {
+			return fmt.Errorf("geom: dataset has both float64 and float32 backing arrays")
+		}
+		if len(ds.Coords32) != ds.N*ds.Dim {
+			return fmt.Errorf("geom: dataset has %d coords, want %d (N=%d, Dim=%d)", len(ds.Coords32), ds.N*ds.Dim, ds.N, ds.Dim)
+		}
+		for o, x := range ds.Coords32 {
+			if v := float64(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("geom: point %d coordinate %d is %v", o/ds.Dim, o%ds.Dim, v)
+			}
+		}
+		return nil
 	}
 	if len(ds.Coords) != ds.N*ds.Dim {
 		return fmt.Errorf("geom: dataset has %d coords, want %d (N=%d, Dim=%d)", len(ds.Coords), ds.N*ds.Dim, ds.N, ds.Dim)
@@ -154,17 +286,22 @@ func (ds *Dataset) Bounds() Rect {
 		panic("geom: Bounds of empty point set")
 	}
 	r := EmptyRect(ds.Dim)
+	buf := make(Point, ds.Dim)
 	for i := 0; i < ds.N; i++ {
-		r.Expand(ds.At(i))
+		r.Expand(ds.AtBuf(i, buf))
 	}
 	return r
 }
 
 // Fingerprint returns a 64-bit FNV-1a hash over the dataset's shape and
 // the exact bit patterns of its coordinates. Two datasets fingerprint
-// equally iff they are bit-identical, so the persistence layer uses it
-// to pair a model snapshot with the dataset it was fitted on and to
-// detect a preloaded dataset that matches a restored one.
+// equally iff they are bit-identical (same precision, same bits), so
+// the persistence layer uses it to pair a model snapshot with the
+// dataset it was fitted on and to detect a preloaded dataset that
+// matches a restored one. The f64 hash is unchanged from before the
+// f32 mode existed, so snapshots taken then still verify; an f32
+// dataset mixes a precision tag first so it can never collide with the
+// f64 dataset holding the same widened values.
 func (ds *Dataset) Fingerprint() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -177,48 +314,19 @@ func (ds *Dataset) Fingerprint() uint64 {
 			h *= prime64
 		}
 	}
+	if ds.Coords32 != nil {
+		mix('f'<<8 | '3'<<16 | '2'<<24)
+		mix(uint64(ds.N))
+		mix(uint64(ds.Dim))
+		for _, x := range ds.Coords32 {
+			mix(uint64(math.Float32bits(x)))
+		}
+		return h
+	}
 	mix(uint64(ds.N))
 	mix(uint64(ds.Dim))
 	for _, x := range ds.Coords {
 		mix(math.Float64bits(x))
 	}
 	return h
-}
-
-// SqDistIdx returns the squared Euclidean distance between points i and
-// j of the dataset — the flat-index twin of SqDist, and the innermost
-// kernel of every algorithm here.
-func SqDistIdx(ds *Dataset, i, j int32) float64 {
-	d := ds.Dim
-	a := ds.Coords[int(i)*d : int(i)*d+d]
-	b := ds.Coords[int(j)*d : int(j)*d+d]
-	var s float64
-	for t := range a {
-		v := a[t] - b[t]
-		s += v * v
-	}
-	return s
-}
-
-// DistIdx returns the Euclidean distance between points i and j.
-func DistIdx(ds *Dataset, i, j int32) float64 {
-	return math.Sqrt(SqDistIdx(ds, i, j))
-}
-
-// SqDistIdxPartial is the flat-index twin of SqDistPartial: it abandons
-// the sum as soon as it exceeds limit, returning (sum, false); when the
-// full squared distance is at most limit it returns (sum, true).
-func SqDistIdxPartial(ds *Dataset, i, j int32, limit float64) (float64, bool) {
-	d := ds.Dim
-	a := ds.Coords[int(i)*d : int(i)*d+d]
-	b := ds.Coords[int(j)*d : int(j)*d+d]
-	var s float64
-	for t := range a {
-		v := a[t] - b[t]
-		s += v * v
-		if s > limit {
-			return s, false
-		}
-	}
-	return s, true
 }

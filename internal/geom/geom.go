@@ -22,32 +22,9 @@ func Dist(a, b Point) float64 {
 	return math.Sqrt(SqDist(a, b))
 }
 
-// SqDist returns the squared Euclidean distance between a and b.
-// It is the inner loop of every algorithm here, so it avoids the sqrt.
-func SqDist(a, b Point) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
-}
-
-// SqDistPartial computes the squared distance but abandons the sum as soon
-// as it exceeds limit, returning (sum, false). When the full distance is at
-// most limit it returns (sum, true). Useful for range counting with many
-// far-away candidates in higher dimensions.
-func SqDistPartial(a, b Point, limit float64) (float64, bool) {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-		if s > limit {
-			return s, false
-		}
-	}
-	return s, true
-}
+// SqDist and SqDistPartial live in kernel.go with the rest of the
+// distance kernels; they share the canonical accumulation order with
+// the AVX2 assembly.
 
 // Equal reports whether a and b are the same location.
 func Equal(a, b Point) bool {

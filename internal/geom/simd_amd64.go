@@ -1,0 +1,77 @@
+//go:build amd64 && !noasm
+
+package geom
+
+// simdSupported is fixed at init: true when the CPU can run the AVX2
+// kernels in simd_amd64.s. useSIMD is the live dispatch switch —
+// starts at simdSupported, flipped by SetSIMD for benchmarks/tests.
+var (
+	simdSupported = detectAVX2()
+	useSIMD       = simdSupported
+)
+
+// detectAVX2 reports AVX2 usability: the feature bit alone is not
+// enough — the OS must have enabled saving the ymm state (OSXSAVE set
+// and XCR0 covering SSE+AVX), or executing a VEX-256 instruction
+// faults.
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbvAsm()
+	if xcr0&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// The dispatchers sit between the exported kernels and the two
+// implementations. The assembly needs at least one full 4-lane chunk to
+// beat the call overhead; below that the pure-Go tail loop is the same
+// code either way. The len(b) guard keeps a mismatched pair on the Go
+// path, which bounds-checks and panics instead of reading out of range.
+
+func sqdist64(a, b []float64) float64 {
+	if useSIMD && len(a) >= 4 && len(b) >= len(a) {
+		return sqdist64AVX2(a, b)
+	}
+	return sqdist64Go(a, b)
+}
+
+func sqdist32(a, b []float32) float64 {
+	if useSIMD && len(a) >= 4 && len(b) >= len(a) {
+		return sqdist32AVX2(a, b)
+	}
+	return sqdist32Go(a, b)
+}
+
+func sqdistMixed(q []float64, b []float32) float64 {
+	if useSIMD && len(q) >= 4 && len(b) >= len(q) {
+		return sqdistMixedAVX2(q, b)
+	}
+	return sqdistMixedGo(q, b)
+}
+
+//go:noescape
+func sqdist64AVX2(a, b []float64) float64
+
+//go:noescape
+func sqdist32AVX2(a, b []float32) float64
+
+//go:noescape
+func sqdistMixedAVX2(q []float64, b []float32) float64
+
+//go:noescape
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvAsm() (eax, edx uint32)

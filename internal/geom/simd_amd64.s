@@ -1,0 +1,171 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// The three squared-distance kernels below implement, instruction for
+// instruction, the canonical accumulation order defined by the pure-Go
+// kernels in kernel.go: four float64 lanes over dimension chunks of 4,
+// reduced as (s0+s2)+(s1+s3), then a sequential scalar tail. No FMA —
+// a fused multiply-add rounds once where the Go code rounds twice, and
+// the whole point is bit-identity with the fallback.
+
+// func sqdist64AVX2(a, b []float64) float64
+TEXT ·sqdist64AVX2(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0     // Y0 = (s0, s1, s2, s3)
+	MOVQ   CX, DX
+	SHRQ   $2, DX         // DX = number of 4-lane chunks
+	JZ     reduce64
+
+loop64:
+	VMOVUPD (SI), Y1
+	VMOVUPD (DI), Y2
+	VSUBPD  Y2, Y1, Y1    // Y1 = a - b
+	VMULPD  Y1, Y1, Y1    // Y1 = d*d
+	VADDPD  Y1, Y0, Y0    // lane k: sk += dk*dk
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    DX
+	JNZ     loop64
+
+reduce64:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0 // X0 = (s0+s2, s1+s3)
+	VHADDPD      X0, X0, X0 // X0[0] = (s0+s2)+(s1+s3)
+	ANDQ         $3, CX     // CX = tail length
+	JZ           done64
+
+tail64:
+	VMOVSD (SI), X1
+	VMOVSD (DI), X2
+	VSUBSD X2, X1, X1
+	VMULSD X1, X1, X1
+	VADDSD X1, X0, X0
+	ADDQ   $8, SI
+	ADDQ   $8, DI
+	DECQ   CX
+	JNZ    tail64
+
+done64:
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func sqdist32AVX2(a, b []float32) float64
+//
+// Same order as sqdist64AVX2; each 4-float group is widened to four
+// doubles with VCVTPS2PD (exact — float32 embeds in float64) before the
+// identical subtract/multiply/accumulate.
+TEXT ·sqdist32AVX2(SB), NOSPLIT, $0-56
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	MOVQ   CX, DX
+	SHRQ   $2, DX
+	JZ     reduce32
+
+loop32:
+	VCVTPS2PD (SI), Y1
+	VCVTPS2PD (DI), Y2
+	VSUBPD    Y2, Y1, Y1
+	VMULPD    Y1, Y1, Y1
+	VADDPD    Y1, Y0, Y0
+	ADDQ      $16, SI
+	ADDQ      $16, DI
+	DECQ      DX
+	JNZ       loop32
+
+reduce32:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	ANDQ         $3, CX
+	JZ           done32
+
+tail32:
+	VCVTSS2SD (SI), X1, X1
+	VCVTSS2SD (DI), X2, X2
+	VSUBSD    X2, X1, X1
+	VMULSD    X1, X1, X1
+	VADDSD    X1, X0, X0
+	ADDQ      $4, SI
+	ADDQ      $4, DI
+	DECQ      CX
+	JNZ       tail32
+
+done32:
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func sqdistMixedAVX2(q []float64, b []float32) float64
+//
+// float64 query against a float32 dataset row: the row side is widened
+// per group, the query side loads directly.
+TEXT ·sqdistMixedAVX2(SB), NOSPLIT, $0-56
+	MOVQ   q_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   q_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	MOVQ   CX, DX
+	SHRQ   $2, DX
+	JZ     reducem
+
+loopm:
+	VMOVUPD   (SI), Y1
+	VCVTPS2PD (DI), Y2
+	VSUBPD    Y2, Y1, Y1
+	VMULPD    Y1, Y1, Y1
+	VADDPD    Y1, Y0, Y0
+	ADDQ      $32, SI
+	ADDQ      $16, DI
+	DECQ      DX
+	JNZ       loopm
+
+reducem:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	ANDQ         $3, CX
+	JZ           donem
+
+tailm:
+	VMOVSD    (SI), X1
+	VCVTSS2SD (DI), X2, X2
+	VSUBSD    X2, X1, X1
+	VMULSD    X1, X1, X1
+	VADDSD    X1, X0, X0
+	ADDQ      $8, SI
+	ADDQ      $4, DI
+	DECQ      CX
+	JNZ       tailm
+
+donem:
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL  leaf+0(FP), AX
+	MOVL  sub+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+//
+// Reads XCR0. Only called after CPUID has confirmed OSXSAVE, so the
+// instruction cannot fault.
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL  CX, CX
+	XGETBV
+	MOVL  AX, eax+0(FP)
+	MOVL  DX, edx+4(FP)
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64 || noasm
+
+package geom
+
+// No assembly on this build: the canonical pure-Go kernels are the only
+// implementation, so useSIMD stays false and SetSIMD(true) is refused.
+var (
+	simdSupported = false
+	useSIMD       = false
+)
+
+func sqdist64(a, b []float64) float64 { return sqdist64Go(a, b) }
+
+func sqdist32(a, b []float32) float64 { return sqdist32Go(a, b) }
+
+func sqdistMixed(q []float64, b []float32) float64 { return sqdistMixedGo(q, b) }

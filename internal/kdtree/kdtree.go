@@ -44,9 +44,6 @@ type Tree struct {
 	dim   int
 }
 
-// at returns point id as a zero-copy subslice of the dataset.
-func (t *Tree) at(id int32) []float64 { return t.ds.At(int(id)) }
-
 // coord returns coordinate dim of point id straight from the flat buffer.
 func (t *Tree) coord(id int32, dim int) float64 { return t.ds.Coord(id, dim) }
 
@@ -113,8 +110,9 @@ func (t *Tree) widestDim(ids []int32) int {
 		lo[j] = math.Inf(1)
 		hi[j] = math.Inf(-1)
 	}
+	buf := make([]float64, t.dim)
 	for _, id := range ids {
-		p := t.at(id)
+		p := t.ds.AtBuf(int(id), buf)
 		for j := 0; j < t.dim; j++ {
 			if p[j] < lo[j] {
 				lo[j] = p[j]
@@ -180,11 +178,10 @@ func (t *Tree) Insert(id int32) {
 		t.root = n
 		return
 	}
-	p := t.at(id)
 	cur := t.root
 	for {
 		nd := &t.nodes[cur]
-		if p[nd.dim] < t.coord(nd.pt, int(nd.dim)) {
+		if t.coord(id, int(nd.dim)) < t.coord(nd.pt, int(nd.dim)) {
 			if nd.l == nilNode {
 				childDim := int32((int(nd.dim) + 1) % t.dim)
 				t.nodes = append(t.nodes, node{pt: id, dim: childDim, l: nilNode, r: nilNode})
@@ -235,11 +232,10 @@ func (t *Tree) rangeWalk(root int32, q []float64, r, sq float64, fn func(int32, 
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nd := &t.nodes[cur]
-		p := t.at(nd.pt)
-		if d, ok := geom.SqDistPartial(q, p, sq); ok && d < sq {
+		if d, ok := geom.SqDistToIdxPartial(t.ds, q, nd.pt, sq); ok && d < sq {
 			fn(nd.pt, d)
 		}
-		ax := q[nd.dim] - p[nd.dim]
+		ax := q[nd.dim] - t.coord(nd.pt, int(nd.dim))
 		if ax < 0 {
 			if nd.l != nilNode {
 				stack = append(stack, nd.l)
@@ -275,12 +271,11 @@ func (t *Tree) NN(q []float64) (int32, float64) {
 
 func (t *Tree) nn(cur int32, q []float64, best *int32, bestSq *float64) {
 	nd := &t.nodes[cur]
-	p := t.at(nd.pt)
-	if d := geom.SqDist(q, p); d < *bestSq {
+	if d, ok := geom.SqDistToIdxPartial(t.ds, q, nd.pt, *bestSq); ok && d < *bestSq {
 		*bestSq = d
 		*best = nd.pt
 	}
-	ax := q[nd.dim] - p[nd.dim]
+	ax := q[nd.dim] - t.coord(nd.pt, int(nd.dim))
 	near, far := nd.l, nd.r
 	if ax >= 0 {
 		near, far = nd.r, nd.l
@@ -323,12 +318,11 @@ func (t *Tree) NNFiltered(q []float64, keep func(id int32) bool) (int32, float64
 
 func (t *Tree) nnFiltered(cur int32, q []float64, keep func(int32) bool, best *int32, bestSq *float64) {
 	nd := &t.nodes[cur]
-	p := t.at(nd.pt)
-	if d := geom.SqDist(q, p); d < *bestSq && keep(nd.pt) {
+	if d, ok := geom.SqDistToIdxPartial(t.ds, q, nd.pt, *bestSq); ok && d < *bestSq && keep(nd.pt) {
 		*bestSq = d
 		*best = nd.pt
 	}
-	ax := q[nd.dim] - p[nd.dim]
+	ax := q[nd.dim] - t.coord(nd.pt, int(nd.dim))
 	near, far := nd.l, nd.r
 	if ax >= 0 {
 		near, far = nd.r, nd.l

@@ -2,6 +2,8 @@ package kdtree
 
 import (
 	"math"
+
+	"repro/internal/geom"
 )
 
 // KNN returns the k nearest tree points to q as (ids, sqDists), ordered
@@ -27,14 +29,9 @@ func (t *Tree) KNN(q []float64, k int) ([]int32, []float64) {
 
 func (t *Tree) knn(cur int32, q []float64, h *maxHeap) {
 	nd := &t.nodes[cur]
-	p := t.at(nd.pt)
-	var sq float64
-	for i := range q {
-		d := q[i] - p[i]
-		sq += d * d
-	}
+	sq := geom.SqDistToIdx(t.ds, q, nd.pt)
 	h.offer(nd.pt, sq)
-	ax := q[nd.dim] - p[nd.dim]
+	ax := q[nd.dim] - t.coord(nd.pt, int(nd.dim))
 	near, far := nd.l, nd.r
 	if ax >= 0 {
 		near, far = nd.r, nd.l

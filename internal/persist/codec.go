@@ -41,6 +41,12 @@ const (
 	kindDataset = byte(1)
 	kindModel   = byte(2)
 	kindIndex   = byte(3)
+	// kindDataset32 is an f32-precision dataset: same layout as
+	// kindDataset but coordinates stored as float32 bit patterns, so a
+	// replica installs exactly the bytes (and fingerprint) the primary
+	// serves. Readers predating the precision mode reject it by kind
+	// byte instead of misreading the coordinates.
+	kindDataset32 = byte(4)
 
 	headerSize = 20
 
@@ -137,6 +143,12 @@ func (e *encoder) f64s(vs []float64) {
 		e.f64(v)
 	}
 }
+
+func (e *encoder) f32s(vs []float32) {
+	for _, v := range vs {
+		e.u32(math.Float32bits(v))
+	}
+}
 func (e *encoder) i32s(vs []int32) {
 	for _, v := range vs {
 		e.u32(uint32(v))
@@ -201,6 +213,17 @@ func (d *decoder) str() string {
 		d.fail("persist: string length %d exceeds limit %d", n, maxNameLen)
 	}
 	return string(d.need(int(n)))
+}
+
+func (d *decoder) f32s(n int) []float32 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(d.u32())
+	}
+	return out
 }
 
 func (d *decoder) f64s(n int) []float64 {
@@ -274,7 +297,7 @@ func decodeHeader(raw []byte) (kind byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("persist: unsupported format version %d (want %d)", v, snapVersion)
 	}
 	kind = raw[6]
-	if kind != kindDataset && kind != kindModel && kind != kindIndex {
+	if kind != kindDataset && kind != kindModel && kind != kindIndex && kind != kindDataset32 {
 		return 0, nil, fmt.Errorf("persist: unknown snapshot kind %d", kind)
 	}
 	if raw[7] != 0 {
@@ -303,6 +326,8 @@ func DecodeSnapshot(raw []byte) (any, error) {
 	switch kind {
 	case kindDataset:
 		return decodeDataset(payload)
+	case kindDataset32:
+		return decodeDataset32(payload)
 	case kindIndex:
 		return decodeIndex(payload)
 	}
@@ -310,7 +335,9 @@ func DecodeSnapshot(raw []byte) (any, error) {
 }
 
 // EncodeDataset produces the canonical snapshot file image for one
-// dataset version; DecodeSnapshot inverts it exactly.
+// dataset version; DecodeSnapshot inverts it exactly. An f32-precision
+// dataset is written as a kind-4 snapshot with float32 coordinates —
+// the f64 image is byte-for-byte what it was before precisions existed.
 func EncodeDataset(name string, version uint64, ds *geom.Dataset) []byte {
 	var e encoder
 	e.str(name)
@@ -318,6 +345,10 @@ func EncodeDataset(name string, version uint64, ds *geom.Dataset) []byte {
 	e.u64(uint64(ds.N))
 	e.u32(uint32(ds.Dim))
 	e.u64(ds.Fingerprint())
+	if ds.Float32() {
+		e.f32s(ds.Coords32)
+		return encodeSnapshot(kindDataset32, e.buf)
+	}
 	e.f64s(ds.Coords)
 	return encodeSnapshot(kindDataset, e.buf)
 }
@@ -348,6 +379,38 @@ func decodeDataset(payload []byte) (*DatasetSnapshot, error) {
 		return nil, err
 	}
 	ds := geom.NewDataset(coords, int(dim))
+	if got := ds.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("persist: dataset fingerprint %#x, snapshot claims %#x", got, fp)
+	}
+	return &DatasetSnapshot{Name: name, Version: version, Points: ds, Fingerprint: fp}, nil
+}
+
+func decodeDataset32(payload []byte) (*DatasetSnapshot, error) {
+	d := &decoder{b: payload}
+	name := d.str()
+	version := d.u64()
+	n := d.u64()
+	dim := d.u32()
+	fp := d.u64()
+	if d.err == nil {
+		if name == "" {
+			d.fail("persist: empty dataset name")
+		}
+		if n == 0 || dim == 0 {
+			d.fail("persist: empty dataset snapshot (n=%d dim=%d)", n, dim)
+		}
+		if dim > maxSnapshotDim {
+			d.fail("persist: implausible dimensionality %d (max %d)", dim, maxSnapshotDim)
+		}
+		if d.err == nil && n > uint64(len(d.b))/4/uint64(dim) {
+			d.fail("persist: declared %dx%d coordinates exceed %d remaining bytes", n, dim, len(d.b))
+		}
+	}
+	coords := d.f32s(int(n) * int(dim))
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	ds := geom.NewDataset32(coords, int(dim))
 	if got := ds.Fingerprint(); got != fp {
 		return nil, fmt.Errorf("persist: dataset fingerprint %#x, snapshot claims %#x", got, fp)
 	}

@@ -159,7 +159,7 @@ func (t *Tree) RangeSearch(q []float64, r float64, fn func(id int32, sqDist floa
 		if n.leaf {
 			for i := range n.entries {
 				e := &n.entries[i]
-				if d, ok := geom.SqDistPartial(q, t.ds.At(int(e.pt)), sq); ok && d < sq {
+				if d, ok := geom.SqDistToIdxPartial(t.ds, q, e.pt, sq); ok && d < sq {
 					fn(e.pt, d)
 				}
 			}

@@ -196,11 +196,28 @@ func (c *Client) Health() error {
 }
 
 // PutDataset uploads a dataset body in the given format ("csv" or
-// "binary").
+// "binary") at the server's default (float64) storage precision.
 func (c *Client) PutDataset(name, format string, body []byte) (api.DatasetInfo, error) {
-	path := "/v1/datasets/" + url.PathEscape(name)
+	return c.PutDatasetPrecision(name, format, "", body)
+}
+
+// PutDatasetPrecision uploads a dataset body, requesting a storage
+// precision: api.PrecisionF32 stores the points as float32 (halving
+// resident memory and unlocking the f32 kernels), api.PrecisionF64 or
+// "" keeps the default float64. A daemon predating the precision
+// surface ignores the parameter and stores float64 — check the
+// returned DatasetInfo.Precision when it matters.
+func (c *Client) PutDatasetPrecision(name, format, precision string, body []byte) (api.DatasetInfo, error) {
+	q := url.Values{}
 	if format != "" && format != "csv" {
-		path += "?format=" + url.QueryEscape(format)
+		q.Set("format", format)
+	}
+	if precision != "" && precision != api.PrecisionF64 {
+		q.Set("precision", precision)
+	}
+	path := "/v1/datasets/" + url.PathEscape(name)
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
 	}
 	var info api.DatasetInfo
 	err := c.call(http.MethodPut, path, "application/octet-stream", body, false, &info)

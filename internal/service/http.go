@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"strings"
 
 	"repro/api"
@@ -99,34 +98,45 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name))
 			return
 		}
-		writeJSON(w, http.StatusOK, api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim})
+		writeJSON(w, http.StatusOK, dsInfo(name, ds))
 	})
 
 	mux.HandleFunc("PUT /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
+		var q api.UploadQuery
+		if err := api.ParseQuery(r.URL.Query(), &q); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+		format := q.Format
+		if format == "" && frameRequest(r) {
+			format = "frame"
+		}
+		f32 := q.Precision == api.PrecisionF32
 		var (
 			ds  *geom.Dataset
 			err error
 		)
-		format := r.URL.Query().Get("format")
-		if format == "" && frameRequest(r) {
-			format = "frame"
-		}
 		switch format {
 		case "", "csv":
 			ds, err = data.LoadCSV(body)
 		case "binary":
 			ds, err = data.LoadBinary(body)
 		case "frame":
-			ds, err = wire.ReadDataset(body)
-		default:
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want csv, binary, or frame)", format))
-			return
+			// The frame path lands at the target precision directly: f32
+			// frames are kept without the widen/narrow round trip.
+			ds, err = wire.ReadDataset32(body, f32)
+			f32 = false
 		}
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("parse upload: %w", err))
 			return
+		}
+		if f32 {
+			// Text and binary decoders produce float64; the requested f32
+			// storage is an explicit (possibly lossy) narrowing.
+			ds = ds.ToFloat32()
 		}
 		info, err := s.PutDataset(name, ds)
 		if err != nil {
@@ -212,25 +222,12 @@ func NewHandler(s *Service) http.Handler {
 // on first use, re-cut afterwards. The response is JSON by default and
 // a decision frame sequence when Accept names the frame media type.
 func handleDecisionGraph(s *Service, w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name := q.Get("dataset")
-	if name == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing dataset query parameter"))
+	var q api.DecisionGraphQuery
+	if err := api.ParseQuery(r.URL.Query(), &q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	dcut, err := strconv.ParseFloat(q.Get("dcut"), 64)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad dcut query parameter: %v", err))
-		return
-	}
-	limit := 0
-	if ls := q.Get("limit"); ls != "" {
-		if limit, err = strconv.Atoi(ls); err != nil || limit < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit query parameter %q", ls))
-			return
-		}
-	}
-	resp, err := s.DecisionGraph(name, dcut, limit)
+	resp, err := s.DecisionGraph(q.Dataset, q.DCut, q.Limit)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -357,11 +354,23 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError emits the uniform error envelope with the status's default
-// code (api.CodeForStatus).
+// writeError emits the uniform error envelope. A typed *api.APIError
+// anywhere in the chain (ParseQuery violations, ErrUnsupportedPrecision
+// wraps) carries its own status and code; everything else gets the
+// status's default code (api.CodeForStatus).
 func writeError(w http.ResponseWriter, status int, err error) {
+	code := api.CodeForStatus(status)
+	msg := err.Error()
+	var ae *api.APIError
+	if errors.As(err, &ae) {
+		status, code = ae.Status, ae.Code
+		// The envelope carries the bare message: APIError.Error() is the
+		// *client-side* rendering ("server returned %d: ...") and would
+		// double the framing on the wire.
+		msg = ae.Message
+	}
 	writeJSON(w, status, api.ErrorEnvelope{Error: api.ErrorInfo{
-		Code:    api.CodeForStatus(status),
-		Message: err.Error(),
+		Code:    code,
+		Message: msg,
 	}})
 }

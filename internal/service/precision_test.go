@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/api"
+	"repro/internal/data"
+)
+
+// TestPrecisionUploadHTTP covers the ?precision= upload surface: f32
+// uploads store narrowed points and echo "f32" everywhere DatasetInfo
+// appears, the default stays f64, an unsupported value is the typed
+// unsupported_precision envelope, and an f32 dataset serves fits.
+func TestPrecisionUploadHTTP(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheSize: 4})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	client := ts.Client()
+
+	d := data.SSet(2, 400, 3)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	put := func(name, query string) (int, api.DatasetInfo, api.ErrorEnvelope) {
+		req, _ := http.NewRequest("PUT", ts.URL+"/v1/datasets/"+name+query, bytes.NewReader(csv.Bytes()))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info api.DatasetInfo
+		var env api.ErrorEnvelope
+		if resp.StatusCode < 300 {
+			if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, info, env
+	}
+
+	code, info, _ := put("narrow", "?precision=f32")
+	if code != http.StatusCreated || info.Precision != api.PrecisionF32 {
+		t.Fatalf("f32 upload: code=%d info=%+v", code, info)
+	}
+	code, info, _ = put("wide", "")
+	if code != http.StatusCreated || info.Precision != api.PrecisionF64 {
+		t.Fatalf("default upload: code=%d info=%+v", code, info)
+	}
+	code, info, _ = put("wide2", "?precision=f64")
+	if code != http.StatusCreated || info.Precision != api.PrecisionF64 {
+		t.Fatalf("explicit f64 upload: code=%d info=%+v", code, info)
+	}
+	code, _, env := put("bogus", "?precision=f16")
+	if code != http.StatusBadRequest || env.Error.Code != api.CodeUnsupportedPrecision {
+		t.Fatalf("bad precision: code=%d envelope=%+v, want 400 %s", code, env, api.CodeUnsupportedPrecision)
+	}
+
+	// GET echoes the stored precision; stats count the narrow dataset.
+	var got api.DatasetInfo
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/datasets/narrow", nil, &got); code != 200 || got.Precision != api.PrecisionF32 {
+		t.Fatalf("get narrow: code=%d info=%+v", code, got)
+	}
+	var st api.Stats
+	if code := doJSON(t, client, "GET", ts.URL+"/v1/stats", nil, &st); code != 200 {
+		t.Fatalf("stats: code=%d", code)
+	}
+	if st.Datasets != 3 || st.DatasetsF32 != 1 {
+		t.Fatalf("stats = %d datasets / %d f32, want 3/1", st.Datasets, st.DatasetsF32)
+	}
+
+	// The f32 dataset fits and assigns like any other.
+	fitReq := api.FitRequest{
+		Dataset: "narrow", Algorithm: "Ex-DPC",
+		Params: api.Params{DCut: d.DCut, RhoMin: d.RhoMin, DeltaMin: d.DeltaMin},
+	}
+	var fr api.FitResponse
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", fitReq, &fr); code != 200 || fr.Model.Clusters == 0 {
+		t.Fatalf("fit on f32 dataset: code=%d resp=%+v", code, fr)
+	}
+
+	// Same bytes at a different width are a replacement, not a no-op
+	// re-upload: the stored precision flips and cached models of the f32
+	// version are purged, so the same fit is a fresh miss.
+	code, info, _ = put("narrow", "?precision=f64")
+	if code != http.StatusCreated || info.Precision != api.PrecisionF64 {
+		t.Fatalf("re-upload at f64: code=%d info=%+v", code, info)
+	}
+	if code := doJSON(t, client, "POST", ts.URL+"/v1/fit", fitReq, &fr); code != 200 {
+		t.Fatalf("fit after width change: code=%d", code)
+	}
+	if fr.CacheHit {
+		t.Fatal("fit after width change served the f32 model from cache; precision is identity")
+	}
+}
+
+// TestPrecisionQueryValidation exercises the consolidated ParseQuery
+// surface beyond precision: a malformed decision-graph query and a
+// malformed stream chunk must both produce the uniform error envelope,
+// never a bare-string body.
+func TestPrecisionQueryValidation(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		url  string
+		code string
+	}{
+		{"/v1/decision-graph?dataset=x&dcut=abc", api.CodeBadRequest},
+		{"/v1/decision-graph?dcut=1", api.CodeBadRequest},
+		{"/v1/decision-graph?dataset=x&dcut=1&limit=-2", api.CodeBadRequest},
+	} {
+		resp, err := ts.Client().Get(ts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env api.ErrorEnvelope
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: body is not the error envelope: %v", tc.url, err)
+		}
+		if resp.StatusCode != http.StatusBadRequest || env.Error.Code != tc.code {
+			t.Errorf("%s: code=%d envelope=%+v, want 400 %s", tc.url, resp.StatusCode, env, tc.code)
+		}
+		if env.Error.Message == "" {
+			t.Errorf("%s: empty error message", tc.url)
+		}
+	}
+}
+
+// TestPrecisionRingEcho: GET /v1/ring?key= on a replicating instance
+// echoes the resident dataset's precision — including on a replica whose
+// copy arrived as a shipped snapshot, proving f32 survives replication.
+func TestPrecisionRingEcho(t *testing.T) {
+	h := startRingRF(t, 2, 2, nil)
+	d := data.SSet(1, 300, 5)
+	var csv bytes.Buffer
+	if err := data.SaveCSV(&csv, d.Points); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.clients[0].PutDatasetPrecision("pts", "csv", api.PrecisionF32, csv.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range h.addrs {
+		resp, err := http.Get(h.addrs[i] + "/v1/ring?key=pts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ri api.RingInfo
+		err = json.NewDecoder(resp.Body).Decode(&ri)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Dataset == nil {
+			t.Fatalf("shard %d: no dataset echo for a key it replicates (rf=2, 2 shards)", i)
+		}
+		if ri.Dataset.Precision != api.PrecisionF32 || ri.Dataset.N != d.Points.N {
+			t.Errorf("shard %d: echo %+v, want n=%d precision=f32", i, ri.Dataset, d.Points.N)
+		}
+	}
+}
+
+// TestPrecisionClientUnsupported: the typed error surfaces through the
+// Go client as CodeUnsupportedPrecision, distinguishable from a generic
+// bad request.
+func TestPrecisionClientUnsupported(t *testing.T) {
+	svc := New(Options{Workers: 1})
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	c := NewClient(ts.URL, testClientOptions())
+	_, err := c.PutDatasetPrecision("x", "csv", "f99", []byte("1,2\n"))
+	if err == nil {
+		t.Fatal("unsupported precision accepted")
+	}
+	var ae *api.APIError
+	if !errors.As(err, &ae) || ae.Code != api.CodeUnsupportedPrecision {
+		t.Errorf("error %v does not carry the %s code", err, api.CodeUnsupportedPrecision)
+	}
+}

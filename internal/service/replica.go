@@ -125,10 +125,12 @@ func (s *Service) installModel(sn *persist.ModelSnapshot) (api.InstallResult, er
 }
 
 // installIndex adopts a shipped density-index snapshot as warm state,
-// the same way restart warm-loading does. The ring never ships indexes
-// proactively (a replica rebuilds on demand), but accepting them keeps
-// the snapshot sink total: any DPS1 image the store can hold installs.
-// Mismatched dataset version or fingerprint is a stale ship — refused.
+// the same way restart warm-loading does. The primary ships its index
+// alongside dataset and model snapshots once a build completes, so a
+// promoted replica answers decision-graph and sweep requests without
+// re-paying the build; a replica that never received one still rebuilds
+// on demand. Mismatched dataset version or fingerprint is a stale
+// ship — refused.
 func (s *Service) installIndex(sn *persist.IndexSnapshot) (api.InstallResult, error) {
 	res := api.InstallResult{Kind: "index", Dataset: sn.Dataset, Version: sn.Version}
 	s.mu.RLock()
@@ -158,10 +160,13 @@ func (s *Service) installIndex(sn *persist.IndexSnapshot) (api.InstallResult, er
 
 // ReplicationSnapshots encodes everything a replica needs for one
 // resident dataset: the dataset snapshot first (installs must see it
-// before any model), then one model snapshot per completed cache entry
-// fitted on the current version. nil when the dataset is not resident.
-// In-flight fits are skipped — they ship when they finish via the
-// router's post-fit replication.
+// before any model or index), then one model snapshot per completed
+// cache entry fitted on the current version, then — when a density
+// index for the current version is resident and ready — that index's
+// snapshot, so a promoted replica serves decision-graph and sweep
+// requests without re-paying the build. nil when the dataset is not
+// resident. In-flight fits and builds are skipped — they ship when they
+// finish via the router's post-write replication.
 func (s *Service) ReplicationSnapshots(name string) [][]byte {
 	s.mu.RLock()
 	e, ok := s.datasets[name]
@@ -183,7 +188,37 @@ func (s *Service) ReplicationSnapshots(name string) [][]byte {
 		pk.Params.Workers = 0
 		out = append(out, persist.EncodeModel(pk, fp, cm.model.FitTime(), cm.model.Result()))
 	}
+	if raw := s.indexSnapshot(name, e.version, fp); raw != nil {
+		out = append(out, raw)
+	}
 	return out
+}
+
+// indexSnapshot encodes the dataset's resident density index when it is
+// ready and built on exactly this version; nil otherwise (absent, in
+// flight, failed, or stale — a replica rebuilds on demand in those
+// cases, as before).
+func (s *Service) indexSnapshot(name string, version uint64, fingerprint uint64) []byte {
+	s.indexMu.Lock()
+	ent := s.indexes[name]
+	s.indexMu.Unlock()
+	if ent == nil || ent.version != version {
+		return nil
+	}
+	select {
+	case <-ent.ready:
+	default:
+		return nil
+	}
+	if ent.err != nil || ent.idx == nil {
+		return nil
+	}
+	dcMax, start, ids, sq := ent.idx.Parts()
+	return persist.EncodeIndex(&persist.IndexSnapshot{
+		Dataset: name, Version: version,
+		DatasetFingerprint: fingerprint,
+		DCutMax:            dcMax, Start: start, IDs: ids, Sq: sq,
+	})
 }
 
 // completedModel is one snapshot-able cache entry.

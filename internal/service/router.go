@@ -424,6 +424,11 @@ func (rt *Router) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/ring", func(w http.ResponseWriter, r *http.Request) {
+		var q api.RingQuery
+		if err := api.ParseQuery(r.URL.Query(), &q); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		rt.mu.RLock()
 		resp := api.RingInfo{
 			Self:       rt.self,
@@ -437,11 +442,19 @@ func (rt *Router) Handler() http.Handler {
 				resp.Down = append(resp.Down, p)
 			}
 		}
-		if key := r.URL.Query().Get("key"); key != "" {
-			resp.Owners = rt.ring.OwnersN(key, rt.rf)
+		if q.Key != "" {
+			resp.Owners = rt.ring.OwnersN(q.Key, rt.rf)
 			resp.Owner = resp.Owners[0]
 		}
 		rt.mu.RUnlock()
+		if q.Key != "" {
+			// Echo the resident dataset the key names — including its
+			// storage precision — when this instance replicates it.
+			if ds, ok := rt.local.Dataset(q.Key); ok {
+				info := dsInfo(q.Key, ds)
+				resp.Dataset = &info
+			}
+		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 
@@ -669,16 +682,18 @@ func (rt *Router) Handler() http.Handler {
 	})
 
 	// Decision graphs and sweeps build (or reuse) the dataset's density
-	// index, which lives only on the key's primary — indexes are derived
-	// state, cheap to rebuild, and are never replicated. Both routes
-	// therefore pin to the primary: served locally when this instance is
-	// it, relayed to it otherwise (no failover — a replica would pay a
-	// full index build just to answer one exploratory call).
+	// index, which is built on the key's primary. Both routes pin to the
+	// primary: served locally when this instance is it, relayed to it
+	// otherwise (no failover — a replica would pay a full index build
+	// just to answer one exploratory call). When a call pays a fresh
+	// build, the primary re-ships the key's snapshots — which now include
+	// the index — so a replica promoted later serves re-cuts warm instead
+	// of rebuilding.
 	mux.HandleFunc("GET /v1/decision-graph", func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("dataset")
 		owners := rt.owners(name)
 		if name == "" || r.Header.Get(forwardedHeader) != "" || len(owners) == 0 || owners[0] == rt.self {
-			rt.localH.ServeHTTP(w, r)
+			rt.serveIndexLocally(w, r, name)
 			return
 		}
 		path := "/v1/decision-graph"
@@ -703,7 +718,7 @@ func (rt *Router) Handler() http.Handler {
 		if name == "" || r.Header.Get(forwardedHeader) != "" || len(owners) == 0 || owners[0] == rt.self {
 			r.Body = io.NopCloser(bytes.NewReader(body))
 			r.ContentLength = int64(len(body))
-			rt.localH.ServeHTTP(w, r)
+			rt.serveIndexLocally(w, r, name)
 			return
 		}
 		rt.relaySeq(w, r, owners[:1], http.MethodPost, "/v1/sweep", body)
@@ -777,6 +792,40 @@ func cacheHitResponse(body []byte) bool {
 		return false
 	}
 	return *probe.CacheHit
+}
+
+// serveIndexLocally runs a decision-graph or sweep through the local
+// handler and, when the successful response reports a freshly built
+// index ("index_reused": false), re-ships the key's snapshots — which
+// include the just-built index — to its replicas, so a replica promoted
+// later answers re-cuts warm instead of re-paying the build.
+// replicateDataset no-ops unless this instance is the key's primary, so
+// a forwarded hop served here for routing hygiene ships nothing.
+func (rt *Router) serveIndexLocally(w http.ResponseWriter, r *http.Request, name string) {
+	brw := newBufferedResponse()
+	rt.localH.ServeHTTP(brw, r)
+	if name != "" && brw.status >= 200 && brw.status <= 299 &&
+		indexBuiltResponse(brw.header.Get("Content-Type"), brw.body.Bytes()) {
+		rt.replicateDataset(name)
+	}
+	brw.flushTo(w)
+}
+
+// indexBuiltResponse reports whether a 2xx decision-graph or sweep
+// response paid a fresh index build ("index_reused": false). Frame-coded
+// bodies are not probed — a build they paid ships on the next self-heal
+// or JSON-coded call instead of this hop decoding binary frames.
+func indexBuiltResponse(contentType string, body []byte) bool {
+	if isFrameMedia(contentType) {
+		return false
+	}
+	var probe struct {
+		IndexReused *bool `json:"index_reused"`
+	}
+	if json.Unmarshal(body, &probe) != nil || probe.IndexReused == nil {
+		return false
+	}
+	return !*probe.IndexReused
 }
 
 // peekDataset extracts the top-level "dataset" field from a fit/assign
@@ -916,6 +965,12 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // codec.
 func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, targets []string, body io.Reader) {
 	rt.forwarded.Add(1)
+	// Query knobs (?chunk=) travel with the hop so the serving replica
+	// honors them exactly as it would on a direct request.
+	path := "/v1/assign/stream"
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
 	cr := &countingReader{r: body}
 	var (
 		resp    *http.Response
@@ -944,7 +999,7 @@ func (rt *Router) relayStream(w http.ResponseWriter, r *http.Request, targets []
 			}
 			enc.Set("Accept-Encoding", ae)
 		}
-		resp, err = peer.stream(r.Context(), http.MethodPost, "/v1/assign/stream",
+		resp, err = peer.stream(r.Context(), http.MethodPost, path,
 			relayContentType(r), r.Header.Get("Accept"), cr, true, enc)
 		if err == nil {
 			target = o

@@ -139,6 +139,13 @@ type datasetEntry struct {
 	version uint64
 }
 
+// dsInfo is the one place a dataset becomes its wire description, so
+// the precision echo cannot drift between the listing, the single-get,
+// and the upload response.
+func dsInfo(name string, ds *geom.Dataset) api.DatasetInfo {
+	return api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim, Precision: ds.Precision()}
+}
+
 // New creates a service. With Options.Store set it warm-loads the
 // dataset registry and repopulates the model cache from the snapshot
 // directory — the kd-trees are rebuilt, the clustering itself is not
@@ -478,8 +485,13 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (api.DatasetInfo, er
 	if old, ok := s.datasets[name]; ok {
 		// Exact comparison, not a fingerprint: uploads are untrusted HTTP
 		// bodies, and a 64-bit hash collision here would silently keep
-		// serving the old points under the new upload.
-		if old.points.Dim == ds.Dim && slices.Equal(old.points.Coords, ds.Coords) {
+		// serving the old points under the new upload. Precision is part
+		// of identity — the same values re-uploaded at the other width
+		// are a replacement, not a no-op (the kernels would read
+		// different bytes).
+		if old.points.Dim == ds.Dim &&
+			slices.Equal(old.points.Coords, ds.Coords) &&
+			slices.Equal(old.points.Coords32, ds.Coords32) {
 			points, ver := old.points, old.version
 			s.mu.Unlock()
 			if s.store != nil {
@@ -491,7 +503,7 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (api.DatasetInfo, er
 					s.store.Log("service: re-persisting dataset %q v%d: %v", name, ver, err)
 				}
 			}
-			return api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
+			return dsInfo(name, points), nil
 		}
 		version = old.version + 1
 	}
@@ -510,7 +522,7 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (api.DatasetInfo, er
 			s.store.Log("service: persisting dataset %q v%d: %v", name, version, err)
 		}
 	}
-	return api.DatasetInfo{Name: name, N: ds.N, Dim: ds.Dim}, nil
+	return dsInfo(name, ds), nil
 }
 
 // Dataset returns a registered dataset.
@@ -529,7 +541,7 @@ func (s *Service) Datasets() []api.DatasetInfo {
 	s.mu.RLock()
 	out := make([]api.DatasetInfo, 0, len(s.datasets))
 	for name, e := range s.datasets {
-		out = append(out, api.DatasetInfo{Name: name, N: e.points.N, Dim: e.points.Dim})
+		out = append(out, dsInfo(name, e.points))
 	}
 	s.mu.RUnlock()
 	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
@@ -668,10 +680,17 @@ func (s *Service) assignChunk(m *core.Model, pts [][]float64) ([]int32, error) {
 func (s *Service) Stats() api.Stats {
 	s.mu.RLock()
 	nds := len(s.datasets)
+	nf32 := 0
+	for _, e := range s.datasets {
+		if e.points.Float32() {
+			nf32++
+		}
+	}
 	s.mu.RUnlock()
 	hits, misses, evictions, cached := s.cache.counters()
 	st := api.Stats{
 		Datasets:       nds,
+		DatasetsF32:    nf32,
 		ModelsCached:   cached,
 		CacheCapacity:  s.cache.capacity,
 		FitRequests:    s.fitRequests.Load(),

@@ -187,18 +187,23 @@ func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next fu
 		return api.StreamSummary{}, errTooManyStreams
 	}
 	defer s.releaseStream()
-	return s.assignStream(fr, next, emit)
+	return s.assignStream(fr, 0, next, emit)
 }
 
 // assignStream is the chunked labeling loop shared by AssignStream and
 // the HTTP handler (which performs the Fit itself so pre-stream errors
-// keep their HTTP statuses).
-func (s *Service) assignStream(fr FitResult, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
+// keep their HTTP statuses). chunkSize > 0 lowers the label-chunk size
+// below the configured default (the ?chunk= request knob); it can never
+// raise it, so the server's memory bound holds regardless of input.
+func (s *Service) assignStream(fr FitResult, chunkSize int, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
 	s.assignRequests.Add(1)
 	sum := api.StreamSummary{Clusters: fr.Model.NumClusters(), CacheHit: fr.CacheHit}
 	dim := fr.Model.Dim()
 	limit := s.opts.maxStreamPoints()
-	chunk := make([][]float64, 0, s.opts.streamChunk())
+	if max := s.opts.streamChunk(); chunkSize <= 0 || chunkSize > max {
+		chunkSize = max
+	}
+	chunk := make([][]float64, 0, chunkSize)
 	flush := func() error {
 		if len(chunk) == 0 {
 			return nil
@@ -354,6 +359,11 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 		// writing labels for the stream's whole life, so it must opt in to
 		// full duplex. (HTTP/2 is duplex natively and reports unsupported.)
 		_ = http.NewResponseController(w).EnableFullDuplex()
+		var sq api.StreamQuery
+		if err := api.ParseQuery(r.URL.Query(), &sq); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 		bodySrc := io.Reader(r.Body)
 		if gzipRequest(r) {
 			zr, err := gzip.NewReader(r.Body)
@@ -420,7 +430,7 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 		// the status before it commits to streaming the whole body.
 		flushResponse(out)
 
-		sum, err := s.assignStream(fr, next, emitter.labels)
+		sum, err := s.assignStream(fr, sq.Chunk, next, emitter.labels)
 		if err != nil {
 			emitter.terminalError(err)
 			return

@@ -116,11 +116,17 @@ type Frame struct {
 	Kind    byte
 	Header  Header    // KindHeader
 	N, Dim  int       // KindPoints
-	Coords  []float64 // KindPoints: N*Dim row-major values, f32 already widened
+	Coords  []float64 // KindPoints: N*Dim row-major values, f32 widened unless the reader keeps f32
 	Float32 bool      // KindPoints: coordinates were float32 on the wire
 	Labels  []int32   // KindLabels
 	Summary Summary   // KindSummary
 	ErrMsg  string    // KindError
+
+	// Coords32 holds the raw float32 coordinates of a FlagFloat32 points
+	// frame when the decoding Reader runs in keep-f32 mode (see
+	// Reader.Keep32). Exactly one of Coords and Coords32 is non-nil for a
+	// non-empty points frame; float64 frames always decode into Coords.
+	Coords32 []float32
 
 	// Decision holds KindDecision points in the frame's order (the
 	// encoder preserves the caller's, conventionally descending delta).
@@ -205,6 +211,30 @@ func AppendPointsFlat(dst []byte, coords []float64, dim int, float32w bool) []by
 		for _, v := range coords {
 			dst = appendU64(dst, math.Float64bits(v))
 		}
+	}
+	return endFrame(dst, mark)
+}
+
+// AppendPointsFlat32 appends one FlagFloat32 points frame straight from
+// float32 storage — the encoder a float32 dataset uses so its exact
+// values hit the wire with no widen/narrow round trip. Constraints
+// mirror AppendPointsFlat.
+func AppendPointsFlat32(dst []byte, coords []float32, dim int) []byte {
+	n := 0
+	if dim > 0 {
+		n = len(coords) / dim
+	}
+	if n*dim != len(coords) {
+		panic("wire: coords length is not a multiple of dim")
+	}
+	if 8+len(coords)*4 > MaxPayload {
+		panic("wire: points frame exceeds MaxPayload; chunk it")
+	}
+	dst, mark := beginFrame(dst, KindPoints, FlagFloat32)
+	dst = appendU32(dst, uint32(n))
+	dst = appendU32(dst, uint32(dim))
+	for _, v := range coords {
+		dst = appendU32(dst, math.Float32bits(v))
 	}
 	return endFrame(dst, mark)
 }
@@ -386,8 +416,11 @@ func parseFrameHeader(b []byte) (kind, flags byte, payloadLen int, err error) {
 	return kind, flags, int(declared), nil
 }
 
-// decodePayload decodes one validated payload into a Frame.
-func decodePayload(kind, flags byte, payload []byte) (*Frame, error) {
+// decodePayload decodes one validated payload into a Frame. With keep32
+// set, FlagFloat32 points frames decode into Frame.Coords32 instead of
+// widening to float64 — the path a float32 dataset upload takes so the
+// narrow representation survives the wire end to end.
+func decodePayload(kind, flags byte, payload []byte, keep32 bool) (*Frame, error) {
 	f := &Frame{Kind: kind}
 	d := &payloadDecoder{b: payload}
 	switch kind {
@@ -423,12 +456,19 @@ func decodePayload(kind, flags byte, payload []byte) (*Frame, error) {
 		}
 		if d.err == nil {
 			f.N, f.Dim = int(n), int(dim)
-			f.Coords = make([]float64, int(n)*int(dim))
-			if f.Float32 {
+			switch {
+			case f.Float32 && keep32:
+				f.Coords32 = make([]float32, int(n)*int(dim))
+				for i := range f.Coords32 {
+					f.Coords32[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.b[4*i:]))
+				}
+			case f.Float32:
+				f.Coords = make([]float64, int(n)*int(dim))
 				for i := range f.Coords {
 					f.Coords[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(d.b[4*i:])))
 				}
-			} else {
+			default:
+				f.Coords = make([]float64, int(n)*int(dim))
 				for i := range f.Coords {
 					f.Coords[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[8*i:]))
 				}
@@ -502,7 +542,7 @@ func DecodeFrame(raw []byte) (*Frame, []byte, error) {
 	if len(raw)-frameHeaderSize < payloadLen {
 		return nil, nil, fmt.Errorf("wire: truncated frame: declared payload of %d bytes, %d present", payloadLen, len(raw)-frameHeaderSize)
 	}
-	f, err := decodePayload(kind, flags, raw[frameHeaderSize:frameHeaderSize+payloadLen])
+	f, err := decodePayload(kind, flags, raw[frameHeaderSize:frameHeaderSize+payloadLen], false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -512,13 +552,22 @@ func DecodeFrame(raw []byte) (*Frame, []byte, error) {
 // Reader decodes a frame stream incrementally: one frame per Next call,
 // never holding more than one frame's payload in memory.
 type Reader struct {
-	r   io.Reader
-	hdr [frameHeaderSize]byte
+	r      io.Reader
+	keep32 bool
+	hdr    [frameHeaderSize]byte
 }
 
 // NewReader wraps r. Callers on the HTTP path hand it a bufio.Reader;
 // the Reader itself issues only exact-size reads.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Keep32 switches the reader into keep-f32 mode: FlagFloat32 points
+// frames decode into Frame.Coords32 without widening. It returns the
+// reader for chaining. Float64 frames are unaffected.
+func (r *Reader) Keep32(on bool) *Reader {
+	r.keep32 = on
+	return r
+}
 
 // Next returns the next frame. io.EOF is returned only at a clean frame
 // boundary; a stream that ends inside a frame is a truncation error, so
@@ -538,7 +587,7 @@ func (r *Reader) Next() (*Frame, error) {
 	if _, err := io.ReadFull(r.r, payload); err != nil {
 		return nil, fmt.Errorf("wire: truncated frame payload: %w", err)
 	}
-	return decodePayload(kind, flags, payload)
+	return decodePayload(kind, flags, payload, r.keep32)
 }
 
 // ReadHeaderFrame reads exactly one frame from br, requires it to be a
@@ -561,7 +610,7 @@ func ReadHeaderFrame(br *bufio.Reader) (Header, []byte, error) {
 	if _, err := io.ReadFull(br, raw[frameHeaderSize:]); err != nil {
 		return Header{}, nil, fmt.Errorf("wire: truncated header frame: %w", err)
 	}
-	f, err := decodePayload(kind, flags, raw[frameHeaderSize:])
+	f, err := decodePayload(kind, flags, raw[frameHeaderSize:], false)
 	if err != nil {
 		return Header{}, nil, err
 	}
@@ -583,11 +632,25 @@ func PeekDataset(body []byte) (string, error) {
 }
 
 // ReadDataset decodes an upload body — one or more points frames, all of
-// one width — into a flat dataset. The per-frame payload cap bounds each
-// allocation; the caller bounds the body as a whole.
+// one width — into a float64 dataset, widening f32 frames losslessly.
+// The per-frame payload cap bounds each allocation; the caller bounds
+// the body as a whole.
 func ReadDataset(r io.Reader) (*geom.Dataset, error) {
-	fr := NewReader(bufio.NewReaderSize(r, 64<<10))
-	var coords []float64
+	return ReadDataset32(r, false)
+}
+
+// ReadDataset32 is ReadDataset with an explicit target precision. With
+// f32 set the dataset is stored as float32: FlagFloat32 frames keep
+// their exact wire values (no widening round trip), and float64 frames
+// are narrowed — lossy for values that do not round-trip, which is the
+// caller's explicit choice by requesting f32. With f32 unset it behaves
+// exactly like ReadDataset.
+func ReadDataset32(r io.Reader, f32 bool) (*geom.Dataset, error) {
+	fr := NewReader(bufio.NewReaderSize(r, 64<<10)).Keep32(f32)
+	var (
+		coords   []float64
+		coords32 []float32
+	)
 	dim := -1
 	for {
 		f, err := fr.Next()
@@ -608,10 +671,23 @@ func ReadDataset(r io.Reader) (*geom.Dataset, error) {
 		} else if f.Dim != dim {
 			return nil, fmt.Errorf("wire: points frame has dimension %d, previous frames %d", f.Dim, dim)
 		}
-		coords = append(coords, f.Coords...)
+		if !f32 {
+			coords = append(coords, f.Coords...)
+			continue
+		}
+		if f.Coords32 != nil {
+			coords32 = append(coords32, f.Coords32...)
+		} else {
+			for _, v := range f.Coords {
+				coords32 = append(coords32, float32(v))
+			}
+		}
 	}
 	if dim <= 0 {
 		return &geom.Dataset{}, nil
+	}
+	if f32 {
+		return geom.NewDataset32(coords32, dim), nil
 	}
 	return geom.NewDataset(coords, dim), nil
 }

@@ -12,7 +12,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: verify build vet test fmt lint e2e e2e-stream bench bench-json fuzz-smoke serve ci
+.PHONY: verify build vet test fmt lint e2e e2e-stream bench bench-json fuzz-smoke examples docs-check serve ci
 
 # verify is the tier-1 gate: everything must build, vet clean, and pass.
 verify: build vet test
@@ -64,6 +64,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSqDist|ExDPC(Rows|Flat)' -benchmem -benchtime=$(BENCHTIME) .
 	$(GO) test -run '^$$' -bench 'BenchmarkService' -benchmem -benchtime=$(BENCHTIME) ./internal/service
 	$(GO) run ./cmd/dpcbench -exp sweep -n $(SWEEPN)
+	$(GO) run ./cmd/dpcbench -exp drift
 
 # bench-json records a machine-readable harness run for before/after
 # comparisons.
@@ -81,6 +82,18 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSnapshot$$' -fuzztime $(FUZZTIME) ./internal/persist
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeIndexSnapshot$$' -fuzztime $(FUZZTIME) ./internal/persist
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/wire
+
+# examples builds and runs every directory under examples/ — each one is
+# self-verifying and exits non-zero when the behavior it demonstrates
+# does not hold (scripts/examples_smoke.sh).
+examples:
+	./scripts/examples_smoke.sh
+
+# docs-check verifies every relative markdown link in README.md, docs/,
+# ROADMAP.md, and CHANGES.md points at a file that exists, including
+# #anchors into headings. Pure shell+awk; no network, nothing installed.
+docs-check:
+	./scripts/docs_check.sh
 
 # serve runs the dpcd clustering daemon on a bundled dataset; see the
 # README "Serving: dpcd" section for the API and a curl session. Add

@@ -11,11 +11,13 @@
 //	GET  /v1/datasets                []DatasetInfo
 //	GET  /v1/datasets/{name}         DatasetInfo
 //	PUT  /v1/datasets/{name}         raw CSV / binary / frame body -> DatasetInfo
+//	POST /v1/points                  AppendRequest -> AppendResponse (sliding-window append)
 //	POST /v1/fit                     FitRequest -> FitResponse
 //	POST /v1/assign                  AssignRequest -> AssignResponse
 //	POST /v1/assign/stream           FitRequest header + point lines -> StreamRecord lines
 //	GET  /v1/decision-graph          DecisionGraphResponse
 //	POST /v1/sweep                   SweepRequest -> SweepResponse
+//	GET  /v1/drift                   DriftResponse (per-model drift trackers)
 //	GET  /v1/stats                   Stats (single instance) or RingStats (ring mode)
 //	GET  /v1/ring                    RingInfo
 //	POST /v1/ring                    RingUpdateRequest -> RingUpdateResponse
@@ -101,6 +103,85 @@ type DatasetInfo struct {
 	N         int    `json:"n"`
 	Dim       int    `json:"dim"`
 	Precision string `json:"precision,omitempty"`
+}
+
+// AppendRequest is the body of POST /v1/points: points to append to a
+// registered dataset's sliding window. The rows must match the
+// dataset's dimensionality and contain no NaN/Inf.
+type AppendRequest struct {
+	Dataset string      `json:"dataset"`
+	Points  [][]float64 `json:"points"`
+}
+
+// AppendResponse reports one sliding-window append: the dataset's new
+// size and version, how many submitted points landed, how many old (or
+// over-window submitted) points expired, and whether the density index
+// was maintained incrementally (false also covers "no index resident").
+type AppendResponse struct {
+	Dataset      string `json:"dataset"`
+	N            int    `json:"n"`
+	Dim          int    `json:"dim"`
+	Precision    string `json:"precision,omitempty"`
+	Version      uint64 `json:"version"`
+	Appended     int    `json:"appended"`
+	Expired      int    `json:"expired"`
+	IndexUpdated bool   `json:"index_updated"`
+}
+
+// DriftReference is the fit-time distribution a drift tracker scores
+// against: exact quantiles of the training points' distance to their
+// assigned cluster centers, and the training halo (noise) rate.
+type DriftReference struct {
+	Q50      float64 `json:"q50"`
+	Q90      float64 `json:"q90"`
+	HaloRate float64 `json:"halo_rate"`
+	N        int     `json:"n"`
+}
+
+// DriftWindow summarizes one closed observation window of a tracker.
+type DriftWindow struct {
+	Count    int64   `json:"count"`
+	Halo     int64   `json:"halo"`
+	HaloRate float64 `json:"halo_rate"`
+	Q50      float64 `json:"q50"`
+	Q90      float64 `json:"q90"`
+	Score    float64 `json:"score"`
+}
+
+// DriftStatus is the measurement half of one tracked model: lifetime
+// counts, the latest window's quantiles/halo rate/score, whether the
+// tracker has tripped, the reference, and recent window history.
+type DriftStatus struct {
+	Observed  int64          `json:"observed"`
+	Halo      int64          `json:"halo"`
+	HaloRate  float64        `json:"halo_rate"`
+	Q50       float64        `json:"q50"`
+	Q90       float64        `json:"q90"`
+	Score     float64        `json:"score"`
+	Tripped   bool           `json:"tripped"`
+	Reference DriftReference `json:"reference"`
+	Windows   []DriftWindow  `json:"windows,omitempty"`
+}
+
+// DriftModel is one tracked serving lineage of GET /v1/drift: which
+// model (algorithm + params), the dataset version it currently serves,
+// whether a background refit is in flight, and its tracker status (nil
+// before any tracked assign traffic).
+type DriftModel struct {
+	Algorithm string       `json:"algorithm"`
+	Params    Params       `json:"params"`
+	Version   uint64       `json:"version"`
+	Refitting bool         `json:"refitting"`
+	Status    *DriftStatus `json:"status,omitempty"`
+}
+
+// DriftResponse is the body of GET /v1/drift?dataset=…(&algorithm=…).
+// Enabled is false when the daemon runs with drift tracking off; Models
+// lists the tracked lineages of the dataset, sorted by algorithm.
+type DriftResponse struct {
+	Dataset string       `json:"dataset"`
+	Enabled bool         `json:"enabled"`
+	Models  []DriftModel `json:"models"`
 }
 
 // StreamSummary is the trailing record of a successful label stream.
@@ -255,6 +336,22 @@ type Stats struct {
 	// from both the restored counters (disk) and cache misses (refits).
 	DatasetsReplicated int64 `json:"datasets_replicated"`
 	ModelsReplicated   int64 `json:"models_replicated"`
+	// DriftModels is how many serving lineages carry a live drift
+	// tracker and DriftScore the worst current score among them;
+	// DriftTrips counts tracker trips, DriftRefits the background refits
+	// that landed, and DriftStaleServes the assigns answered by a
+	// previous-version model while awaiting a trip or refit.
+	DriftModels      int     `json:"drift_models"`
+	DriftScore       float64 `json:"drift_score"`
+	DriftTrips       int64   `json:"drift_trips"`
+	DriftRefits      int64   `json:"drift_refits"`
+	DriftStaleServes int64   `json:"drift_stale_serves"`
+	// PointsAppended and PointsExpired count sliding-window mutations
+	// (POST /v1/points); IndexUpdates counts the density-index
+	// maintenances done incrementally instead of by full rebuild.
+	PointsAppended int64 `json:"points_appended"`
+	PointsExpired  int64 `json:"points_expired"`
+	IndexUpdates   int64 `json:"index_updates"`
 }
 
 // ReconcileStats reports one ring-rebalance pass over resident state.
@@ -354,4 +451,14 @@ func (s *Stats) Accumulate(o Stats) {
 	s.PersistErrors += o.PersistErrors
 	s.DatasetsReplicated += o.DatasetsReplicated
 	s.ModelsReplicated += o.ModelsReplicated
+	s.DriftModels += o.DriftModels
+	if o.DriftScore > s.DriftScore {
+		s.DriftScore = o.DriftScore
+	}
+	s.DriftTrips += o.DriftTrips
+	s.DriftRefits += o.DriftRefits
+	s.DriftStaleServes += o.DriftStaleServes
+	s.PointsAppended += o.PointsAppended
+	s.PointsExpired += o.PointsExpired
+	s.IndexUpdates += o.IndexUpdates
 }

@@ -78,6 +78,7 @@ type APIError struct {
 	Message string // human-readable message
 }
 
+// Error satisfies the error interface with the status and message.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
 }

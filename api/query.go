@@ -65,6 +65,19 @@ func (q *DecisionGraphQuery) bindQuery(b *queryBinder) {
 	b.intMin("limit", &q.Limit, 0)
 }
 
+// DriftQuery is the query string of GET /v1/drift: the dataset whose
+// tracked models to report, and optionally a single algorithm to
+// filter to.
+type DriftQuery struct {
+	Dataset   string
+	Algorithm string
+}
+
+func (q *DriftQuery) bindQuery(b *queryBinder) {
+	b.require("dataset", &q.Dataset)
+	q.Algorithm = b.v.Get("algorithm")
+}
+
 // StreamQuery is the query string of POST /v1/assign/stream. Chunk > 0
 // asks for at most that many points per label record — smaller chunks
 // mean earlier first results on slow streams; the server clamps the

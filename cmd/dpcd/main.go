@@ -27,10 +27,19 @@
 // warm-loads instead of refits. With -heartbeat > 0 membership heals
 // itself: each instance probes its peers, walks them through a
 // suspect→dead state machine, and evicts dead shards from its live ring
-// (promoting their keys' replicas) without any manual POST /v1/ring. See
-// the README "Serving: dpcd" section for the JSON API, the on-disk
-// layout, and recovery semantics, "Multi-instance dpcd" for ring
-// deployment, and "Replication & failover" for rf semantics.
+// (promoting their keys' replicas) without any manual POST /v1/ring.
+//
+// Drift tracking is on by default: every assign also feeds a per-model
+// drift tracker (distance-to-center quantiles and halo rate against the
+// fit-time reference, O(1) per point), and when a tracker trips the
+// daemon refits in the background while the old model keeps serving —
+// the swap is one atomic pointer exchange, and in ring mode only the
+// key's primary refits, shipping the new model to replicas. POST
+// /v1/points appends to a dataset and, with -window, expires its oldest
+// rows, maintaining the density index incrementally. See docs/api.md
+// for the endpoint reference and docs/operations.md for flag tuning,
+// the on-disk layout, recovery semantics, ring deployment, and the
+// drift-refit runbook.
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"time"
 
 	"repro/datasets"
+	"repro/internal/drift"
 	"repro/internal/health"
 	"repro/internal/persist"
 	"repro/internal/ring"
@@ -73,6 +83,13 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "peer health-probe interval; > 0 enables automatic membership (dead shards evicted, recovered shards re-added, no manual POST /v1/ring needed)")
 		hbTimeout   = flag.Duration("heartbeat-timeout", 0, "per-probe timeout (0 = the -heartbeat interval)")
 		deadAfter   = flag.Int("dead-after", 3, "consecutive failed probes before a peer is evicted from the live ring")
+		window      = flag.Int64("window", 0, "sliding-window size: POST /v1/points expires the oldest rows past this many (0 = unbounded, appends only grow)")
+		driftOn     = flag.Bool("drift", true, "track per-model assign drift and refit in the background when it trips")
+		driftScore  = flag.Float64("drift-score-threshold", 0.25, "relative q50/q90 shift against the fit-time reference that trips a refit (0 disables the score trip)")
+		driftHalo   = flag.Float64("drift-halo-threshold", 0.5, "window halo (noise-label) rate that trips a refit (0 disables the halo trip)")
+		driftWindow = flag.Int("drift-window", 0, "assign observations per drift window (0 = 4096)")
+		driftMinPts = flag.Int64("drift-min-points", 0, "observations required before any trip (0 = 2x the drift window)")
+		driftCool   = flag.Duration("drift-cooldown", 0, "minimum time between background refits of one model (0 = 30s)")
 	)
 	flag.Parse()
 
@@ -97,9 +114,20 @@ func main() {
 	}
 	// In ring mode the warm load is filtered to owned keys; snapshots for
 	// keys owned elsewhere stay on disk, ready for a later rebalance.
+	var driftCfg *drift.Config
+	if *driftOn {
+		driftCfg = &drift.Config{
+			WindowPoints:   *driftWindow,
+			MinPoints:      *driftMinPts,
+			ScoreThreshold: *driftScore,
+			HaloThreshold:  *driftHalo,
+			Cooldown:       *driftCool,
+		}
+	}
 	svc := service.New(service.Options{
 		CacheSize: *cache, Workers: *workers, Store: store, Owns: owns,
 		StreamChunk: *streamChunk, MaxStreams: *maxStreams, MaxStreamPoints: *maxStreamPt,
+		Drift: driftCfg, Window: *window,
 	})
 	if store != nil {
 		st := svc.Stats()

@@ -45,6 +45,9 @@ type Config struct {
 	// SimdJSON, when non-empty, is where the simd experiment writes its
 	// machine-readable BENCH_simd_kernels.json record.
 	SimdJSON string
+	// DriftJSON, when non-empty, is where the drift experiment writes
+	// its machine-readable BENCH_drift.json record.
+	DriftJSON string
 	// Precision selects the dataset storage precision for the simd
 	// experiment's timed legs: api.PrecisionF32 or api.PrecisionF64
 	// (empty means f64).

@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"wire", "Binary frame codec vs JSON on the assign wire path", Config.Wire},
 		{"sweep", "Parameter sweep: one density index vs K fresh fits", Config.ParamSweep},
 		{"simd", "SIMD kernel vs scalar and parallel vs serial fit", Config.Simd},
+		{"drift", "Drift-tracking assign overhead and background refit swap", Config.Drift},
 	}
 }
 

@@ -1,0 +1,157 @@
+package densindex
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/partition"
+)
+
+// Update derives the index of a slid window from the index of the
+// previous one: ds must be the indexed dataset with its first expired
+// rows removed and appended new rows added at the end (the service's
+// sliding-window append). Surviving pairs keep their stored squared
+// distances — filtered and id-shifted, never recomputed — and only
+// pairs involving an appended point are searched, against a kd-tree
+// over the appended rows alone. The result is byte-identical to
+// Build(ds, ...) at the same ceiling: rows are (sq, id)-sorted, the
+// distance kernel is deterministic per point pair, and squared
+// distance is exactly symmetric per dimension, so reusing a stored
+// value or its mirror cannot change a single bit.
+//
+// Cost is O(E) filtering plus one range query per point against the
+// appended-only tree — proportional to the mutation, not the dataset,
+// when appends are small. The same ErrTooDense budget applies as in
+// Build.
+func Update(x *Index, ds *geom.Dataset, expired, appended, workers int, maxEdges int64) (*Index, error) {
+	if x == nil {
+		return nil, fmt.Errorf("densindex: update of a nil index")
+	}
+	if ds == nil || ds.N == 0 {
+		return nil, fmt.Errorf("densindex: empty dataset")
+	}
+	if ds.Dim != x.ds.Dim {
+		return nil, fmt.Errorf("densindex: update dimension %d, index has %d", ds.Dim, x.ds.Dim)
+	}
+	if expired < 0 || expired > x.ds.N || appended < 0 {
+		return nil, fmt.Errorf("densindex: update expiring %d of %d points, appending %d", expired, x.ds.N, appended)
+	}
+	base := x.ds.N - expired // surviving old points keep order at ids [0, base)
+	n := ds.N
+	if n != base+appended {
+		return nil, fmt.Errorf("densindex: update dataset has %d points, want %d survivors + %d appended", n, base, appended)
+	}
+	workers = core.Params{Workers: workers}.WorkerCount()
+
+	// fresh[i] holds point i's edges to appended points, (sq, id)-sorted,
+	// from range queries against a tree over the appended ids only. The
+	// tree indexes the full new dataset, so reported ids are global and
+	// the accepted distances are the same full dimension-order
+	// accumulations a whole-dataset build would store.
+	fresh := make([][]edge, n)
+	if appended > 0 {
+		ids := make([]int32, appended)
+		for j := range ids {
+			ids[j] = int32(base + j)
+		}
+		tree := kdtree.Build(ds, ids)
+		partition.DynamicChunked(n, workers, 4, func(i int) {
+			var row []edge
+			tree.RangeSearch(ds.At(i), x.dcMax, func(id int32, d float64) {
+				if int(id) == i {
+					return
+				}
+				row = append(row, edge{sq: d, id: id})
+			})
+			sortEdges(row)
+			fresh[i] = row
+		})
+	}
+
+	// inv[j] mirrors the survivor->appended edges onto the appended
+	// points' rows: the reverse pair has the exact same squared distance,
+	// so no second query is needed for the survivor side.
+	inv := make([][]edge, appended)
+	for i := 0; i < base; i++ {
+		for _, e := range fresh[i] {
+			j := int(e.id) - base
+			inv[j] = append(inv[j], edge{sq: e.sq, id: int32(i)})
+		}
+	}
+	partition.DynamicChunked(appended, workers, 8, func(j int) {
+		sortEdges(inv[j])
+	})
+
+	// Count pass: survivors keep their old edges minus the expired ones;
+	// everyone gains their fresh appended-side edges.
+	counts := make([]int64, n)
+	partition.DynamicChunked(n, workers, 8, func(i int) {
+		if i < base {
+			oi := i + expired
+			kept := int64(0)
+			for e := x.start[oi]; e < x.start[oi+1]; e++ {
+				if int(x.ids[e]) >= expired {
+					kept++
+				}
+			}
+			counts[i] = kept + int64(len(fresh[i]))
+			return
+		}
+		counts[i] = int64(len(inv[i-base]) + len(fresh[i]))
+	})
+	start := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		start[i+1] = start[i] + counts[i]
+	}
+	total := start[n]
+	if maxEdges > 0 && total > maxEdges {
+		return nil, fmt.Errorf("%w: %d entries at dcut<=%g after update, budget %d — lower the index ceiling or raise the edge budget",
+			ErrTooDense, total, x.dcMax, maxEdges)
+	}
+
+	nx := &Index{
+		ds: ds, dcMax: x.dcMax,
+		start: start,
+		ids:   make([]int32, total),
+		sq:    make([]float64, total),
+	}
+	// Fill pass: merge each point's two sorted streams. Surviving edges
+	// keep their relative (sq, id) order under the uniform id shift, and
+	// fresh/inverted edges sit entirely in the appended/survivor id range
+	// respectively, so a plain two-cursor merge lands the exact layout a
+	// fresh build would sort into.
+	partition.DynamicChunked(n, workers, 4, func(i int) {
+		w := start[i]
+		f := fresh[i]
+		fi := 0
+		emit := func(e edge) {
+			nx.ids[w], nx.sq[w] = e.id, e.sq
+			w++
+		}
+		merge := func(oe edge) {
+			for fi < len(f) && edgeLess(f[fi], oe) {
+				emit(f[fi])
+				fi++
+			}
+			emit(oe)
+		}
+		if i < base {
+			oi := i + expired
+			for e := x.start[oi]; e < x.start[oi+1]; e++ {
+				if id := x.ids[e]; int(id) >= expired {
+					merge(edge{sq: x.sq[e], id: id - int32(expired)})
+				}
+			}
+		} else {
+			for _, oe := range inv[i-base] {
+				merge(oe)
+			}
+		}
+		for ; fi < len(f); fi++ {
+			emit(f[fi])
+		}
+	})
+	return nx, nil
+}

@@ -1,0 +1,125 @@
+package densindex
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/geom"
+)
+
+// sameIndex requires bit-exact equality of two indexes' persistable
+// parts — the update contract is byte-identity with a fresh build, the
+// same bar the index itself holds against fresh fits.
+func sameIndex(t *testing.T, got, want *Index) {
+	t.Helper()
+	gd, gs, gi, gq := got.Parts()
+	wd, ws, wi, wq := want.Parts()
+	if gd != wd {
+		t.Fatalf("dcMax = %g, want %g", gd, wd)
+	}
+	if len(gs) != len(ws) {
+		t.Fatalf("start: length %d, want %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("start[%d] = %d, want %d", i, gs[i], ws[i])
+		}
+	}
+	sameInt32(t, "ids", gi, wi)
+	sameBits(t, "sq", gq, wq)
+}
+
+// window cuts a zero-copy row window [lo, hi) out of a backing dataset,
+// at the backing dataset's precision.
+func window(full *geom.Dataset, lo, hi int) *geom.Dataset {
+	if full.Float32() {
+		return geom.NewDataset32(full.Coords32[lo*full.Dim:hi*full.Dim], full.Dim)
+	}
+	return geom.NewDataset(full.Coords[lo*full.Dim:hi*full.Dim], full.Dim)
+}
+
+// TestUpdateMatchesBuild slides a window over a backing dataset in
+// several shapes — append only, expire only, mixed, expire-all — and
+// requires Update's output to be byte-identical to a fresh Build of the
+// slid window, at both storage precisions.
+func TestUpdateMatchesBuild(t *testing.T) {
+	const oldN = 900
+	backing := data.SSet(2, 1500, 7).Points
+	cases := []struct{ expired, appended int }{
+		{0, 200},
+		{200, 0},
+		{150, 250},
+		{oldN, 300}, // expire-all: nothing survives, pure rebuild of the appends
+		{1, 1},
+	}
+	for _, f32 := range []bool{false, true} {
+		full := backing
+		if f32 {
+			full = full.ToFloat32()
+		}
+		old := window(full, 0, oldN)
+		oldIdx, err := Build(old, dcCeiling, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("f32=%v/expire%d_append%d", f32, c.expired, c.appended), func(t *testing.T) {
+				nds := window(full, c.expired, oldN+c.appended)
+				got, err := Update(oldIdx, nds, c.expired, c.appended, 4, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Build(nds, dcCeiling, 4, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameIndex(t, got, want)
+			})
+		}
+	}
+}
+
+// TestUpdateEdgeBudget requires the update to honor Build's edge budget
+// with the same sentinel error.
+func TestUpdateEdgeBudget(t *testing.T) {
+	full := data.SSet(2, 1200, 3).Points
+	old := window(full, 0, 900)
+	idx, err := Build(old, dcCeiling, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nds := window(full, 0, 1200)
+	if _, err := Update(idx, nds, 0, 300, 4, 8); !errors.Is(err, ErrTooDense) {
+		t.Fatalf("tiny budget: err = %v, want ErrTooDense", err)
+	}
+}
+
+// TestUpdateValidation covers the shape errors: dimension mismatch,
+// negative/oversized expiry, and a dataset that doesn't frame the
+// mutation.
+func TestUpdateValidation(t *testing.T) {
+	full := data.SSet(2, 1000, 5).Points
+	old := window(full, 0, 800)
+	idx, err := Build(old, dcCeiling, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Update(idx, window(full, 0, 900), 0, 50, 4, 0); err == nil {
+		t.Fatal("mismatched point count accepted")
+	}
+	if _, err := Update(idx, window(full, 0, 800), -1, 1, 4, 0); err == nil {
+		t.Fatal("negative expiry accepted")
+	}
+	if _, err := Update(idx, window(full, 0, 800), 801, 1, 4, 0); err == nil {
+		t.Fatal("expiry beyond the window accepted")
+	}
+	bad := geom.NewDataset(make([]float64, 800*3), 3)
+	if _, err := Update(idx, bad, 0, 0, 4, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := Update(nil, old, 0, 0, 4, 0); err == nil {
+		t.Fatal("nil index accepted")
+	}
+}

@@ -224,6 +224,27 @@ func (c *Client) PutDatasetPrecision(name, format, precision string, body []byte
 	return info, err
 }
 
+// AppendPoints appends points to a registered dataset's sliding window
+// (POST /v1/points): the points land at the end, the oldest rows past
+// the server's -window expire, and the dataset version advances.
+func (c *Client) AppendPoints(req api.AppendRequest) (api.AppendResponse, error) {
+	var out api.AppendResponse
+	err := c.call(http.MethodPost, "/v1/points", "application/json", marshal(req), false, &out)
+	return out, err
+}
+
+// Drift fetches the drift trackers of a dataset's served models (GET
+// /v1/drift), optionally filtered to one algorithm.
+func (c *Client) Drift(dataset, algorithm string) (api.DriftResponse, error) {
+	path := "/v1/drift?dataset=" + url.QueryEscape(dataset)
+	if algorithm != "" {
+		path += "&algorithm=" + url.QueryEscape(algorithm)
+	}
+	var out api.DriftResponse
+	err := c.call(http.MethodGet, path, "", nil, false, &out)
+	return out, err
+}
+
 // Fit requests (or fetches the cached) model for the triple in req.
 func (c *Client) Fit(req api.FitRequest) (api.FitResponse, error) {
 	var out api.FitResponse

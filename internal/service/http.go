@@ -67,11 +67,13 @@ const maxSweepSettings = 256
 //	GET  /v1/datasets          list registered datasets
 //	PUT  /v1/datasets/{name}   upload CSV (?format=binary DPC1, ?format=frame) body
 //	GET  /v1/datasets/{name}   one dataset's info
+//	POST /v1/points            append to a dataset's sliding window
 //	POST /v1/fit               fit (or fetch cached) model
 //	POST /v1/assign            fit if needed, then label a point batch
 //	POST /v1/assign/stream     chunked: label an unbounded stream
 //	GET  /v1/decision-graph    (rho, delta) pairs for interactive tuning
 //	POST /v1/sweep             re-cut many parameter settings in one call
+//	GET  /v1/drift             per-model drift trackers and refit state
 //	GET  /v1/stats             cache and request counters
 //
 // /v1/assign and /v1/assign/stream speak JSON/NDJSON by default and the
@@ -146,6 +148,24 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusCreated, info)
 	})
 
+	mux.HandleFunc("POST /v1/points", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AppendRequest
+		if !decodeJSON(w, r, &req, maxAssignBytes) {
+			return
+		}
+		if len(req.Points) > maxAssignPoints {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("append of %d points exceeds the %d limit; split the request", len(req.Points), maxAssignPoints))
+			return
+		}
+		resp, err := s.AppendPoints(req.Dataset, req.Points)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
 	mux.HandleFunc("POST /v1/fit", func(w http.ResponseWriter, r *http.Request) {
 		var req api.FitRequest
 		if !decodeJSON(w, r, &req, maxFitBytes) {
@@ -202,6 +222,20 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		resp, err := s.Sweep(req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /v1/drift", func(w http.ResponseWriter, r *http.Request) {
+		var q api.DriftQuery
+		if err := api.ParseQuery(r.URL.Query(), &q); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp, err := s.Drift(q.Dataset, q.Algorithm)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return

@@ -117,6 +117,16 @@ func NewRouter(local *Service, self string, peers []string, opts RouterOptions) 
 	if _, err := rt.SetMembers(peers); err != nil {
 		return nil, err
 	}
+	// Ring-mode drift coordination: only a key's primary runs background
+	// refits, and a landed refit ships to the replicas immediately — so a
+	// replica's lineage swaps models by warm-load, never by refitting.
+	local.SetDriftHooks(
+		func(name string) bool {
+			owners := rt.owners(name)
+			return len(owners) == 0 || owners[0] == rt.self
+		},
+		rt.replicateDataset,
+	)
 	return rt, nil
 }
 
@@ -600,6 +610,10 @@ func (rt *Router) Handler() http.Handler {
 	}
 	mux.HandleFunc("POST /v1/fit", routeByBody(maxFitBytes, "/v1/fit", true))
 	mux.HandleFunc("POST /v1/assign", routeByBody(maxAssignBytes, "/v1/assign", false))
+	// Sliding-window appends are writes: the primary applies the append,
+	// advances the version, and ships the new dataset snapshot to the
+	// replicas before the response is released (serveWriteLocally).
+	mux.HandleFunc("POST /v1/points", routeByBody(maxAssignBytes, "/v1/points", true))
 
 	// The streaming assign is the one route that must NOT buffer: only
 	// the header line (or header frame) is read here, for the ring key;
@@ -722,6 +736,24 @@ func (rt *Router) Handler() http.Handler {
 			return
 		}
 		rt.relaySeq(w, r, owners[:1], http.MethodPost, "/v1/sweep", body)
+	})
+
+	// Drift trackers live where the assign traffic lands, and refits run
+	// only on the primary — so the primary's answer is the authoritative
+	// one. Pinned like decision-graph: no failover to replicas that hold
+	// an idle (empty) tracker.
+	mux.HandleFunc("GET /v1/drift", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("dataset")
+		owners := rt.owners(name)
+		if name == "" || r.Header.Get(forwardedHeader) != "" || len(owners) == 0 || owners[0] == rt.self {
+			rt.localH.ServeHTTP(w, r)
+			return
+		}
+		path := "/v1/drift"
+		if q := r.URL.RawQuery; q != "" {
+			path += "?" + q
+		}
+		rt.relaySeq(w, r, owners[:1], http.MethodGet, path, nil)
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -1113,7 +1145,11 @@ func (rt *Router) allDatasets() []api.DatasetInfo {
 	)
 	for _, p := range peers {
 		if p == rt.self {
+			// Under mu too: goroutines spawned for earlier peers may
+			// already be appending.
+			mu.Lock()
 			all = append(all, rt.local.Datasets()...)
+			mu.Unlock()
 			continue
 		}
 		wg.Add(1)

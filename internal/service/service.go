@@ -18,6 +18,7 @@ import (
 	"repro/api"
 	"repro/internal/core"
 	"repro/internal/densindex"
+	"repro/internal/drift"
 	"repro/internal/geom"
 	"repro/internal/persist"
 )
@@ -60,6 +61,15 @@ type Options struct {
 	// decision-graph or sweep request whose d_cut would exceed the budget
 	// fails with a clear error instead of exhausting memory.
 	IndexMaxEdges int64
+	// Drift, when non-nil, enables assign-path drift tracking and
+	// trip-triggered background refits with atomic model swap (see
+	// internal/service/drift.go). Nil keeps the pre-drift behavior and
+	// its zero per-point overhead.
+	Drift *drift.Config
+	// Window caps a dataset's point count across POST /v1/points
+	// appends: once an append would exceed it, the oldest points expire
+	// (sliding window). <= 0 means unbounded.
+	Window int64
 }
 
 func (o Options) cacheSize() int {
@@ -130,6 +140,20 @@ type Service struct {
 	indexBuilds     atomic.Int64
 	indexCuts       atomic.Int64
 	indexesRestored atomic.Int64
+
+	// Drift subsystem (see drift.go): per-lineage serving state keyed by
+	// (dataset, algorithm, params) — deliberately not version — plus the
+	// ring hooks and the append/expiry counters.
+	driftMu          sync.Mutex
+	drifts           map[driftKey]*driftState
+	driftPrimary     func(dataset string) bool
+	onDriftRefit     func(dataset string)
+	driftTrips       atomic.Int64
+	driftRefits      atomic.Int64
+	driftStaleServes atomic.Int64
+	pointsAppended   atomic.Int64
+	pointsExpired    atomic.Int64
+	indexUpdates     atomic.Int64
 }
 
 type datasetEntry struct {
@@ -157,6 +181,7 @@ func New(opts Options) *Service {
 		datasets:  make(map[string]*datasetEntry),
 		cache:     newModelCache(opts.cacheSize()),
 		indexes:   make(map[string]*indexEntry),
+		drifts:    make(map[driftKey]*driftState),
 		streamSem: make(chan struct{}, opts.maxStreams()),
 	}
 	if opts.Store != nil {
@@ -410,6 +435,7 @@ func (s *Service) Reconcile(owns func(dataset string) bool) api.ReconcileStats {
 	for _, name := range gone {
 		s.cache.purgeStale(name, 0)
 		s.dropIndex(name)
+		s.dropDriftStates(name)
 	}
 	st.DatasetsEvicted = len(gone)
 	if s.store == nil {
@@ -513,6 +539,11 @@ func (s *Service) PutDataset(name string, ds *geom.Dataset) (api.DatasetInfo, er
 		s.cache.purgeStale(name, version)
 		// The replaced points' index must never re-cut for the new name.
 		s.dropIndex(name)
+		// A wholesale replacement also retires the drift lineages: the old
+		// model is meaningless for the new points, so the next assign fits
+		// fresh instead of stale-serving it. (Appends keep their lineages —
+		// that continuity is the sliding-window feature.)
+		s.dropDriftStates(name)
 	}
 	if s.store != nil {
 		// SaveDataset also drops the replaced version's snapshots — the
@@ -650,14 +681,16 @@ func (s *Service) cutModel(idx *densindex.Index, algorithm string, ds *geom.Data
 
 // Assign labels a batch of points against the model for (dataset,
 // algorithm, params), fitting it first if needed. It returns the labels
-// and whether the model came from the cache.
+// and whether the model came from the cache. With drift enabled the
+// model may be a pinned previous-version model while a background refit
+// runs (see serveFit), and the batch feeds the lineage's drift tracker.
 func (s *Service) Assign(dataset, algorithm string, p core.Params, pts [][]float64) ([]int32, FitResult, error) {
-	fr, err := s.Fit(dataset, algorithm, p)
+	fr, obs, err := s.serveFit(dataset, algorithm, p)
 	if err != nil {
 		return nil, FitResult{}, err
 	}
 	s.assignRequests.Add(1)
-	labels, err := s.assignChunk(fr.Model, pts)
+	labels, err := s.assignChunk(fr.Model, obs, pts)
 	if err != nil {
 		return nil, FitResult{}, err
 	}
@@ -666,13 +699,40 @@ func (s *Service) Assign(dataset, algorithm string, p core.Params, pts [][]float
 
 // assignChunk is the labeling core shared by the batch path (one chunk =
 // the whole batch) and the streaming path (one chunk per response
-// record): a parallel AssignAll plus the points counter.
-func (s *Service) assignChunk(m *core.Model, pts [][]float64) ([]int32, error) {
+// record): a parallel AssignAll plus the points counter. A non-nil obs
+// adds drift observation — an exact halo count off the labels, one
+// O(dim) center distance every Config.SampleEvery points for the
+// quantile sketch, one tracker lock per chunk — and kicks the
+// background refit when this chunk trips the tracker.
+func (s *Service) assignChunk(m *core.Model, obs *driftObs, pts [][]float64) ([]int32, error) {
+	if obs == nil || obs.tracker == nil {
+		labels, err := m.AssignAll(pts, s.opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		s.pointsAssigned.Add(int64(len(pts)))
+		return labels, nil
+	}
 	labels, err := m.AssignAll(pts, s.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	s.pointsAssigned.Add(int64(len(pts)))
+	var halo int64
+	for _, l := range labels {
+		if l == core.NoCluster {
+			halo++
+		}
+	}
+	stride := s.opts.Drift.SampleStride()
+	samples := make([]float64, 0, len(pts)/stride+1)
+	for i := 0; i < len(pts); i += stride {
+		samples = append(samples, m.CenterDist(pts[i], labels[i]))
+	}
+	if obs.tracker.ObserveSampled(int64(len(pts)), halo, samples) {
+		s.driftTrips.Add(1)
+		s.kickRefit(obs.st, obs.tracker)
+	}
 	return labels, nil
 }
 
@@ -710,7 +770,15 @@ func (s *Service) Stats() api.Stats {
 
 		DatasetsReplicated: s.datasetsReplicated.Load(),
 		ModelsReplicated:   s.modelsReplicated.Load(),
+
+		DriftTrips:       s.driftTrips.Load(),
+		DriftRefits:      s.driftRefits.Load(),
+		DriftStaleServes: s.driftStaleServes.Load(),
+		PointsAppended:   s.pointsAppended.Load(),
+		PointsExpired:    s.pointsExpired.Load(),
+		IndexUpdates:     s.indexUpdates.Load(),
 	}
+	st.DriftScore, st.DriftModels = s.driftScore()
 	if total := hits + misses; total > 0 {
 		st.HitRate = float64(hits) / float64(total)
 	}
@@ -900,6 +968,30 @@ func (c *modelCache) getOrFit(key modelKey, countMiss bool, fit func() (*core.Mo
 		c.mu.Unlock()
 	}
 	return e.model, false, e.err
+}
+
+// peekReady returns the completed model for key without blocking on an
+// in-flight fit and without touching the hit/miss counters (callers
+// that adopt the peek account for it themselves). A successful peek
+// still refreshes LRU recency.
+func (c *modelCache) peekReady(key modelKey) (*core.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	select {
+	case <-e.ready:
+	default:
+		return nil, false
+	}
+	if e.err != nil || e.model == nil {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return e.model, true
 }
 
 // put inserts an already-fitted model — a snapshot restore — as a

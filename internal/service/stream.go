@@ -179,7 +179,7 @@ func (s *Service) releaseStream() { <-s.streamSem }
 // Memory is bounded by the chunk size regardless of stream length. The
 // stream counts against Options.MaxStreams and MaxStreamPoints.
 func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
-	fr, err := s.Fit(dataset, algorithm, p)
+	fr, obs, err := s.serveFit(dataset, algorithm, p)
 	if err != nil {
 		return api.StreamSummary{}, err
 	}
@@ -187,7 +187,7 @@ func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next fu
 		return api.StreamSummary{}, errTooManyStreams
 	}
 	defer s.releaseStream()
-	return s.assignStream(fr, 0, next, emit)
+	return s.assignStream(fr, obs, 0, next, emit)
 }
 
 // assignStream is the chunked labeling loop shared by AssignStream and
@@ -195,7 +195,11 @@ func (s *Service) AssignStream(dataset, algorithm string, p core.Params, next fu
 // keep their HTTP statuses). chunkSize > 0 lowers the label-chunk size
 // below the configured default (the ?chunk= request knob); it can never
 // raise it, so the server's memory bound holds regardless of input.
-func (s *Service) assignStream(fr FitResult, chunkSize int, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
+// fr and obs are captured once at stream start: a drift refit that
+// swaps the served model mid-stream does not affect this stream — it
+// finishes on the model it started with, observing into the tracker
+// paired with that model.
+func (s *Service) assignStream(fr FitResult, obs *driftObs, chunkSize int, next func() ([]float64, error), emit func([]int32) error) (api.StreamSummary, error) {
 	s.assignRequests.Add(1)
 	sum := api.StreamSummary{Clusters: fr.Model.NumClusters(), CacheHit: fr.CacheHit}
 	dim := fr.Model.Dim()
@@ -208,7 +212,7 @@ func (s *Service) assignStream(fr FitResult, chunkSize int, next func() ([]float
 		if len(chunk) == 0 {
 			return nil
 		}
-		labels, err := s.assignChunk(fr.Model, chunk)
+		labels, err := s.assignChunk(fr.Model, obs, chunk)
 		if err != nil {
 			return err
 		}
@@ -400,7 +404,7 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 			}
 			next = ndjsonNext(br)
 		}
-		fr, err := s.Fit(req.Dataset, req.Algorithm, coreParams(req.Params))
+		fr, obs, err := s.serveFit(req.Dataset, req.Algorithm, coreParams(req.Params))
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -430,7 +434,7 @@ func handleAssignStream(s *Service) http.HandlerFunc {
 		// the status before it commits to streaming the whole body.
 		flushResponse(out)
 
-		sum, err := s.assignStream(fr, sq.Chunk, next, emitter.labels)
+		sum, err := s.assignStream(fr, obs, sq.Chunk, next, emitter.labels)
 		if err != nil {
 			emitter.terminalError(err)
 			return

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Markdown link check for the committed docs: every relative link in the
+# top-level markdown files and docs/ must point at a file that exists,
+# and every #anchor must match a heading in the target file (GitHub
+# slug rules: lowercase, spaces to hyphens, punctuation dropped).
+# Pure shell + grep + sed — runs offline, installs nothing. External
+# http(s) links are not fetched; CI must stay hermetic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=(README.md ROADMAP.md CHANGES.md PAPER.md docs/*.md)
+
+# slug <heading text> -> github anchor slug
+slug() {
+    printf '%s' "$1" |
+        tr '[:upper:]' '[:lower:]' |
+        sed -e 's/`//g' -e 's/[^a-z0-9 _-]//g' -e 's/ /-/g'
+}
+
+# anchors <file> -> one slug per heading line (fenced code blocks skipped
+# so `# comment` lines in shell examples are not mistaken for headings)
+anchors() {
+    awk '/^```/ { fence = !fence; next } !fence && /^#+ / { sub(/^#+ /, ""); print }' "$1" |
+        while IFS= read -r h; do
+            slug "$h"
+            echo
+        done
+}
+
+fail=0
+for f in "${files[@]}"; do
+    [ -f "$f" ] || continue
+    dir=$(dirname "$f")
+    # Pull out every inline link target: [text](target). One per line;
+    # images and reference-style links are not used in this repo.
+    targets=$(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//' || true)
+    while IFS= read -r t; do
+        [ -n "$t" ] || continue
+        case "$t" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path=${t%%#*}
+        anchor=${t#*#}
+        [ "$anchor" = "$t" ] && anchor=""
+        if [ -z "$path" ]; then
+            target_file=$f # pure in-page anchor like (#verifying)
+        else
+            target_file=$dir/$path
+        fi
+        if [ ! -e "$target_file" ]; then
+            echo "$f: broken link: ($t) -> $target_file does not exist"
+            fail=1
+            continue
+        fi
+        if [ -n "$anchor" ] && [[ $target_file == *.md ]]; then
+            # No grep -q here: under pipefail its early exit would EPIPE
+            # the anchors writer and fail the pipeline on a *successful*
+            # match. Plain grep reads to EOF.
+            if ! anchors "$target_file" | grep -xF "$anchor" >/dev/null; then
+                echo "$f: broken anchor: ($t) -> no heading #$anchor in $target_file"
+                fail=1
+            fi
+        fi
+    done <<<"$targets"
+done
+
+if [ "$fail" = 0 ]; then
+    echo "docs-check: all relative links and anchors resolve"
+fi
+exit $fail

@@ -17,7 +17,14 @@
 #   4. waits for the heartbeat to evict the dead shard from the live
 #      ring — no manual POST /v1/ring anywhere — then asserts every key
 #      still answers byte-identically with cache hits and that the
-#      survivors performed zero refits through the whole ordeal.
+#      survivors performed zero refits through the whole ordeal;
+#   5. drift: slides a replicated key's window to a far-shifted cloud
+#      (POST /v1/points through a non-primary shard), pushes shifted
+#      traffic at the primary until the halo tracker trips, and asserts
+#      the background refit swaps in with zero failed requests, the
+#      replica receives the refitted model by snapshot shipping (warm
+#      load — its refit and miss counters must not move), and shifted
+#      points then label as clusters from both owners.
 #
 # Requirements: go, curl, jq. Run from anywhere; `make e2e` wraps it.
 # CHAOS_N overrides the chaos stream's point count (CI uses 4194304).
@@ -65,9 +72,12 @@ declare -A SHARD_PID=()
 PIDS+=($!)
 for i in 0 1 2; do
     port="${SHARD_PORTS[$i]}"
+    # -window 2000 bounds every dataset's sliding window at exactly the
+    # upload size, so the drift leg's full-cloud append expires every
+    # original row; drift tracking itself runs at the daemon defaults.
     "$TMP/dpcd" -addr "127.0.0.1:$port" -workers 2 \
         -self "http://127.0.0.1:$port" -peers "$PEERS" \
-        -rf 2 -heartbeat 250ms -dead-after 2 \
+        -rf 2 -heartbeat 250ms -dead-after 2 -window 2000 \
         -data-dir "$TMP/shard-$i" >"$TMP/shard-$i.log" 2>&1 &
     PIDS+=($!)
     SHARD_PID[$port]=$!
@@ -261,4 +271,107 @@ AGG="$(curl -fsS "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/stats")"
     '[.per_peer[] | select(.peer == $v)][0].unreachable' <<<"$AGG")" = "true" ] || \
     fail "aggregate after kill: victim not marked unreachable: $AGG"
 
-log "PASS: SIGKILL mid-stream -> zero failed assigns, zero refits, byte-identical labels; heartbeat healed the ring"
+log "SIGKILL mid-stream -> zero failed assigns, zero refits, byte-identical labels; heartbeat healed the ring"
+
+# --- drift: a tripped tracker refits in the background; replicas warm-load --
+# Runs on the healed 2-shard ring (rf=2 clamps to both survivors), after
+# the zero-refit assertions above so the deliberate drift refit cannot
+# contaminate them. The daemons run the default drift policy: 4096-point
+# windows, trips gated behind 8192 observations, halo trip at 50% noise.
+DKEY=e2e-drift
+curl -fsS -X PUT --data-binary "@$TMP/points.csv" \
+    "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/datasets/$DKEY" >/dev/null
+fit "${SURVIVOR_PORTS[0]}" "$DKEY"
+
+DRING="$(curl -fsS "http://127.0.0.1:${SURVIVOR_PORTS[0]}/v1/ring?key=$DKEY")"
+DPRIMARY="$(jq -r '.owners[0]' <<<"$DRING")"; DPRIMARY_PORT="${DPRIMARY##*:}"
+DREPLICA="$(jq -r '.owners[1]' <<<"$DRING")"; DREPLICA_PORT="${DREPLICA##*:}"
+[ "$DPRIMARY_PORT" != "$DREPLICA_PORT" ] || fail "drift key $DKEY not replicated across both survivors"
+
+local_stat() { # port, jq filter
+    curl -fsS -H 'X-Dpcd-Forwarded: 1' "http://127.0.0.1:$1/v1/stats" | jq "$2"
+}
+# The replica got the model by snapshot shipping; its first assign must
+# be a warm cache hit, not a fit.
+REPLICA_MISSES="$(local_stat "$DREPLICA_PORT" '.cache_misses')"
+got="$(assign "$DPRIMARY_PORT" "$DKEY")" # pins the primary's drift lineage
+got="$(assign "$DREPLICA_PORT" "$DKEY")"
+[ "$(jq '.cache_hit' <<<"$got")" = "true" ] || fail "drift key not warm on replica :$DREPLICA_PORT"
+[ "$(local_stat "$DREPLICA_PORT" '.cache_misses')" -eq "$REPLICA_MISSES" ] || \
+    fail "replica :$DREPLICA_PORT fitted $DKEY instead of warm-loading the shipped model"
+
+# Slide the window: append a full window of far-shifted points through
+# the NON-primary shard — the write is routed to the primary, which
+# re-replicates. Every original row expires; the dataset is now version
+# 2, but the primary keeps serving the version-1 model (stale) until its
+# tracker trips.
+awk -F, -v OFS=, '{ for (i = 1; i <= NF; i++) $i += 10000000; print }' \
+    "$TMP/points.csv" >"$TMP/shifted.csv"
+SHIFTED="$(jq -R -s 'split("\n") | map(select(length > 0) | split(",") | map(tonumber))' \
+    <"$TMP/shifted.csv")"
+AP="$(jq -cn --arg name "$DKEY" --argjson pts "$SHIFTED" '{dataset: $name, points: $pts}' |
+    curl -fsS -X POST -H 'Content-Type: application/json' -d @- \
+        "http://127.0.0.1:$DREPLICA_PORT/v1/points")"
+[ "$(jq '.version' <<<"$AP")" -eq 2 ] || fail "append did not advance the dataset version: $AP"
+[ "$(jq '.expired' <<<"$AP")" -eq 2000 ] || fail "append did not expire the old window: $AP"
+
+# Shifted traffic at the primary: every request must succeed while the
+# stale model answers (the labels are all noise — that IS the drift).
+# Trips are evaluated when a 4096-point window closes and gated behind
+# 8192 lifetime observations, so the second window close can trip at the
+# earliest; 8 batches of 2000 put two closes comfortably past the gate.
+drift_assign() { # port -> response body
+    jq -cn --arg name "$DKEY" --argjson params "$PARAMS" --argjson pts "$SHIFTED" \
+        '{dataset: $name, algorithm: "Ex-DPC", params: $params, points: $pts}' |
+        curl -fsS -X POST -H 'Content-Type: application/json' -d @- \
+            "http://127.0.0.1:$1/v1/assign"
+}
+for i in $(seq 1 8); do
+    got="$(drift_assign "$DPRIMARY_PORT")" || fail "shifted assign $i failed during drift"
+done
+[ "$(local_stat "$DPRIMARY_PORT" '.drift_trips')" -ge 1 ] || \
+    fail "shifted traffic never tripped the primary's drift tracker"
+
+# The background refit swaps the version-2 model in; /v1/drift (asked
+# via the replica — it relays to the primary) reports the swap. Assigns
+# keep succeeding throughout.
+swapped=0
+for _ in $(seq 1 150); do
+    got="$(drift_assign "$DPRIMARY_PORT")" || fail "assign failed while the refit was in flight"
+    DR="$(curl -fsS "http://127.0.0.1:$DREPLICA_PORT/v1/drift?dataset=$DKEY&algorithm=Ex-DPC")"
+    if [ "$(jq '.models[0].version' <<<"$DR")" -eq 2 ] && \
+       [ "$(jq '.models[0].refitting' <<<"$DR")" = "false" ]; then
+        swapped=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$swapped" -eq 1 ] || fail "background refit never swapped the version-2 model in: $DR"
+[ "$(local_stat "$DPRIMARY_PORT" '.drift_refits')" -ge 1 ] || \
+    fail "primary reports no drift refit after the swap"
+
+# Post-swap: shifted points label as clusters again from the primary
+# immediately; the replica adopts the refitted model when the primary's
+# post-refit snapshot shipping lands (async after the swap), so poll it
+# — every answer in the meantime must still succeed off its stale pin.
+got="$(drift_assign "$DPRIMARY_PORT")"
+nz="$(jq '[.labels[] | select(. != -1)] | length' <<<"$got")"
+[ "$nz" -gt 0 ] || fail "shifted points still all-noise via primary :$DPRIMARY_PORT after the refit"
+adopted=0
+for _ in $(seq 1 100); do
+    got="$(drift_assign "$DREPLICA_PORT")" || fail "replica assign failed while the refit shipped"
+    nz="$(jq '[.labels[] | select(. != -1)] | length' <<<"$got")"
+    if [ "$nz" -gt 0 ]; then
+        adopted=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$adopted" -eq 1 ] || fail "replica :$DREPLICA_PORT never adopted the shipped refit"
+[ "$(local_stat "$DREPLICA_PORT" '.drift_refits')" -eq 0 ] || \
+    fail "replica :$DREPLICA_PORT refitted instead of warm-loading the drift refit"
+[ "$(local_stat "$DREPLICA_PORT" '.cache_misses')" -eq "$REPLICA_MISSES" ] || \
+    fail "replica :$DREPLICA_PORT cache-missed during the drift leg"
+log "drift: halo trip -> background refit swapped v2 in with zero failed requests; replica warm-loaded it"
+
+log "PASS: chaos SIGKILL healed with zero refits + drift refit swapped and shipped with zero failed requests"

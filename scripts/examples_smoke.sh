@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs every example under examples/ end to end and fails if any of them
+# exits non-zero. Examples are self-verifying — each one log.Fatals when
+# the behavior it demonstrates does not hold (e.g. drift-refit checks
+# the refit actually swapped) — so this smoke keeps them compiling AND
+# true as the library evolves. New example directories are picked up
+# automatically.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for dir in examples/*/; do
+    name=$(basename "$dir")
+    printf '== examples/%s\n' "$name"
+    if ! go run "./examples/$name" >/tmp/example_"$name".log 2>&1; then
+        echo "examples/$name FAILED:"
+        tail -20 /tmp/example_"$name".log
+        fail=1
+    fi
+done
+exit $fail
